@@ -1,0 +1,46 @@
+# Convenience targets mirroring the paper's artifact workflow (Appendix A.5):
+#   make all_pbbs                      - every benchmark, both protocols
+#   make single_pbbs BENCH=fib         - one benchmark, both protocols
+#   make activate_one_socket           - select the single-socket machine
+#   make activate_two_socket           - select the dual-socket machine
+# The machine selection is a file the other targets read, as in the VM.
+
+BENCH ?= fib
+MACHINE_FILE := .machine
+MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
+
+.PHONY: all build test bench all_pbbs single_pbbs activate_one_socket \
+        activate_two_socket examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+activate_one_socket:
+	echo single > $(MACHINE_FILE)
+
+activate_two_socket:
+	echo dual > $(MACHINE_FILE)
+
+single_pbbs: build
+	dune exec bin/warden_cli.exe -- bench $(BENCH) -m $(MACHINE) -p both
+
+all_pbbs: build
+	dune exec bin/warden_cli.exe -- $(if $(filter single,$(MACHINE)),fig7,fig8)
+
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/prime_sieve.exe
+	dune exec examples/bfs_search.exe
+	dune exec examples/custom_machine.exe
+
+clean:
+	dune clean
+	rm -f $(MACHINE_FILE)
