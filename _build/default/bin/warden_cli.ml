@@ -1,0 +1,264 @@
+(* warden-cli: run the paper's experiments and individual benchmarks. *)
+
+open Cmdliner
+open Warden_machine
+open Warden_sim
+open Warden_harness
+
+let machine_of = function
+  | "single" -> Config.single_socket ()
+  | "dual" -> Config.dual_socket ()
+  | "disagg" | "disaggregated" -> Config.disaggregated ()
+  | s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Config.many_socket ~sockets:n ()
+      | _ -> invalid_arg ("unknown machine: " ^ s))
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced problem sizes.")
+
+let machine_arg =
+  Arg.(
+    value
+    & opt string "dual"
+    & info [ "machine"; "m" ] ~docv:"MACHINE"
+        ~doc:"Machine: single, dual, disagg, or a socket count.")
+
+let exit_of_bool ok = if ok then 0 else 1
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Warden_pbbs.Spec.t) ->
+        Printf.printf "%-14s (default scale %8d)  %s\n" s.Warden_pbbs.Spec.name
+          s.Warden_pbbs.Spec.default_scale s.Warden_pbbs.Spec.descr)
+      Warden_pbbs.Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the PBBS-like benchmarks.")
+    Term.(const run $ const ())
+
+(* --- bench --------------------------------------------------------------- *)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,list)).")
+  in
+  let proto_arg =
+    Arg.(
+      value
+      & opt string "both"
+      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden or both.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale"; "s" ] ~docv:"N" ~doc:"Problem size (default: paper scale).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers"; "w" ] ~doc:"Worker threads (default: all).")
+  in
+  let run name proto machine scale workers quick =
+    let spec =
+      match Warden_pbbs.Suite.find name with
+      | Some s -> s
+      | None -> failwith ("unknown benchmark " ^ name)
+    in
+    let config = machine_of machine in
+    let one proto =
+      let eng = Engine.create config ~proto in
+      let scale =
+        match scale with Some s -> s | None -> Exp.scale_of ~quick spec
+      in
+      let t0 = Unix.gettimeofday () in
+      let ok = spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL ?workers eng in
+      let host = Unix.gettimeofday () -. t0 in
+      let ms = Engine.memsys eng in
+      let ss = Memsys.sstats ms in
+      let ps = Memsys.pstats ms in
+      let en = Memsys.energy ms in
+      Printf.printf
+        "%s/%s on %s: %s in %d cycles (%.2fs host)\n\
+        \  instrs %d  IPC %.3f  l1-hits %d  l2-hits %d  misses %d\n\
+        \  inv %d  down %d  msgs %d  ward-grants %d  reconciled %d\n\
+        \  energy: processor %.3f mJ, network %.3f mJ\n"
+        name
+        (match proto with `Mesi -> "mesi" | `Warden -> "warden")
+        config.Config.name
+        (if ok then "verified" else "FAILED VERIFICATION")
+        ss.Sstats.cycles host ss.Sstats.instructions (Sstats.ipc ss)
+        ss.Sstats.l1_hits ss.Sstats.l2_hits ss.Sstats.priv_misses
+        ps.Warden_proto.Pstats.invalidations ps.Warden_proto.Pstats.downgrades
+        (Warden_proto.Pstats.total_msgs ps)
+        ps.Warden_proto.Pstats.ward_grants ps.Warden_proto.Pstats.recon_blocks
+        (Energy.processor_pj en /. 1e9)
+        (Energy.network_pj en /. 1e9);
+      (ok, ss.Sstats.cycles)
+    in
+    match proto with
+    | "mesi" -> exit_of_bool (fst (one `Mesi))
+    | "warden" -> exit_of_bool (fst (one `Warden))
+    | "both" ->
+        let ok_m, cy_m = one `Mesi in
+        let ok_w, cy_w = one `Warden in
+        Printf.printf "speedup (mesi/warden): %.3fx\n"
+          (float_of_int cy_m /. float_of_int cy_w);
+        exit_of_bool (ok_m && ok_w)
+    | p -> failwith ("unknown protocol " ^ p)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one benchmark and print its statistics.")
+    Term.(
+      const run $ name_arg $ proto_arg $ machine_arg $ scale_arg $ workers_arg
+      $ quick_arg)
+
+(* --- experiments --------------------------------------------------------- *)
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let table1_cmd =
+  simple "table1" "Reproduce Table 1 (simulator latency validation)." (fun () ->
+      print_string (Experiments.render_table1 ());
+      0)
+
+let table2_cmd =
+  simple "table2" "Print the simulated system specifications (Table 2)."
+    (fun () ->
+      print_string (Experiments.render_table2 ());
+      0)
+
+let fig_cmd name doc config title =
+  let run quick =
+    let sr = Experiments.run_suite ~quick ~config:(config ()) () in
+    print_string (Experiments.render_perf_energy ~title sr);
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg)
+
+let fig7_cmd =
+  fig_cmd "fig7" "Reproduce Figure 7 (single socket)." Config.single_socket
+    "Figure 7: performance and energy gains, single socket"
+
+let fig8_cmd =
+  fig_cmd "fig8" "Reproduce Figure 8 (dual socket)." Config.dual_socket
+    "Figure 8: performance and energy gains, dual socket"
+
+let analysis_cmd =
+  let run quick =
+    let sr = Experiments.run_suite ~quick ~config:(Config.dual_socket ()) () in
+    print_string (Experiments.render_fig9 sr);
+    print_newline ();
+    print_string (Experiments.render_fig10 sr);
+    print_newline ();
+    print_string (Experiments.render_fig11 sr);
+    0
+  in
+  Cmd.v
+    (Cmd.info "analysis"
+       ~doc:"Reproduce Figures 9-11 (dual-socket coherence-event analysis).")
+    Term.(const run $ quick_arg)
+
+let fig12_cmd =
+  let run quick =
+    let sr =
+      Experiments.run_suite ~quick ~names:Warden_pbbs.Suite.disaggregated_subset
+        ~config:(Config.disaggregated ()) ()
+    in
+    print_string
+      (Experiments.render_perf_energy
+         ~title:"Figure 12: disaggregated (1 us remote)" sr);
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig12" ~doc:"Reproduce Figure 12 (disaggregated system).")
+    Term.(const run $ quick_arg)
+
+let scaling_cmd =
+  let run quick =
+    let names = [ "dmm"; "msort"; "palindrome"; "quickhull" ] in
+    print_string (Experiments.render_worker_scaling ~quick ~names ());
+    print_newline ();
+    print_string (Experiments.render_socket_scaling ~quick ~names ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Worker-count and socket-count scaling studies (7.3).")
+    Term.(const run $ quick_arg)
+
+let trace_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark to trace.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale"; "s" ] ~docv:"N" ~doc:"Problem size (default: quick).")
+  in
+  let run name machine scale =
+    let spec =
+      match Warden_pbbs.Suite.find name with
+      | Some s -> s
+      | None -> failwith ("unknown benchmark " ^ name)
+    in
+    let config = machine_of machine in
+    let scale =
+      match scale with Some s -> s | None -> Exp.scale_of ~quick:true spec
+    in
+    let eng = Engine.create config ~proto:`Warden in
+    let ok, _events, summary =
+      Warden_trace.Recorder.record (fun () ->
+          spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL eng)
+    in
+    Format.printf "%s (scale %d) under WARDen: %s@.%a@." name scale
+      (if ok then "verified" else "FAILED VERIFICATION")
+      Warden_trace.Recorder.pp_summary summary;
+    exit_of_bool ok
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record a benchmark's access trace and report WARD coverage and \
+          the offline region classification.")
+    Term.(const run $ name_arg $ machine_arg $ scale_arg)
+
+let all_cmd =
+  let run quick = exit_of_bool (Experiments.run_all ~quick ()) in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every table and figure of the evaluation.")
+    Term.(const run $ quick_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "warden-cli" ~version:"1.0.0"
+       ~doc:
+         "WARDen (CGO 2023) reproduction: specialized cache coherence for \
+          high-level parallel languages.")
+    [
+      list_cmd;
+      bench_cmd;
+      table1_cmd;
+      table2_cmd;
+      fig7_cmd;
+      fig8_cmd;
+      analysis_cmd;
+      fig12_cmd;
+      scaling_cmd;
+      trace_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

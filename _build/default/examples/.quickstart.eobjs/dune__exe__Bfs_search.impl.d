@@ -1,0 +1,1 @@
+examples/bfs_search.ml: Config Engine Int64 List Memsys Par Printf Sarray Sstats Warden_machine Warden_runtime Warden_sim Warden_util

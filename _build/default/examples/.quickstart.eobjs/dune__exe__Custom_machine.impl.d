@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Config Exp List Option Printf Warden_harness Warden_machine Warden_pbbs

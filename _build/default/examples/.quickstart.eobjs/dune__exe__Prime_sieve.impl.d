@@ -1,0 +1,1 @@
+examples/prime_sieve.ml: Config Engine Memsys Oracle Par Printf Sarray Sstats Warden_machine Warden_runtime Warden_sim Warden_trace Wardprop

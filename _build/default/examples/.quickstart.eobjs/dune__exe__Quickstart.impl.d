@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Engine Memsys Par Printf Sarray Sstats Warden_machine Warden_proto Warden_runtime Warden_sim

@@ -1,0 +1,35 @@
+(* Machine-space exploration (§7.3): run one benchmark across machine
+   configurations — single socket, dual socket, a hypothetical many-socket
+   part, and a disaggregated two-node system — and watch WARDen's advantage
+   grow with the cost of coherence.
+
+   Run with:  dune exec examples/custom_machine.exe *)
+
+open Warden_machine
+open Warden_harness
+
+let () =
+  let spec = Option.get (Warden_pbbs.Suite.find "dmm") in
+  let machines =
+    [
+      Config.single_socket ();
+      Config.dual_socket ();
+      Config.many_socket ~sockets:4 ();
+      Config.disaggregated ();
+      (* A custom point: disaggregation with a faster (200 ns) fabric. *)
+      {
+        (Config.disaggregated ()) with
+        Config.name = "disaggregated-200ns";
+        inter_socket_lat = 660;
+      };
+    ]
+  in
+  Printf.printf "dmm across machine configurations (quick scale):\n\n%!";
+  Printf.printf "%-22s %-9s %-12s %-12s\n" "machine" "speedup" "MESI cycles"
+    "WARDen cycles";
+  List.iter
+    (fun config ->
+      let pair = Exp.run_pair ~quick:true ~config spec in
+      Printf.printf "%-22s %-9.2f %-12d %-12d\n%!" config.Config.name
+        (Exp.speedup pair) pair.Exp.mesi.Exp.cycles pair.Exp.warden.Exp.cycles)
+    machines

@@ -1,0 +1,105 @@
+(* The paper's running example (Figure 4): a recursive parallel prime
+   sieve whose flags array races benignly — concurrent tasks write the same
+   value to the same byte. The example runs the sieve under both protocols,
+   checks the outputs agree, and uses the trace oracles to demonstrate:
+
+   - the program is disentangled (Definition 1), and
+   - every page the runtime marks really has the WARD property (§3.1) —
+     including the benign same-value WAWs, which the oracle allows.
+
+   It also classifies the three events of Figure 3 with the offline WARD
+   checker.
+
+   Run with:  dune exec examples/prime_sieve.exe *)
+
+open Warden_machine
+open Warden_sim
+open Warden_runtime
+open Warden_trace
+
+(* In-simulator sieve, as in Figure 4 (flags.(i) = 1 iff i is prime). *)
+let rec sieve_upto n =
+  let flags = Sarray.create ~len:(n + 1) ~elt_bytes:1 in
+  Par.parfor ~grain:1024 0 (n + 1) (fun i -> Sarray.set flags i 1L);
+  Sarray.set flags 0 0L;
+  if n >= 1 then Sarray.set flags 1 0L;
+  if n >= 4 then begin
+    let sqrt_n = int_of_float (sqrt (float_of_int n)) in
+    let sqrtflags = sieve_upto sqrt_n in
+    Par.parfor ~grain:1 0 (sqrt_n + 1) (fun p ->
+        if p >= 2 && Sarray.get sqrtflags p = 1L then
+          Par.parfor ~grain:2048 2 ((n / p) + 1) (fun m ->
+              Sarray.set flags (p * m) 0L))
+  end;
+  flags
+
+let count_primes ms flags =
+  let c = ref 0 in
+  for i = 0 to Sarray.length flags - 1 do
+    if Sarray.peek_host ms flags i = 1L then incr c
+  done;
+  !c
+
+let run_once proto =
+  let eng = Engine.create (Config.single_socket ()) ~proto in
+  let (flags, report) =
+    Oracle.with_oracle (fun () ->
+        let flags, _ = Par.run eng (fun () -> sieve_upto 50_000) in
+        flags)
+  in
+  let ms = Engine.memsys eng in
+  Memsys.flush_all ms;
+  (count_primes ms flags, report, (Memsys.sstats ms).Sstats.cycles)
+
+let () =
+  print_endline "Figure 4: parallel prime sieve with benign WAW races.\n";
+  let n_mesi, _, cy_mesi = run_once `Mesi in
+  let n_warden, report, cy_warden = run_once `Warden in
+  Printf.printf "primes below 50000: MESI says %d, WARDen says %d (pi(50k)=5133)\n"
+    n_mesi n_warden;
+  Printf.printf "WARDen speedup: %.2fx\n\n"
+    (float_of_int cy_mesi /. float_of_int cy_warden);
+  Printf.printf
+    "oracle: %d accesses observed, %.1f%% inside marked WARD regions\n\
+    \ (the conservative policy of 4.1 marks only fresh leaf-heap pages;\n\
+    \ the flags array lives in ancestor heaps, so its benign WAW races are\n\
+    \ WARD by the property yet unmarked by the runtime)\n"
+    report.Oracle.accesses
+    (100. *. Oracle.ward_fraction report);
+  (match Oracle.check_clean report with
+  | Ok () ->
+      print_endline
+        "oracle: disentangled, and every marked page had the WARD property"
+  | Error msg -> Printf.printf "oracle: VIOLATIONS\n%s\n" msg);
+
+  (* Figure 3's three events, classified offline. *)
+  print_endline "\nFigure 3 classification by the offline WARD checker:";
+  let open Wardprop in
+  let show name events =
+    let verdict =
+      match classify events with
+      | Ward -> "WARD"
+      | Raw_dependence { writer; reader; _ } ->
+          Printf.sprintf "not WARD (RAW: thread %d wrote, thread %d read)"
+            writer reader
+      | Waw_ordered { first; second; _ } ->
+          Printf.sprintf "not WARD (ordered WAW between threads %d and %d)"
+            first second
+    in
+    Printf.printf "  %-35s -> %s\n" name verdict
+  in
+  show "event 1: write i, then read j (RAW)"
+    [
+      { thread = 0; write = true; addr = 0; value = 1L };
+      { thread = 1; write = false; addr = 0; value = 0L };
+    ];
+  show "event 2: WAW with different values"
+    [
+      { thread = 0; write = true; addr = 0; value = 1L };
+      { thread = 1; write = true; addr = 0; value = 2L };
+    ];
+  show "event 3: WAW writing the same value"
+    [
+      { thread = 0; write = true; addr = 0; value = 1L };
+      { thread = 1; write = true; addr = 0; value = 1L };
+    ]

@@ -1,0 +1,1 @@
+lib/cache/linedata.ml: Addr Bytes Char Int64 Warden_mem

@@ -1,0 +1,79 @@
+open Warden_mem
+
+type t = { mutable data : Bytes.t; mutable dirty : int64 }
+
+let create () = { data = Bytes.make Addr.block_size '\000'; dirty = 0L }
+
+let of_bytes b =
+  if Bytes.length b <> Addr.block_size then invalid_arg "Linedata.of_bytes";
+  { data = b; dirty = 0L }
+
+let bytes t = t.data
+
+let copy t = { data = Bytes.copy t.data; dirty = t.dirty }
+
+let dirty_mask t = t.dirty
+let is_dirty t = t.dirty <> 0L
+let clear_dirty t = t.dirty <- 0L
+let mark_all_dirty t = t.dirty <- -1L
+
+let sector = ref 1
+
+let set_sector_bytes n =
+  match n with
+  | 1 | 2 | 4 | 8 -> sector := n
+  | _ -> invalid_arg "Linedata.set_sector_bytes"
+
+let sector_bytes () = !sector
+
+let range_mask ~off ~size =
+  (* Expand to sector boundaries: coarse sectoring marks every byte of each
+     touched sector as written. *)
+  let g = !sector in
+  let off = off land lnot (g - 1) in
+  let size = (size + g - 1) land lnot (g - 1) in
+  (* size = 64 would overflow the shift; the block size is 64 so a full-line
+     mask only arises from size = block_size. *)
+  if size >= 64 then -1L
+  else Int64.shift_left (Int64.sub (Int64.shift_left 1L size) 1L) off
+
+let check off size =
+  match size with
+  | 1 | 2 | 4 | 8 ->
+      if off < 0 || off + size > Addr.block_size || off land (size - 1) <> 0
+      then invalid_arg "Linedata: bad offset"
+  | _ -> invalid_arg "Linedata: bad size"
+
+let load t ~off ~size =
+  check off size;
+  match size with
+  | 1 -> Int64.of_int (Char.code (Bytes.get t.data off))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le t.data off)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data off)) 0xFFFFFFFFL
+  | _ -> Bytes.get_int64_le t.data off
+
+let store t ~off ~size v =
+  check off size;
+  (match size with
+  | 1 -> Bytes.set t.data off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | 2 -> Bytes.set_uint16_le t.data off (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> Bytes.set_int32_le t.data off (Int64.to_int32 v)
+  | _ -> Bytes.set_int64_le t.data off v);
+  t.dirty <- Int64.logor t.dirty (range_mask ~off ~size)
+
+let fill_from t src =
+  Bytes.blit src 0 t.data 0 Addr.block_size;
+  t.dirty <- 0L
+
+let merge_into t dst =
+  for i = 0 to Addr.block_size - 1 do
+    if Int64.logand (Int64.shift_right_logical t.dirty i) 1L = 1L then
+      Bytes.set dst i (Bytes.get t.data i)
+  done
+
+let merge_masked ~dst ~src =
+  for i = 0 to Addr.block_size - 1 do
+    if Int64.logand (Int64.shift_right_logical src.dirty i) 1L = 1L then
+      Bytes.set dst.data i (Bytes.get src.data i)
+  done;
+  dst.dirty <- Int64.logor dst.dirty src.dirty

@@ -1,0 +1,59 @@
+(** Data payload of one cache line: 64 bytes plus a byte-granular dirty
+    mask (the "byte sectoring" of WARDen §6.1, one mask bit per data byte).
+
+    The mask records which bytes this copy has written since it was filled;
+    WARDen's reconciliation merges concurrent copies of a line by writing
+    back exactly the masked bytes of each copy. *)
+
+type t
+
+val create : unit -> t
+(** All-zero data, clean. *)
+
+val of_bytes : Bytes.t -> t
+(** Takes ownership of a 64-byte buffer; clean. *)
+
+val bytes : t -> Bytes.t
+(** The underlying buffer (not a copy). *)
+
+val copy : t -> t
+
+val dirty_mask : t -> int64
+
+val is_dirty : t -> bool
+
+val clear_dirty : t -> unit
+
+val mark_all_dirty : t -> unit
+(** Set every mask bit (full-line dirty writeback, M-state semantics). *)
+
+val load : t -> off:int -> size:int -> int64
+(** Little-endian read of [size] ∈ {1,2,4,8} bytes at byte offset [off]. *)
+
+val store : t -> off:int -> size:int -> int64 -> unit
+(** Little-endian write; marks the written bytes dirty. *)
+
+val fill_from : t -> Bytes.t -> unit
+(** Overwrite the data with a fresh 64-byte copy and clear the dirty mask
+    (a cache fill). *)
+
+val merge_into : t -> Bytes.t -> unit
+(** [merge_into t dst] copies [t]'s dirty bytes into [dst]
+    (reconciliation / writeback merge at the shared cache). *)
+
+val merge_masked : dst:t -> src:t -> unit
+(** Copy [src]'s dirty bytes into [dst]'s data and union the masks
+    (merging a flushed private copy into a shared-cache line). *)
+
+val range_mask : off:int -> size:int -> int64
+(** Mask with bits [off .. off+size-1] set, expanded outward to the current
+    sector granularity. *)
+
+val set_sector_bytes : int -> unit
+(** Set the write-tracking granularity (1, 2, 4 or 8 bytes; default 1).
+    The paper uses byte sectoring "to match the smallest granularity in
+    software" (§6.1); coarser sectors over-approximate the written range,
+    which corrupts reconciliation merges of sub-sector false sharing —
+    exposed as an ablation. Global; affects subsequently created masks. *)
+
+val sector_bytes : unit -> int

@@ -1,0 +1,129 @@
+type 'a way = { mutable blk : int; mutable payload : 'a option; mutable last_use : int }
+
+type 'a t = {
+  nsets : int;
+  nways : int;
+  lines : 'a way array array; (* lines.(set).(way) *)
+  mutable tick : int; (* monotonically increasing LRU clock *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~sets ~ways =
+  if not (is_pow2 sets) then invalid_arg "Sa.create: sets must be a power of two";
+  if ways <= 0 then invalid_arg "Sa.create: ways";
+  {
+    nsets = sets;
+    nways = ways;
+    lines =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ -> { blk = -1; payload = None; last_use = 0 }));
+    tick = 0;
+  }
+
+let sets t = t.nsets
+let ways t = t.nways
+let capacity_blocks t = t.nsets * t.nways
+
+let set_index t blk = blk land (t.nsets - 1)
+
+let find_way t blk =
+  let set = t.lines.(set_index t blk) in
+  let rec go i =
+    if i >= t.nways then None
+    else if set.(i).blk = blk then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find t blk =
+  match find_way t blk with
+  | None -> None
+  | Some w ->
+      t.tick <- t.tick + 1;
+      w.last_use <- t.tick;
+      w.payload
+
+let mem t blk = find_way t blk <> None
+
+(* The LRU victim among occupied ways, or the first empty way. *)
+let victim_way t set =
+  let ways = t.lines.(set) in
+  let best = ref ways.(0) in
+  (try
+     for i = 0 to t.nways - 1 do
+       if ways.(i).blk = -1 then begin
+         best := ways.(i);
+         raise Exit
+       end
+       else if ways.(i).last_use < !best.last_use then best := ways.(i)
+     done
+   with Exit -> ());
+  !best
+
+let would_evict t blk =
+  match find_way t blk with
+  | Some _ -> None
+  | None ->
+      let w = victim_way t (set_index t blk) in
+      if w.blk = -1 then None
+      else
+        match w.payload with
+        | Some p -> Some (w.blk, p)
+        | None -> None
+
+let insert t blk payload =
+  t.tick <- t.tick + 1;
+  match find_way t blk with
+  | Some w ->
+      w.payload <- Some payload;
+      w.last_use <- t.tick;
+      None
+  | None ->
+      let w = victim_way t (set_index t blk) in
+      let evicted =
+        if w.blk = -1 then None
+        else match w.payload with Some p -> Some (w.blk, p) | None -> None
+      in
+      w.blk <- blk;
+      w.payload <- Some payload;
+      w.last_use <- t.tick;
+      evicted
+
+let remove t blk =
+  match find_way t blk with
+  | None -> None
+  | Some w ->
+      let p = w.payload in
+      w.blk <- -1;
+      w.payload <- None;
+      w.last_use <- 0;
+      p
+
+let iter t f =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          match w.payload with
+          | Some p when w.blk <> -1 -> f w.blk p
+          | _ -> ())
+        set)
+    t.lines
+
+let iter_range t ~lo_block ~hi_block f =
+  iter t (fun blk p -> if blk >= lo_block && blk < hi_block then f blk p)
+
+let population t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+let clear t =
+  Array.iter
+    (Array.iter (fun w ->
+         w.blk <- -1;
+         w.payload <- None;
+         w.last_use <- 0))
+    t.lines;
+  t.tick <- 0

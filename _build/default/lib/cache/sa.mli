@@ -1,0 +1,46 @@
+(** Generic set-associative cache array with LRU replacement.
+
+    Tracks which blocks are resident and carries an arbitrary payload per
+    line (coherence state, data, ...). Used for the private L1/L2 tag
+    arrays and the shared L3 slices. Block numbers index the simulated
+    physical space ({!Warden_mem.Addr.block_of}). *)
+
+type 'a t
+
+val create : sets:int -> ways:int -> 'a t
+(** [sets] must be a power of two. *)
+
+val sets : 'a t -> int
+val ways : 'a t -> int
+val capacity_blocks : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+(** [find t blk] returns the payload if resident and refreshes its LRU
+    position. *)
+
+val mem : 'a t -> int -> bool
+(** Residency test without touching LRU state. *)
+
+val set_index : 'a t -> int -> int
+(** The set a block maps to. *)
+
+val would_evict : 'a t -> int -> (int * 'a) option
+(** The (block, payload) that {!insert} of this block would displace, if
+    the set is full and the block is not already resident. *)
+
+val insert : 'a t -> int -> 'a -> (int * 'a) option
+(** [insert t blk payload] makes [blk] resident (replacing the payload if
+    already present) and returns the victim evicted to make room, if any. *)
+
+val remove : 'a t -> int -> 'a option
+(** Invalidate a block, returning its payload if it was resident. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visit every resident block. *)
+
+val iter_range : 'a t -> lo_block:int -> hi_block:int -> (int -> 'a -> unit) -> unit
+(** Visit resident blocks with number in [\[lo_block, hi_block)]. *)
+
+val population : 'a t -> int
+
+val clear : 'a t -> unit

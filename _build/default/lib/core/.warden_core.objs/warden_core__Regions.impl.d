@@ -1,0 +1,1 @@
+lib/core/regions.ml: Addr Int List Map Option Warden_mem

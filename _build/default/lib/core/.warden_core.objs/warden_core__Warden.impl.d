@@ -1,0 +1,1 @@
+lib/core/warden.ml: Addr Bitset Config Dirstate Energy Fabric Linedata List Mesi Protocol Pstats Regions States Warden_cache Warden_machine Warden_mem Warden_proto Warden_util

@@ -1,0 +1,1 @@
+lib/core/warden.mli: Fabric Protocol Regions Warden_proto

@@ -1,0 +1,90 @@
+open Warden_mem
+
+module Imap = Map.Make (Int)
+
+(* Intervals are stored in a map keyed by lower bound; each key carries the
+   list of upper bounds registered at it (duplicates allowed). [max_len]
+   tracks the longest interval ever added so membership tests know how far
+   below the query address an enclosing interval could start. With the
+   page-granular regions the runtime produces, a lookup scans one key. *)
+type t = {
+  mutable by_lo : int list Imap.t;
+  mutable n : int;
+  mutable max_len : int;
+  capacity : int;
+}
+
+let create ~capacity = { by_lo = Imap.empty; n = 0; max_len = 0; capacity }
+
+let capacity t = t.capacity
+let count t = t.n
+
+let add t ~lo ~hi =
+  if hi <= lo || t.n >= t.capacity then false
+  else begin
+    let existing = Option.value ~default:[] (Imap.find_opt lo t.by_lo) in
+    t.by_lo <- Imap.add lo (hi :: existing) t.by_lo;
+    t.n <- t.n + 1;
+    t.max_len <- max t.max_len (hi - lo);
+    true
+  end
+
+let remove t ~lo ~hi =
+  match Imap.find_opt lo t.by_lo with
+  | None -> false
+  | Some his ->
+      if List.mem hi his then begin
+        let rec drop_one = function
+          | [] -> []
+          | x :: rest -> if x = hi then rest else x :: drop_one rest
+        in
+        (match drop_one his with
+        | [] -> t.by_lo <- Imap.remove lo t.by_lo
+        | rest -> t.by_lo <- Imap.add lo rest t.by_lo);
+        t.n <- t.n - 1;
+        true
+      end
+      else false
+
+let mem t addr =
+  if t.n = 0 then false
+  else begin
+    (* Scan keys in (addr - max_len, addr], newest-start first. *)
+    let exception Found in
+    try
+      let floor = addr - t.max_len in
+      let rec go upper =
+        match Imap.find_last_opt (fun lo -> lo <= upper) t.by_lo with
+        | None -> ()
+        | Some (lo, his) ->
+            if lo <= floor then ()
+            else begin
+              if List.exists (fun hi -> addr < hi) his then raise Found;
+              go (lo - 1)
+            end
+      in
+      go addr;
+      false
+    with Found -> true
+  end
+
+let block_in t blk =
+  if t.n = 0 then false
+  else begin
+    let base = Addr.base_of_block blk in
+    (* A region overlaps the block iff it contains some byte of it; since
+       runtime regions are block-aligned, testing the base plus any region
+       that starts inside the block suffices. *)
+    mem t base
+    ||
+    match Imap.find_first_opt (fun lo -> lo > base) t.by_lo with
+    | Some (lo, _ :: _) -> lo < base + Addr.block_size
+    | _ -> false
+  end
+
+let iter t f = Imap.iter (fun lo his -> List.iter (fun hi -> f ~lo ~hi) his) t.by_lo
+
+let clear t =
+  t.by_lo <- Imap.empty;
+  t.n <- 0;
+  t.max_len <- 0

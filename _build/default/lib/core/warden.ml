@@ -1,0 +1,235 @@
+open Warden_util
+open Warden_mem
+open Warden_cache
+open Warden_machine
+open Warden_proto
+open States
+
+module P = struct
+  type t = { fabric : Fabric.t; dir : Dirstate.t; regions : Regions.t }
+
+  let name = "warden"
+
+  let create fabric =
+    {
+      fabric;
+      dir = Dirstate.create ();
+      regions =
+        Regions.create
+          ~capacity:fabric.Fabric.config.Config.ward_region_capacity;
+    }
+
+  let fabric t = t.fabric
+  let regions t = t.regions
+
+  let blocks_of_range ~lo ~hi f =
+    if hi > lo then
+      for blk = Addr.block_of lo to Addr.block_of (hi - 1) do
+        f blk
+      done
+
+  (* Serve a request for a block inside an active WARD region: furnish an
+     exclusive-like copy from the shared cache and leave every other copy
+     untouched (Fig. 5's GetM-or-GetS (WARD region) transitions). *)
+  let ward_request t ~core ~blk ~write ~holds_s =
+    let f = t.fabric in
+    let e = Dirstate.entry t.dir blk in
+    let cs = Fabric.socket_of_core f core in
+    Fabric.dir_access f;
+    Fabric.dir_msg f ~socket:cs ~blk ~data:false;
+    f.Fabric.stats.Pstats.ward_grants <- f.Fabric.stats.Pstats.ward_grants + 1;
+    (* A previous E/M owner silently becomes one of the W copies. *)
+    (match e.Dirstate.state with
+    | D_E | D_M ->
+        if e.Dirstate.owner >= 0 then Bitset.add e.Dirstate.sharers e.Dirstate.owner
+    | D_I | D_S | D_W -> ());
+    e.Dirstate.state <- D_W;
+    e.Dirstate.owner <- -1;
+    Bitset.add e.Dirstate.sharers core;
+    if Bitset.cardinal e.Dirstate.sharers > 1 then e.Dirstate.w_multi <- true;
+    let to_home = Fabric.dir_leg f ~socket:cs ~blk in
+    let from_home = to_home in
+    if holds_s then begin
+      (* Upgrade of a copy already held: permission only, no data. *)
+      Fabric.dir_msg f ~socket:cs ~blk ~data:false;
+      {
+        Mesi.pstate = grant_pstate ~write;
+        fill = None;
+        latency = to_home + f.Fabric.config.Config.l3_lat + from_home;
+      }
+    end
+    else begin
+      let data, where = f.Fabric.read_shared ~blk in
+      let shared_lat = Fabric.shared_read_latency f where in
+      Fabric.dir_msg f ~socket:cs ~blk ~data:true;
+      {
+        Mesi.pstate = grant_pstate ~write;
+        fill = Some data;
+        latency = to_home + shared_lat + from_home;
+      }
+    end
+
+  let handle_request t ~core ~blk ~write ~holds_s =
+    Energy.cam_lookup t.fabric.Fabric.energy;
+    if Regions.block_in t.regions blk then
+      ward_request t ~core ~blk ~write ~holds_s
+    else Mesi.handle_request t.fabric t.dir ~core ~blk ~write ~holds_s
+
+  let handle_evict t ~core ~blk ~pstate ~data =
+    let e = Dirstate.entry t.dir blk in
+    if e.Dirstate.state = D_W then begin
+      (* Sectored writeback: merge this copy's written bytes into the LLC
+         ("reconciling blocks on eviction overlaps with computation"). *)
+      let f = t.fabric in
+      let cs = Fabric.socket_of_core f core in
+      Fabric.dir_access f;
+      let dirty = Linedata.is_dirty data in
+      Fabric.dir_msg f ~socket:cs ~blk ~data:dirty;
+      if dirty then begin
+        f.Fabric.llc_merge ~blk data;
+        f.Fabric.stats.Pstats.writebacks <- f.Fabric.stats.Pstats.writebacks + 1
+      end;
+      Bitset.remove e.Dirstate.sharers core
+    end
+    else Mesi.handle_evict t.fabric t.dir ~core ~blk ~pstate ~data
+
+  let region_add t ~lo ~hi =
+    let stats = t.fabric.Fabric.stats in
+    stats.Pstats.ward_adds <- stats.Pstats.ward_adds + 1;
+    if not (Regions.add t.regions ~lo ~hi) then begin
+      stats.Pstats.ward_rejects <- stats.Pstats.ward_rejects + 1;
+      false
+    end
+    else begin
+      (* Fold any live MESI copies of these blocks into the LLC so that
+         stale data cannot later win a reconciliation merge. With the
+         runtime's fresh-address allocation this loop finds nothing. *)
+      blocks_of_range ~lo ~hi (fun blk ->
+          match Dirstate.find t.dir blk with
+          | Some e when e.Dirstate.state <> D_I && e.Dirstate.state <> D_W ->
+              let holders = List.length (Dirstate.holders e) in
+              stats.Pstats.recon_flushes <- stats.Pstats.recon_flushes + holders;
+              Mesi.flush_block t.fabric t.dir ~blk
+          | _ -> ());
+      true
+    end
+
+  let is_ward t ~blk = Regions.block_in t.regions blk
+
+  (* Reconciliation of one W block at region removal (§5.2). Returns true
+     if the block required a flush (and therefore costs latency). *)
+  let reconcile_block t blk (e : Dirstate.entry) =
+    let f = t.fabric in
+    let stats = f.Fabric.stats in
+    stats.Pstats.recon_blocks <- stats.Pstats.recon_blocks + 1;
+    match Dirstate.holders e with
+    | [] ->
+        Dirstate.set_invalid e;
+        false
+    | [ s ] when e.Dirstate.w_multi = false
+                 && f.Fabric.config.Config.recon_inplace_sole -> (
+        (* No sharing, §5.2 literal variant (ablation): convert the sole
+           copy to E/M in place. This forfeits the §5.3 proactive flush —
+           later remote readers still downgrade the holder. *)
+        match f.Fabric.peek_priv ~core:s ~blk with
+        | None ->
+            Dirstate.set_invalid e;
+            false
+        | Some p ->
+            e.Dirstate.state <-
+              (if Linedata.is_dirty p.Fabric.data then D_M else D_E);
+            e.Dirstate.owner <- s;
+            e.Dirstate.w_multi <- false;
+            Bitset.clear e.Dirstate.sharers;
+            false)
+    | [ s ] when e.Dirstate.w_multi = false -> (
+        (* No sharing (default): write the copy's dirty sectors back and
+           retain it as a clean shared copy. Remote consumers are then
+           served by the LLC with no downgrade (the §5.3 benefit), while
+           the holder keeps hitting in its own cache — flushing the sole
+           holder outright would make it refetch its own fresh data. *)
+        match f.Fabric.downgrade_priv ~core:s ~blk with
+        | None ->
+            Dirstate.set_invalid e;
+            false
+        | Some p ->
+            let dirty = Linedata.is_dirty p.Fabric.data in
+            if dirty then begin
+              stats.Pstats.recon_flushes <-
+                stats.Pstats.recon_flushes + p.Fabric.levels;
+              (* One data message per dirty block; the flush command itself
+                 is per-region, not per-block. *)
+              let ss = Fabric.socket_of_core f s in
+              Fabric.dir_msg f ~socket:ss ~blk ~data:true;
+              f.Fabric.llc_merge ~blk p.Fabric.data;
+              Linedata.clear_dirty p.Fabric.data
+            end;
+            e.Dirstate.state <- D_S;
+            e.Dirstate.owner <- -1;
+            e.Dirstate.w_multi <- false;
+            Bitset.clear e.Dirstate.sharers;
+            Bitset.add e.Dirstate.sharers s;
+            dirty)
+    | holders ->
+        (* False or true sharing: flush every copy and merge dirty sectors
+           in directory processing order (ascending core id); the WARD
+           property makes any order correct. *)
+        List.iter
+          (fun s ->
+            match f.Fabric.invalidate_priv ~core:s ~blk with
+            | None -> ()
+            | Some p ->
+                stats.Pstats.recon_flushes <-
+                  stats.Pstats.recon_flushes + p.Fabric.levels;
+                let ss = Fabric.socket_of_core f s in
+                let dirty = Linedata.is_dirty p.Fabric.data in
+                if dirty then begin
+                  Fabric.dir_msg f ~socket:ss ~blk ~data:true;
+                  f.Fabric.llc_merge ~blk p.Fabric.data
+                end)
+          holders;
+        Dirstate.set_invalid e;
+        true
+
+  let region_remove t ~lo ~hi =
+    let stats = t.fabric.Fabric.stats in
+    stats.Pstats.ward_removes <- stats.Pstats.ward_removes + 1;
+    if not (Regions.remove t.regions ~lo ~hi) then 0
+    else begin
+      let flushed = ref 0 in
+      blocks_of_range ~lo ~hi (fun blk ->
+          (* A block of two overlapping regions stays W until the last one
+             is removed. *)
+          if not (Regions.block_in t.regions blk) then
+            match Dirstate.find t.dir blk with
+            | Some e when e.Dirstate.state = D_W ->
+                if reconcile_block t blk e then incr flushed
+            | _ -> ());
+      !flushed * t.fabric.Fabric.config.Config.reconcile_per_block
+    end
+
+  let flush_all t =
+    let f = t.fabric in
+    let pending = ref [] in
+    Dirstate.iter t.dir (fun blk e -> pending := (blk, e) :: !pending);
+    List.iter
+      (fun (blk, e) ->
+        if e.Dirstate.state = D_W then begin
+          List.iter
+            (fun s ->
+              match f.Fabric.invalidate_priv ~core:s ~blk with
+              | Some p when Linedata.is_dirty p.Fabric.data ->
+                  Fabric.dir_msg f ~socket:(Fabric.socket_of_core f s) ~blk
+                    ~data:true;
+                  f.Fabric.stats.Pstats.writebacks <-
+                    f.Fabric.stats.Pstats.writebacks + 1;
+                  f.Fabric.llc_merge ~blk p.Fabric.data
+              | _ -> ())
+            (Dirstate.holders e);
+          Dirstate.set_invalid e
+        end
+        else Mesi.flush_block f t.dir ~blk)
+      !pending
+end
+
+let protocol fabric = Protocol.Packed ((module P), P.create fabric)

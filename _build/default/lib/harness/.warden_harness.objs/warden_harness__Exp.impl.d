@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Config Energy Engine Memsys Pstats Spec Sstats Warden_machine Warden_pbbs Warden_proto Warden_sim

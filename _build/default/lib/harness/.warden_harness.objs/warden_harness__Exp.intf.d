@@ -1,0 +1,1 @@
+lib/harness/exp.mli: Config Warden_machine Warden_pbbs Warden_runtime

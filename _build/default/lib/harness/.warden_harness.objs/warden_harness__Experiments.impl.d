@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Buffer Config Exp Format List Microbench Printf Spec Stats Suite Table Warden_machine Warden_pbbs Warden_util

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Config Exp Warden_machine Warden_runtime

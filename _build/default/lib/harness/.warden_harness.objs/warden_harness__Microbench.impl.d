@@ -1,0 +1,1 @@
+lib/harness/microbench.ml: Array Config Engine Memsys Warden_machine Warden_sim

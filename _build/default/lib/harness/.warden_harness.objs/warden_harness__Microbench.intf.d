@@ -1,0 +1,1 @@
+lib/harness/microbench.mli: Warden_machine

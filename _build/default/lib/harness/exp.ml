@@ -1,0 +1,114 @@
+open Warden_machine
+open Warden_sim
+open Warden_proto
+open Warden_pbbs
+
+type run_result = {
+  bench : string;
+  proto : string;
+  machine : string;
+  verified : bool;
+  cycles : int;
+  instructions : int;
+  ipc : float;
+  loads : int;
+  invalidations : int;
+  downgrades : int;
+  messages : int;
+  ward_grants : int;
+  recon_blocks : int;
+  energy_network_pj : float;
+  energy_processor_pj : float;
+  energy_total_pj : float;
+}
+
+let quick_scale (spec : Spec.t) =
+  match spec.Spec.name with
+  | "fib" -> 16
+  | "make_array" -> 40_000
+  | "primes" -> 12_000
+  | "msort" -> 6_000
+  | "dedup" -> 8_000
+  | "dmm" -> 32
+  | "nqueens" -> 8
+  | "grep" -> 40_000
+  | "tokens" -> 40_000
+  | "palindrome" -> 8_000
+  | "quickhull" -> 6_000
+  | "ray" -> 32
+  | "suffix_array" -> 1_000
+  | "nn" -> 3_000
+  | _ -> max 1 (spec.Spec.default_scale / 8)
+
+let scale_of ~quick spec =
+  if quick then quick_scale spec else spec.Spec.default_scale
+
+let run_bench ?(quick = false) ?(seed = 0x5EEDF00DL) ?params ?workers ~config
+    ~proto (spec : Spec.t) =
+  let eng = Engine.create config ~proto in
+  let verified =
+    spec.Spec.run ~scale:(scale_of ~quick spec) ~seed ?params ?workers eng
+  in
+  let ms = Engine.memsys eng in
+  let ss = Memsys.sstats ms in
+  let ps = Memsys.pstats ms in
+  let en = Memsys.energy ms in
+  {
+    bench = spec.Spec.name;
+    proto = (match proto with `Mesi -> "mesi" | `Warden -> "warden");
+    machine = config.Config.name;
+    verified;
+    cycles = ss.Sstats.cycles;
+    instructions = ss.Sstats.instructions;
+    ipc = Sstats.ipc ss;
+    loads = ss.Sstats.loads;
+    invalidations = ps.Pstats.invalidations;
+    downgrades = ps.Pstats.downgrades;
+    messages = Pstats.total_msgs ps;
+    ward_grants = ps.Pstats.ward_grants;
+    recon_blocks = ps.Pstats.recon_blocks;
+    energy_network_pj = Energy.network_pj en;
+    energy_processor_pj = Energy.processor_pj en;
+    energy_total_pj = Energy.total_pj en;
+  }
+
+type pair = { mesi : run_result; warden : run_result }
+
+let run_pair ?quick ?seed ?params ?workers ~config spec =
+  {
+    mesi = run_bench ?quick ?seed ?params ?workers ~config ~proto:`Mesi spec;
+    warden = run_bench ?quick ?seed ?params ?workers ~config ~proto:`Warden spec;
+  }
+
+let speedup p = float_of_int p.mesi.cycles /. float_of_int p.warden.cycles
+
+let savings_pct baseline value =
+  if baseline = 0. then 0. else (baseline -. value) /. baseline *. 100.
+
+let interconnect_savings_pct p =
+  savings_pct p.mesi.energy_network_pj p.warden.energy_network_pj
+
+let processor_savings_pct p =
+  savings_pct p.mesi.energy_processor_pj p.warden.energy_processor_pj
+
+let reduced_events p =
+  p.mesi.invalidations + p.mesi.downgrades
+  - (p.warden.invalidations + p.warden.downgrades)
+
+let inv_down_reduced_per_kilo p =
+  if p.mesi.instructions = 0 then 0.
+  else float_of_int (reduced_events p) /. (float_of_int p.mesi.instructions /. 1000.)
+
+let downgrade_share_pct p =
+  let total = reduced_events p in
+  if total = 0 then 0.
+  else
+    float_of_int (p.mesi.downgrades - p.warden.downgrades)
+    /. float_of_int total *. 100.
+
+let inv_share_pct p =
+  let total = reduced_events p in
+  if total = 0 then 0. else 100. -. downgrade_share_pct p
+
+let ipc_improvement_pct p =
+  if p.mesi.ipc = 0. then 0. else (p.warden.ipc -. p.mesi.ipc) /. p.mesi.ipc *. 100.

@@ -1,0 +1,71 @@
+(** Running benchmarks under a protocol/machine pair and deriving the
+    paper's metrics from MESI-vs-WARDen result pairs. *)
+
+open Warden_machine
+
+type run_result = {
+  bench : string;
+  proto : string;
+  machine : string;
+  verified : bool;
+  cycles : int;
+  instructions : int;
+  ipc : float;
+  loads : int;
+  invalidations : int;
+  downgrades : int;
+  messages : int;
+  ward_grants : int;
+  recon_blocks : int;
+  energy_network_pj : float;
+  energy_processor_pj : float;
+  energy_total_pj : float;
+}
+
+val scale_of : quick:bool -> Warden_pbbs.Spec.t -> int
+(** The benchmark's default scale, or a reduced scale for quick runs. *)
+
+val run_bench :
+  ?quick:bool ->
+  ?seed:int64 ->
+  ?params:Warden_runtime.Rtparams.t ->
+  ?workers:int ->
+  config:Config.t ->
+  proto:[ `Mesi | `Warden ] ->
+  Warden_pbbs.Spec.t ->
+  run_result
+
+type pair = { mesi : run_result; warden : run_result }
+
+val run_pair :
+  ?quick:bool ->
+  ?seed:int64 ->
+  ?params:Warden_runtime.Rtparams.t ->
+  ?workers:int ->
+  config:Config.t ->
+  Warden_pbbs.Spec.t ->
+  pair
+
+(* Derived metrics, matching the paper's figures. *)
+
+val speedup : pair -> float
+(** MESI cycles / WARDen cycles (Figs. 7a, 8a, 12a). *)
+
+val interconnect_savings_pct : pair -> float
+(** Percent network energy saved by WARDen (Figs. 7b, 8b). *)
+
+val processor_savings_pct : pair -> float
+(** Percent total-processor energy saved (Figs. 7b, 8b). *)
+
+val inv_down_reduced_per_kilo : pair -> float
+(** Invalidations + downgrades avoided per 1000 instructions (Fig. 9),
+    normalized by the MESI run's instruction count. *)
+
+val downgrade_share_pct : pair -> float
+(** Share of the avoided events that were downgrades (Fig. 10). *)
+
+val inv_share_pct : pair -> float
+
+val ipc_improvement_pct : pair -> float
+(** Percent IPC improvement (Fig. 11) — can be negative even with a
+    speedup when WARDen also removes busy-wait instructions. *)

@@ -1,0 +1,197 @@
+open Warden_util
+open Warden_machine
+open Warden_pbbs
+
+type suite_run = (string * Exp.pair) list
+
+let specs_of_names = function
+  | None -> Suite.all
+  | Some names ->
+      List.map
+        (fun n ->
+          match Suite.find n with
+          | Some s -> s
+          | None -> invalid_arg ("unknown benchmark: " ^ n))
+        names
+
+let run_suite ?quick ?names ?params ~config () =
+  List.map
+    (fun (spec : Spec.t) ->
+      (spec.Spec.name, Exp.run_pair ?quick ?params ~config spec))
+    (specs_of_names names)
+
+let f2 = Table.fmt_f ~decimals:2
+let f1 = Table.fmt_f ~decimals:1
+
+let render_table1 ?iters () =
+  let rows = Microbench.table1 ?iters () in
+  "Table 1: validation of the simulator's data-movement latencies\n"
+  ^ "(cycles per ping-pong iteration, Figure 6 kernel)\n"
+  ^ Table.render
+      ~header:[ "Scenario"; "Paper real HW"; "Paper Sniper"; "This simulator" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               r.Microbench.scenario;
+               f2 r.Microbench.paper_real_hw;
+               f2 r.Microbench.paper_simulated;
+               f2 r.Microbench.cycles_per_iter;
+             ])
+           rows)
+
+let render_table2 () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "Table 2: simulated system specifications\n";
+  List.iter
+    (fun cfg ->
+      Buffer.add_string buf (Format.asprintf "%a@." Config.pp cfg))
+    [ Config.single_socket (); Config.dual_socket (); Config.disaggregated () ];
+  Buffer.contents buf
+
+let check_verified (sr : suite_run) =
+  List.for_all
+    (fun (_, p) -> p.Exp.mesi.Exp.verified && p.Exp.warden.Exp.verified)
+    sr
+
+let render_perf_energy ~title (sr : suite_run) =
+  let rows =
+    List.map
+      (fun (name, p) ->
+        [
+          name;
+          f2 (Exp.speedup p);
+          f1 (Exp.interconnect_savings_pct p);
+          f1 (Exp.processor_savings_pct p);
+          (if p.Exp.mesi.Exp.verified && p.Exp.warden.Exp.verified then "yes"
+           else "NO");
+        ])
+      sr
+  in
+  let speedups = List.map (fun (_, p) -> Exp.speedup p) sr in
+  let inter = List.map (fun (_, p) -> Exp.interconnect_savings_pct p) sr in
+  let proc = List.map (fun (_, p) -> Exp.processor_savings_pct p) sr in
+  let mean_row =
+    [
+      "MEAN";
+      f2 (Stats.mean speedups);
+      f1 (Stats.mean inter);
+      f1 (Stats.mean proc);
+      "";
+    ]
+  in
+  title ^ "\n"
+  ^ Table.render
+      ~header:
+        [ "Benchmark"; "Speedup"; "Interconnect sav. %"; "Total proc. sav. %"; "Verified" ]
+      ~rows:(rows @ [ mean_row ])
+  ^ "\n"
+  ^ Table.bar_chart ~title:"Speedup (normalized to MESI)" ()
+      (List.map (fun (n, p) -> (n, Exp.speedup p)) sr)
+
+let render_fig9 (sr : suite_run) =
+  "Figure 9: speedup vs. reduction in invalidations + downgrades\n"
+  ^ Table.render
+      ~header:[ "Benchmark"; "Inv+Down reduced /kilo-instr"; "Speedup" ]
+      ~rows:
+        (List.map
+           (fun (name, p) ->
+             [ name; f2 (Exp.inv_down_reduced_per_kilo p); f2 (Exp.speedup p) ])
+           sr)
+
+let render_fig10 (sr : suite_run) =
+  "Figure 10: share of the reduction due to downgrades vs invalidations\n"
+  ^ Table.render
+      ~header:[ "Benchmark"; "Downgrade %"; "Invalidation %" ]
+      ~rows:
+        (List.map
+           (fun (name, p) ->
+             [ name; f1 (Exp.downgrade_share_pct p); f1 (Exp.inv_share_pct p) ])
+           sr)
+
+let render_fig11 (sr : suite_run) =
+  "Figure 11: percentage IPC improvement\n"
+  ^ Table.render
+      ~header:[ "Benchmark"; "IPC improvement %" ]
+      ~rows:
+        (List.map
+           (fun (name, p) -> [ name; f1 (Exp.ipc_improvement_pct p) ])
+           sr)
+
+let speedup_cell ?quick ?workers ~config name =
+  match Suite.find name with
+  | None -> invalid_arg ("unknown benchmark: " ^ name)
+  | Some spec ->
+      let pair = Exp.run_pair ?quick ?workers ~config spec in
+      f2 (Exp.speedup pair)
+
+let render_worker_scaling ?(quick = false) ~names () =
+  let workers = [ 2; 4; 8; 16; 24 ] in
+  let header =
+    "Benchmark" :: List.map (fun w -> Printf.sprintf "%d workers" w) workers
+  in
+  let rows =
+    List.map
+      (fun name ->
+        name
+        :: List.map
+             (fun w ->
+               speedup_cell ~quick ~workers:w ~config:(Config.dual_socket ())
+                 name)
+             workers)
+      names
+  in
+  "WARDen speedup vs active workers (dual socket)\n"
+  ^ Table.render ~header ~rows
+
+let render_socket_scaling ?(quick = false) ~names () =
+  let sockets = [ 1; 2; 4; 8 ] in
+  let header =
+    "Benchmark" :: List.map (fun s -> Printf.sprintf "%d socket(s)" s) sockets
+  in
+  let rows =
+    List.map
+      (fun name ->
+        name
+        :: List.map
+             (fun s ->
+               speedup_cell ~quick ~config:(Config.many_socket ~sockets:s ())
+                 name)
+             sockets)
+      names
+  in
+  "WARDen speedup vs machine size (full workers per machine)\n"
+  ^ Table.render ~header ~rows
+
+let run_all ?(quick = false) ?(out = stdout) () =
+  let p s =
+    output_string out s;
+    output_string out "\n";
+    flush out
+  in
+  p (render_table2 ());
+  p (render_table1 ());
+  p "Running the PBBS suite on the single-socket machine (Figure 7)...";
+  let fig7 = run_suite ~quick ~config:(Config.single_socket ()) () in
+  p
+    (render_perf_energy
+       ~title:"Figure 7: performance and energy gains, single socket" fig7);
+  p "Running the PBBS suite on the dual-socket machine (Figures 8-11)...";
+  let fig8 = run_suite ~quick ~config:(Config.dual_socket ()) () in
+  p
+    (render_perf_energy
+       ~title:"Figure 8: performance and energy gains, dual socket" fig8);
+  p (render_fig9 fig8);
+  p (render_fig10 fig8);
+  p (render_fig11 fig8);
+  p "Running the disaggregated subset (Figure 12)...";
+  let fig12 =
+    run_suite ~quick ~names:Suite.disaggregated_subset
+      ~config:(Config.disaggregated ()) ()
+  in
+  p
+    (render_perf_energy
+       ~title:
+         "Figure 12: performance and energy gains, disaggregated (1 us remote)"
+       fig12);
+  check_verified fig7 && check_verified fig8 && check_verified fig12

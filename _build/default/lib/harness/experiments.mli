@@ -1,0 +1,41 @@
+(** The paper's evaluation, experiment by experiment (§7).
+
+    Each [render_*] returns plain text shaped like the corresponding table
+    or figure; [run_all] regenerates every one of them. Dual-socket runs
+    are shared between Figures 8-11, as in the paper's workflow. *)
+
+open Warden_machine
+
+type suite_run = (string * Exp.pair) list
+
+val run_suite :
+  ?quick:bool ->
+  ?names:string list ->
+  ?params:Warden_runtime.Rtparams.t ->
+  config:Config.t ->
+  unit ->
+  suite_run
+(** Run (benchmark x {MESI, WARDen}) for the named benchmarks (default:
+    all 14). *)
+
+val render_table1 : ?iters:int -> unit -> string
+val render_table2 : unit -> string
+
+val render_perf_energy : title:string -> suite_run -> string
+(** Speedup and energy-savings columns (Figures 7, 8 and 12 a+b). *)
+
+val render_fig9 : suite_run -> string
+val render_fig10 : suite_run -> string
+val render_fig11 : suite_run -> string
+
+val render_worker_scaling : ?quick:bool -> names:string list -> unit -> string
+(** §7.3 "many sockets" forward-looking study, part 1: WARDen speedup as a
+    function of active worker threads on the dual-socket machine. *)
+
+val render_socket_scaling : ?quick:bool -> names:string list -> unit -> string
+(** Part 2: WARDen speedup across 1/2/4/8-socket machines (full workers),
+    the "benefits of WARDen scale with machine size" claim. *)
+
+val run_all : ?quick:bool -> ?out:out_channel -> unit -> bool
+(** Regenerate Table 1-2 and Figures 7-12, printing to [out] (default
+    stdout). Returns whether every benchmark run verified. *)

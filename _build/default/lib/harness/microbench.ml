@@ -1,0 +1,64 @@
+open Warden_machine
+open Warden_sim
+module Ops = Engine.Ops
+
+type row = {
+  scenario : string;
+  cycles_per_iter : float;
+  paper_real_hw : float;
+  paper_simulated : float;
+}
+
+(* Figure 6: while (buf != partnerID); buf = myID. *)
+let pingpong cfg ~tid_a ~tid_b ~iters =
+  let eng = Engine.create cfg ~proto:`Mesi in
+  let ms = Engine.memsys eng in
+  let buf = Memsys.alloc ms ~bytes:8 ~align:64 in
+  Memsys.poke ms buf ~size:8 1L;
+  let kernel my partner () =
+    for _ = 1 to iters do
+      let rec wait () =
+        Ops.tick 1;
+        if Ops.load buf ~size:8 <> partner then wait ()
+      in
+      wait ();
+      Ops.store buf ~size:8 my;
+      Ops.tick 1
+    done
+  in
+  let bodies =
+    Array.init
+      (max tid_a tid_b + 1)
+      (fun tid ->
+        if tid = tid_a then kernel 2L 1L
+        else if tid = tid_b then kernel 1L 2L
+        else fun () -> ())
+  in
+  let cycles = Engine.run eng bodies in
+  float_of_int cycles /. float_of_int iters
+
+let table1 ?(iters = 2_000) () =
+  [
+    {
+      scenario = "Same core";
+      cycles_per_iter =
+        pingpong (Config.single_socket ~threads_per_core:2 ()) ~tid_a:0 ~tid_b:1
+          ~iters;
+      paper_real_hw = 8.738;
+      paper_simulated = 11.21;
+    };
+    {
+      scenario = "Diff. core, same socket";
+      cycles_per_iter =
+        pingpong (Config.single_socket ()) ~tid_a:0 ~tid_b:1 ~iters;
+      paper_real_hw = 479.68;
+      paper_simulated = 286.01;
+    };
+    {
+      scenario = "Diff. core, diff. socket";
+      cycles_per_iter =
+        pingpong (Config.dual_socket ()) ~tid_a:0 ~tid_b:12 ~iters;
+      paper_real_hw = 1163.23;
+      paper_simulated = 1213.59;
+    };
+  ]

@@ -1,0 +1,17 @@
+(** The true-sharing microbenchmark of Figure 6, used to validate the
+    simulator's data-movement latencies (Table 1). *)
+
+type row = {
+  scenario : string;
+  cycles_per_iter : float;
+  paper_real_hw : float;  (** Table 1 "Real HW Latency". *)
+  paper_simulated : float;  (** Table 1 "Simulated Latency" (Sniper). *)
+}
+
+val pingpong :
+  Warden_machine.Config.t -> tid_a:int -> tid_b:int -> iters:int -> float
+(** Cycles per ping-pong iteration between two hardware threads. *)
+
+val table1 : ?iters:int -> unit -> row list
+(** The three placements of Table 1: same core (SMT), same socket,
+    different sockets. *)

@@ -1,0 +1,1 @@
+lib/machine/config.ml: Addr Format Printf Warden_mem

@@ -1,0 +1,86 @@
+(** Machine configurations.
+
+    Default values follow Table 2 of the paper: 32 KB / 8-way L1,
+    256 KB / 8-way L2, 2.5 MB-per-core / 20-way shared L3, 64 B blocks,
+    12 cores per socket, L1/L2/L3 latencies of 6/16/71 cycles, 3.3 GHz.
+    Interconnect latencies are calibrated against the paper's Table 1
+    ping-pong measurements (see [bench/main.ml], Table 1). *)
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;  (** SMT contexts sharing a core's private caches. *)
+  l1_bytes : int;
+  l1_ways : int;
+  l2_bytes : int;
+  l2_ways : int;
+  l3_bytes_per_core : int;
+  l3_ways : int;
+  l1_lat : int;  (** L1 hit latency (cycles). *)
+  l2_lat : int;  (** L2 hit latency. *)
+  l3_lat : int;  (** Shared-L3 / directory access latency, same socket. *)
+  dram_lat : int;  (** Additional DRAM latency beyond the L3 access. *)
+  intra_hop_lat : int;
+      (** One on-chip interconnect leg (directory→owner or owner→requestor)
+          within a socket. *)
+  inter_socket_lat : int;  (** One crossing of the socket interconnect. *)
+  llc_remote : bool;
+      (** Disaggregation (§7.3): the shared cache / directory / memory
+          complex sits across the fabric, so every leg between a core and
+          the home complex costs [inter_socket_lat]. *)
+  dram_remote : bool;
+      (** Memory even further than the home complex: every DRAM access
+          also pays [inter_socket_lat] each way. *)
+  freq_ghz : float;
+  ward_region_capacity : int;
+      (** Simultaneous WARD regions the range CAM can hold (paper: 1024). *)
+  reconcile_per_block : int;
+      (** Cycles charged per cache block flushed by reconciliation. *)
+  recon_inplace_sole : bool;
+      (** §5.2's "no sharing" case: convert a sole holder's block to E/M in
+          place instead of flushing it. The paper's implementation (§6.1)
+          flushes {e all} WARD blocks — which is what produces the §5.3
+          proactive-flush benefit — so this defaults to [false]; enabling
+          it is an ablation. *)
+  store_buffer_entries : int;
+      (** Store-buffer slots per hardware thread; stores only stall the
+          thread when the buffer is full (§7.2 analysis). *)
+}
+
+val num_cores : t -> int
+val num_threads : t -> int
+val core_of_thread : t -> int -> int
+val socket_of_core : t -> int -> int
+val socket_of_thread : t -> int -> int
+
+val home_socket : t -> int -> int
+(** Home socket of a block: directory entries and L3 slices are interleaved
+    across sockets by block number. *)
+
+val l1_sets : t -> int
+val l2_sets : t -> int
+
+val l3_sets_per_socket : t -> int
+(** Sets of one socket's L3 slice ([l3_bytes_per_core * cores_per_socket]
+    capacity). *)
+
+val single_socket : ?threads_per_core:int -> unit -> t
+(** 12 cores, one socket (§7.2 "Single socket"). *)
+
+val dual_socket : ?threads_per_core:int -> unit -> t
+(** 24 cores across two sockets (§7.2 "Dual socket"). *)
+
+val many_socket : sockets:int -> unit -> t
+(** §7.3 "Many Sockets": same per-socket structure, more sockets. *)
+
+val disaggregated : unit -> t
+(** §7.3 "Disaggregated": two nodes, 1 µs remote access
+    (= 3300 cycles at 3.3 GHz) on every inter-node leg and on memory. *)
+
+val with_cores : t -> int -> t
+(** Restrict to the first [n] hardware threads (scaling studies). Raises if
+    [n] exceeds the configured thread count or is not positive. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the configuration as a Table-2-style listing. *)

@@ -1,0 +1,59 @@
+type costs = {
+  core_cycle_pj : float;
+  l1_pj : float;
+  l2_pj : float;
+  l3_pj : float;
+  dir_pj : float;
+  dram_pj : float;
+  msg_intra_pj : float;
+  msg_inter_pj : float;
+  cam_pj : float;
+}
+
+let default_costs =
+  {
+    core_cycle_pj = 900.0;
+    l1_pj = 15.0;
+    l2_pj = 45.0;
+    l3_pj = 240.0;
+    dir_pj = 60.0;
+    dram_pj = 15_000.0;
+    msg_intra_pj = 300.0;
+    msg_inter_pj = 6_000.0;
+    cam_pj = 8.0;
+  }
+
+type t = {
+  c : costs;
+  mutable core : float;
+  mutable cache : float;
+  mutable dram : float;
+  mutable network : float;
+}
+
+let create ?(costs = default_costs) () =
+  { c = costs; core = 0.; cache = 0.; dram = 0.; network = 0. }
+
+let costs t = t.c
+
+let core_cycles t ~cores ~cycles =
+  t.core <- t.core +. (float_of_int cores *. float_of_int cycles *. t.c.core_cycle_pj)
+
+let l1_access t = t.cache <- t.cache +. t.c.l1_pj
+let l2_access t = t.cache <- t.cache +. t.c.l2_pj
+let l3_access t = t.cache <- t.cache +. t.c.l3_pj
+let dir_access t = t.cache <- t.cache +. t.c.dir_pj
+let dram_access t = t.dram <- t.dram +. t.c.dram_pj
+
+let message t ~inter_socket ~data =
+  let base = if inter_socket then t.c.msg_inter_pj else t.c.msg_intra_pj in
+  t.network <- t.network +. (if data then 5. *. base else base)
+
+let cam_lookup t = t.cache <- t.cache +. t.c.cam_pj
+
+let core_pj t = t.core
+let cache_pj t = t.cache
+let dram_pj t = t.dram
+let network_pj t = t.network
+let processor_pj t = t.core +. t.cache +. t.dram
+let total_pj t = processor_pj t +. t.network

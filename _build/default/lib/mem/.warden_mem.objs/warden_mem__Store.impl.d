@@ -1,0 +1,1 @@
+lib/mem/store.ml: Addr Bytes Char Hashtbl Int64 List Printf

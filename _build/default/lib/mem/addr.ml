@@ -1,0 +1,21 @@
+type t = int
+
+let block_bits = 6
+let block_size = 1 lsl block_bits
+
+let block_of addr = addr lsr block_bits
+let base_of_block blk = blk lsl block_bits
+let offset_in_block addr = addr land (block_size - 1)
+let block_base addr = addr land lnot (block_size - 1)
+let same_block a b = block_of a = block_of b
+
+let blocks_spanning addr len =
+  if len < 0 then invalid_arg "Addr.blocks_spanning";
+  if len = 0 then []
+  else begin
+    let first = block_of addr and last = block_of (addr + len - 1) in
+    let rec go b acc = if b < first then acc else go (b - 1) (b :: acc) in
+    go last []
+  end
+
+let pp fmt addr = Format.fprintf fmt "0x%x" addr

@@ -1,0 +1,35 @@
+(** Simulated physical addresses and cache-block geometry.
+
+    Addresses are byte addresses in a flat simulated physical address space,
+    represented as native [int]s (the space is far smaller than 62 bits).
+    Cache blocks are fixed at 64 bytes, matching the paper's Table 2. *)
+
+type t = int
+(** A byte address. *)
+
+val block_size : int
+(** Bytes per cache block (64). *)
+
+val block_bits : int
+(** log2 [block_size]. *)
+
+val block_of : t -> int
+(** Block number containing an address. *)
+
+val base_of_block : int -> t
+(** First byte address of a block. *)
+
+val offset_in_block : t -> int
+(** Byte offset of an address within its block. *)
+
+val block_base : t -> t
+(** Address rounded down to its block boundary. *)
+
+val same_block : t -> t -> bool
+
+val blocks_spanning : t -> int -> int list
+(** [blocks_spanning addr len] lists the block numbers touched by the byte
+    range [\[addr, addr+len)], in ascending order. [len >= 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering. *)

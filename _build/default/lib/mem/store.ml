@@ -1,0 +1,75 @@
+(* 64 KiB pages keep the hashtable small while avoiding huge allocations for
+   sparse address ranges. *)
+let page_bits = 16
+let page_size = 1 lsl page_bits
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  written_blocks : (int, unit) Hashtbl.t;
+}
+
+let create () = { pages = Hashtbl.create 64; written_blocks = Hashtbl.create 4096 }
+
+let mark_written t addr len =
+  List.iter
+    (fun blk -> Hashtbl.replace t.written_blocks blk ())
+    (Addr.blocks_spanning addr len)
+
+let materialized t blk = Hashtbl.mem t.written_blocks blk
+
+let page t addr =
+  let id = addr lsr page_bits in
+  match Hashtbl.find_opt t.pages id with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.add t.pages id p;
+      p
+
+let check_access addr size =
+  (match size with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg "Store: size must be 1, 2, 4 or 8");
+  if addr land (size - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Store: unaligned %d-byte access at 0x%x" size addr)
+
+let load t addr ~size =
+  check_access addr size;
+  let p = page t addr in
+  let off = addr land (page_size - 1) in
+  match size with
+  | 1 -> Int64.of_int (Char.code (Bytes.get p off))
+  | 2 -> Int64.of_int (Bytes.get_uint16_le p off)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le p off)) 0xFFFFFFFFL
+  | _ -> Bytes.get_int64_le p off
+
+let store t addr ~size v =
+  check_access addr size;
+  mark_written t addr size;
+  let p = page t addr in
+  let off = addr land (page_size - 1) in
+  match size with
+  | 1 -> Bytes.set p off (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | 2 -> Bytes.set_uint16_le p off (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> Bytes.set_int32_le p off (Int64.to_int32 v)
+  | _ -> Bytes.set_int64_le p off v
+
+let read_block t blk =
+  let base = Addr.base_of_block blk in
+  let p = page t base in
+  let off = base land (page_size - 1) in
+  (* Blocks never straddle pages: page size is a multiple of block size. *)
+  Bytes.sub p off Addr.block_size
+
+let write_block_masked t blk data ~mask =
+  if mask <> 0L then Hashtbl.replace t.written_blocks blk ();
+  let base = Addr.base_of_block blk in
+  let p = page t base in
+  let off = base land (page_size - 1) in
+  for i = 0 to Addr.block_size - 1 do
+    if Int64.logand (Int64.shift_right_logical mask i) 1L = 1L then
+      Bytes.set p (off + i) (Bytes.get data i)
+  done
+
+let footprint_bytes t = Hashtbl.length t.pages * page_size

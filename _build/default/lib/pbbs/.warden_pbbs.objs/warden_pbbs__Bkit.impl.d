@@ -1,0 +1,1 @@
+lib/pbbs/bkit.ml: Array Char Int64 Par Sarray Splitmix String Warden_runtime Warden_util

@@ -1,0 +1,1 @@
+lib/pbbs/bkit.mli: Sarray Warden_runtime Warden_sim

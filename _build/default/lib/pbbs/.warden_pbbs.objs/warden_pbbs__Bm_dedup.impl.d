@@ -1,0 +1,1 @@
+lib/pbbs/bm_dedup.ml: Array Bkit Hashtbl Int64 Par Sarray Spec Warden_runtime Warden_util

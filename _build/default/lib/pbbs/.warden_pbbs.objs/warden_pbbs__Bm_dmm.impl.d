@@ -1,0 +1,1 @@
+lib/pbbs/bm_dmm.ml: Array Bkit Int64 Mat Par Sarray Spec Warden_runtime

@@ -1,0 +1,1 @@
+lib/pbbs/bm_fib.ml: Par Spec Warden_runtime

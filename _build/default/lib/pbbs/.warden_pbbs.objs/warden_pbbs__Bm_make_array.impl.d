@@ -1,0 +1,1 @@
+lib/pbbs/bm_make_array.ml: Array Bkit Int64 Par Sarray Spec Warden_runtime

@@ -1,0 +1,1 @@
+lib/pbbs/bm_make_array.mli: Spec

@@ -1,0 +1,1 @@
+lib/pbbs/bm_msort.ml: Array Bkit Int64 Sarray Spec Warden_runtime

@@ -1,0 +1,1 @@
+lib/pbbs/bm_nn.ml: Array Bkit Int64 Par Sarray Spec Warden_runtime Warden_util

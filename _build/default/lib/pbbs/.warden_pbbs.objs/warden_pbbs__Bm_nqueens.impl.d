@@ -1,0 +1,1 @@
+lib/pbbs/bm_nqueens.ml: List Par Sarray Spec Warden_runtime

@@ -1,0 +1,1 @@
+lib/pbbs/bm_palindrome.ml: Array Bkit Char Int64 Par Sarray Spec String Warden_runtime

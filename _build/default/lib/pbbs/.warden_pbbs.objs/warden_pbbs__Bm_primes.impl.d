@@ -1,0 +1,1 @@
+lib/pbbs/bm_primes.ml: Array Bkit Par Sarray Spec Warden_runtime

@@ -1,0 +1,1 @@
+lib/pbbs/bm_quickhull.ml: Array Bkit List Par Sarray Spec Warden_runtime Warden_util

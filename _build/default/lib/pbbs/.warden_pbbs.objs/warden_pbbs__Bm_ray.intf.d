@@ -1,0 +1,1 @@
+lib/pbbs/bm_ray.mli: Spec

@@ -1,0 +1,1 @@
+lib/pbbs/bm_suffix_array.mli: Spec

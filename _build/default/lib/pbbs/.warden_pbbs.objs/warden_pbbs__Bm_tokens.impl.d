@@ -1,0 +1,1 @@
+lib/pbbs/bm_tokens.ml: Bkit Char Int64 List Par Sarray Spec String Warden_runtime

@@ -1,0 +1,1 @@
+lib/pbbs/spec.ml: Engine Memsys Par Rtparams Warden_runtime Warden_sim

@@ -1,0 +1,1 @@
+lib/pbbs/spec.mli: Warden_runtime Warden_sim

@@ -1,0 +1,1 @@
+lib/pbbs/suite.ml: Bm_dedup Bm_dmm Bm_fib Bm_grep Bm_make_array Bm_msort Bm_nn Bm_nqueens Bm_palindrome Bm_primes Bm_quickhull Bm_ray Bm_suffix_array Bm_tokens List Spec

@@ -1,0 +1,1 @@
+lib/pbbs/suite.mli: Spec

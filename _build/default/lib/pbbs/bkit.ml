@@ -1,0 +1,213 @@
+open Warden_util
+open Warden_runtime
+
+(* --- input generation --------------------------------------------------- *)
+
+let gen_ints ms a ~seed ~bound =
+  let rng = Splitmix.make seed in
+  Sarray.init_host ms a (fun _ -> Splitmix.int64_in rng bound)
+
+let gen_floats ms a ~seed ~bound =
+  let rng = Splitmix.make seed in
+  Sarray.init_host ms a (fun _ -> Int64.bits_of_float (Splitmix.float rng bound))
+
+let gen_text ms a ~seed ~alphabet =
+  let rng = Splitmix.make seed in
+  let n = String.length alphabet in
+  Sarray.init_host ms a (fun _ ->
+      Int64.of_int (Char.code alphabet.[Splitmix.int rng n]))
+
+(* --- in-simulator sorting ---------------------------------------------- *)
+
+let ucmp = Int64.unsigned_compare
+
+let insertion_sort a ~lo ~hi =
+  for i = lo + 1 to hi - 1 do
+    let v = Sarray.get a i in
+    let j = ref (i - 1) in
+    Par.tick 2;
+    while !j >= lo && ucmp (Sarray.get a !j) v > 0 do
+      Sarray.set a (!j + 1) (Sarray.get a !j);
+      decr j;
+      Par.tick 2
+    done;
+    Sarray.set a (!j + 1) v
+  done
+
+let swap a i j =
+  let vi = Sarray.get a i and vj = Sarray.get a j in
+  Sarray.set a i vj;
+  Sarray.set a j vi
+
+let rec quicksort a ~lo ~hi =
+  if hi - lo <= 24 then insertion_sort a ~lo ~hi
+  else begin
+    (* Median-of-three pivot. *)
+    let mid = lo + ((hi - lo) / 2) in
+    let va = Sarray.get a lo and vb = Sarray.get a mid and vc = Sarray.get a (hi - 1) in
+    let pivot =
+      let lo3, hi3 = if ucmp va vb <= 0 then (va, vb) else (vb, va) in
+      if ucmp vc lo3 <= 0 then lo3 else if ucmp vc hi3 >= 0 then hi3 else vc
+    in
+    Par.tick 6;
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while ucmp (Sarray.get a !i) pivot < 0 do
+        incr i;
+        Par.tick 2
+      done;
+      while ucmp (Sarray.get a !j) pivot > 0 do
+        decr j;
+        Par.tick 2
+      done;
+      if !i <= !j then begin
+        swap a !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    quicksort a ~lo ~hi:(!j + 1);
+    quicksort a ~lo:!i ~hi
+  end
+
+let seq_sort a ~lo ~hi = if hi - lo > 1 then quicksort a ~lo ~hi
+
+let merge_into ~src1 ~src2 ~dst =
+  let n1 = Sarray.length src1 and n2 = Sarray.length src2 in
+  if Sarray.length dst <> n1 + n2 then invalid_arg "Bkit.merge_into";
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to n1 + n2 - 1 do
+    Par.tick 2;
+    let take1 =
+      if !i >= n1 then false
+      else if !j >= n2 then true
+      else ucmp (Sarray.get src1 !i) (Sarray.get src2 !j) <= 0
+    in
+    if take1 then begin
+      Sarray.set dst k (Sarray.get src1 !i);
+      incr i
+    end
+    else begin
+      Sarray.set dst k (Sarray.get src2 !j);
+      incr j
+    end
+  done
+
+let tabulate_leafy ?(grain = 256) ~n ~elt_bytes f =
+  let rec go lo hi =
+    let len = hi - lo in
+    if len <= grain then begin
+      let out = Sarray.create ~len ~elt_bytes in
+      for i = 0 to len - 1 do
+        Sarray.set out i (f (lo + i))
+      done;
+      out
+    end
+    else begin
+      let mid = lo + (len / 2) in
+      let l, r = Par.par2 (fun () -> go lo mid) (fun () -> go mid hi) in
+      (* Concatenate after the join, in the rejoined (leaf-again) heap. *)
+      let out = Sarray.create ~len ~elt_bytes in
+      for i = 0 to Sarray.length l - 1 do
+        Sarray.set out i (Sarray.get l i)
+      done;
+      for i = 0 to Sarray.length r - 1 do
+        Sarray.set out (Sarray.length l + i) (Sarray.get r i)
+      done;
+      out
+    end
+  in
+  if n = 0 then Sarray.create ~len:0 ~elt_bytes else go 0 n
+
+let msort ?(grain = 256) a =
+  let rec go (s : Sarray.t) =
+    let n = Sarray.length s in
+    if n <= grain then begin
+      (* Leaf: copy into an array allocated in this task's own heap. *)
+      let out = Sarray.create ~len:n ~elt_bytes:s.Sarray.elt in
+      for i = 0 to n - 1 do
+        Sarray.set out i (Sarray.get s i)
+      done;
+      seq_sort out ~lo:0 ~hi:n;
+      out
+    end
+    else begin
+      let half = n / 2 in
+      let l, r =
+        Par.par2
+          (fun () -> go (Sarray.sub s ~pos:0 ~len:half))
+          (fun () -> go (Sarray.sub s ~pos:half ~len:(n - half)))
+      in
+      (* Rejoined: this task is a leaf again; the output pages are fresh
+         WARD pages of its heap. *)
+      let out = Sarray.create ~len:n ~elt_bytes:s.Sarray.elt in
+      merge_into ~src1:l ~src2:r ~dst:out;
+      out
+    end
+  in
+  go a
+
+let seq_scan_excl a =
+  let acc = ref 0 in
+  for i = 0 to Sarray.length a - 1 do
+    let v = Sarray.get_i a i in
+    Sarray.set_i a i !acc;
+    acc := !acc + v;
+    Par.tick 1
+  done;
+  !acc
+
+let pack2 hi lo =
+  if hi < 0 || lo < 0 || hi > 0x3FFFFFFF || lo > 0x3FFFFFFF then
+    invalid_arg "Bkit.pack2";
+  Int64.logor
+    (Int64.shift_left (Int64.of_int hi) 31)
+    (Int64.of_int lo)
+
+let unpack_hi v = Int64.to_int (Int64.shift_right_logical v 31) land 0x3FFFFFFF
+let unpack_lo v = Int64.to_int v land 0x7FFFFFFF
+
+(* --- matrices ----------------------------------------------------------- *)
+
+module Mat = struct
+  type t = { arr : Sarray.t; dim : int; row0 : int; col0 : int; n : int }
+
+  let full arr ~dim =
+    if Sarray.length arr <> dim * dim then invalid_arg "Mat.full";
+    { arr; dim; row0 = 0; col0 = 0; n = dim }
+
+  let quad m i j =
+    let h = m.n / 2 in
+    { m with row0 = m.row0 + (i * h); col0 = m.col0 + (j * h); n = h }
+
+  let get m i j = Sarray.get m.arr (((m.row0 + i) * m.dim) + m.col0 + j)
+  let set m i j v = Sarray.set m.arr (((m.row0 + i) * m.dim) + m.col0 + j) v
+
+  let create ~n =
+    let arr = Sarray.create ~len:(n * n) ~elt_bytes:8 in
+    full arr ~dim:n
+end
+
+(* --- host-side helpers --------------------------------------------------- *)
+
+let host_array ms a =
+  Array.init (Sarray.length a) (fun i -> Sarray.peek_host ms a i)
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if ucmp a.(i) a.(i + 1) > 0 then ok := false
+  done;
+  !ok
+
+let checksum a =
+  (* Order-insensitive: sum of a mix of each element. *)
+  Array.fold_left
+    (fun acc v ->
+      let m =
+        Int64.mul
+          (Int64.logxor v (Int64.shift_right_logical v 29))
+          0x9E3779B97F4A7C15L
+      in
+      Int64.add acc m)
+    0L a

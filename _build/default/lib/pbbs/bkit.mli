@@ -1,0 +1,73 @@
+(** Shared building blocks for the benchmark suite: input generation,
+    in-simulator sorting, scans, and matrix views. *)
+
+open Warden_runtime
+
+(** {1 Input generation (host-side, zero simulated cost)} *)
+
+val gen_ints :
+  Warden_sim.Memsys.t -> Sarray.t -> seed:int64 -> bound:int64 -> unit
+(** Fill with uniform values in [\[0, bound)]. *)
+
+val gen_floats :
+  Warden_sim.Memsys.t -> Sarray.t -> seed:int64 -> bound:float -> unit
+
+val gen_text :
+  Warden_sim.Memsys.t -> Sarray.t -> seed:int64 -> alphabet:string -> unit
+(** Fill a byte array with characters drawn from [alphabet]. *)
+
+(** {1 In-simulator algorithms} *)
+
+val seq_sort : Sarray.t -> lo:int -> hi:int -> unit
+(** In-place sequential quicksort (with insertion sort below a cutoff) on
+    unsigned comparisons of element values. *)
+
+val merge_into : src1:Sarray.t -> src2:Sarray.t -> dst:Sarray.t -> unit
+(** Sequential two-way merge of two sorted arrays; [dst] must have length
+    [len src1 + len src2]. *)
+
+val tabulate_leafy : ?grain:int -> n:int -> elt_bytes:int -> (int -> int64) -> Sarray.t
+(** Functional parallel tabulate: leaves build [grain]-sized pieces in
+    their own heaps; internal tasks allocate the concatenation and copy the
+    halves in (the MPL sequence-append idiom — generate in leaf heaps,
+    consume after joins). *)
+
+val msort : ?grain:int -> Sarray.t -> Sarray.t
+(** Parallel mergesort in the MPL style: leaves copy-and-sort into arrays
+    allocated in their own (WARD) heaps, internal nodes allocate the merged
+    output in the rejoined parent's heap. Returns a fresh sorted array. *)
+
+val seq_scan_excl : Sarray.t -> int
+(** Exclusive prefix sum, in place, sequential; returns the total. *)
+
+val pack2 : int -> int -> int64
+(** Pack two 31-bit non-negative ints into an int64 (hi, lo). *)
+
+val unpack_hi : int64 -> int
+val unpack_lo : int64 -> int
+
+(** {1 Matrix views over flat arrays} *)
+
+module Mat : sig
+  type t = { arr : Sarray.t; dim : int; row0 : int; col0 : int; n : int }
+  (** [n]-by-[n] view into a [dim]-by-[dim] row-major matrix. *)
+
+  val full : Sarray.t -> dim:int -> t
+  val quad : t -> int -> int -> t
+  (** [quad m i j] with [i,j] in [{0,1}]: the four half-size quadrants. *)
+
+  val get : t -> int -> int -> int64
+  val set : t -> int -> int -> int64 -> unit
+  val create : n:int -> t
+  (** Fresh [n]x[n] matrix in the current task's heap. *)
+end
+
+(** {1 Host-side verification helpers} *)
+
+val host_array : Warden_sim.Memsys.t -> Sarray.t -> int64 array
+(** Snapshot from the backing store (flush first). *)
+
+val is_sorted : int64 array -> bool
+
+val checksum : int64 array -> int64
+(** Order-insensitive multiset hash. *)

@@ -1,0 +1,58 @@
+(* dedup: remove duplicates with a shared lock-free hash set. Insertions
+   use CAS on a root-allocated table — synchronization-style traffic that
+   needs coherence and gets no help from WARDen (the paper measures dedup
+   as its weakest benchmark). *)
+
+open Warden_runtime
+
+let spec =
+  Spec.make ~name:"dedup" ~descr:"hash-set duplicate removal via CAS"
+    ~default_scale:40_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let input = Sarray.create ~len:scale ~elt_bytes:8 in
+      (* Values in [1, scale/2]: roughly half are duplicates. 0 is the
+         table's empty marker. *)
+      Bkit.gen_ints ms input ~seed ~bound:(Int64.of_int (scale / 2));
+      let rng = Warden_util.Splitmix.make seed in
+      ignore rng;
+      (* table size: next power of two >= 4*scale/2 for low load factor *)
+      let tsize =
+        let rec go s = if s >= 2 * scale then s else go (2 * s) in
+        go 1024
+      in
+      let table = Sarray.create ~len:tsize ~elt_bytes:8 in
+      let distinct =
+        Par.parreduce ~grain:512 0 scale
+          ~map:(fun i ->
+            let v = Int64.add (Sarray.get input i) 1L in
+            let h =
+              Int64.to_int
+                (Int64.rem
+                   (Int64.mul v 0x9E3779B97F4A7C15L)
+                   (Int64.of_int tsize))
+            in
+            let h = abs h in
+            (* Linear probing; CAS claims an empty slot. *)
+            let rec probe idx tries =
+              Par.tick 3;
+              if tries > tsize then 0
+              else
+                let cur = Sarray.get table idx in
+                if cur = v then 0 (* already present *)
+                else if cur = 0L then
+                  if
+                    Par.cas (Sarray.addr table idx) ~size:8 ~expected:0L
+                      ~desired:v
+                  then 1
+                  else probe idx (tries + 1) (* lost the race; re-read *)
+                else probe ((idx + 1) mod tsize) (tries + 1)
+            in
+            probe (h mod tsize) 0)
+          ~combine:( + ) ~init:0
+      in
+      (input, distinct))
+    ~verify:(fun ~scale:_ ~seed:_ ~ms (input, distinct) ->
+      let h = Bkit.host_array ms input in
+      let seen = Hashtbl.create 1024 in
+      Array.iter (fun v -> Hashtbl.replace seen v ()) h;
+      Hashtbl.length seen = distinct)

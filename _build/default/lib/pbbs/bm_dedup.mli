@@ -1,0 +1,3 @@
+(** PBBS benchmark: dedup. *)
+
+val spec : Spec.t

@@ -1,0 +1,90 @@
+(* dmm: dense matrix multiplication by recursive quadrant decomposition.
+   Each recursive task allocates temporaries for the two partial products
+   in its own heap before combining them — the allocation-heavy functional
+   style MPL programs use. *)
+
+open Warden_runtime
+open Bkit
+
+let base_cutoff = 16
+
+(* dst <- a * b (+ optional acc), all n x n views. *)
+let rec multiply ~(a : Mat.t) ~(b : Mat.t) : Mat.t =
+  let n = a.Mat.n in
+  if n <= base_cutoff then begin
+    let c = Mat.create ~n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0L in
+        for k = 0 to n - 1 do
+          Par.tick 2;
+          acc := Int64.add !acc (Int64.mul (Mat.get a i k) (Mat.get b k j))
+        done;
+        Mat.set c i j !acc
+      done
+    done;
+    c
+  end
+  else begin
+    let q m = (Mat.quad m 0 0, Mat.quad m 0 1, Mat.quad m 1 0, Mat.quad m 1 1) in
+    let a11, a12, a21, a22 = q a and b11, b12, b21, b22 = q b in
+    let (p1, p2), (p3, p4) =
+      Par.par2
+        (fun () ->
+          Par.par2
+            (fun () -> (multiply ~a:a11 ~b:b11, multiply ~a:a12 ~b:b21))
+            (fun () -> (multiply ~a:a11 ~b:b12, multiply ~a:a12 ~b:b22)))
+        (fun () ->
+          Par.par2
+            (fun () -> (multiply ~a:a21 ~b:b11, multiply ~a:a22 ~b:b21))
+            (fun () -> (multiply ~a:a21 ~b:b12, multiply ~a:a22 ~b:b22)))
+    in
+    (* Combine the partial products into a fresh matrix in this task's
+       (again-leaf) heap. *)
+    let c = Mat.create ~n in
+    let h = n / 2 in
+    let sum ~dst_r ~dst_c (x, y) =
+      for i = 0 to h - 1 do
+        for j = 0 to h - 1 do
+          Par.tick 1;
+          Mat.set c (dst_r + i) (dst_c + j)
+            (Int64.add (Mat.get x i j) (Mat.get y i j))
+        done
+      done
+    in
+    sum ~dst_r:0 ~dst_c:0 p1;
+    sum ~dst_r:0 ~dst_c:h p2;
+    sum ~dst_r:h ~dst_c:0 p3;
+    sum ~dst_r:h ~dst_c:h p4;
+    c
+  end
+
+let spec =
+  Spec.make ~name:"dmm" ~descr:"recursive dense matrix multiply"
+    ~default_scale:64
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let n = scale in
+      let a = Sarray.create ~len:(n * n) ~elt_bytes:8 in
+      let b = Sarray.create ~len:(n * n) ~elt_bytes:8 in
+      Bkit.gen_ints ms a ~seed ~bound:100L;
+      Bkit.gen_ints ms b ~seed:(Int64.add seed 1L) ~bound:100L;
+      let c = multiply ~a:(Mat.full a ~dim:n) ~b:(Mat.full b ~dim:n) in
+      (a, b, c))
+    ~verify:(fun ~scale ~seed:_ ~ms (a, b, c) ->
+      let n = scale in
+      let ha = Bkit.host_array ms a and hb = Bkit.host_array ms b in
+      let hc = Bkit.host_array ms c.Mat.arr in
+      (* The result matrix view is dense n x n with dim = n. *)
+      c.Mat.dim = n
+      &&
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0L in
+          for k = 0 to n - 1 do
+            acc := Int64.add !acc (Int64.mul ha.((i * n) + k) hb.((k * n) + j))
+          done;
+          if hc.((i * n) + j) <> !acc then ok := false
+        done
+      done;
+      !ok)

@@ -1,0 +1,3 @@
+(** PBBS benchmark: dmm. *)
+
+val spec : Spec.t

@@ -1,0 +1,24 @@
+(* fib: the classic fork-join microbenchmark — almost pure task spawning,
+   with a small sequential cutoff. Coherence traffic comes entirely from
+   the runtime's fork/join machinery. *)
+
+open Warden_runtime
+
+let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
+
+let rec fib n =
+  if n < 8 then begin
+    Par.tick (2 * fib_seq n);
+    fib_seq n
+  end
+  else begin
+    let a, b = Par.par2 (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    Par.tick 2;
+    a + b
+  end
+
+let spec =
+  Spec.make ~name:"fib" ~descr:"recursive Fibonacci, pure fork-join"
+    ~default_scale:23
+    ~prog:(fun ~scale ~seed:_ ~ms:_ () -> fib scale)
+    ~verify:(fun ~scale ~seed:_ ~ms:_ v -> v = fib_seq scale)

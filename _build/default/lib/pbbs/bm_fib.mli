@@ -1,0 +1,6 @@
+(** PBBS benchmark: fib. *)
+
+val spec : Spec.t
+
+val fib_seq : int -> int
+(** Host-side reference Fibonacci. *)

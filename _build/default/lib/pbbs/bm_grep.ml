@@ -1,0 +1,74 @@
+(* grep: find all occurrences of a pattern in a text. Two passes over
+   chunk tasks: count matches per chunk, prefix-scan the counts, then each
+   chunk writes its match offsets into its slice of the output — the PBBS
+   pack idiom. *)
+
+open Warden_runtime
+
+let pattern = "abab"
+
+let host_matches text =
+  let k = String.length pattern in
+  let out = ref [] in
+  for i = String.length text - k downto 0 do
+    if String.sub text i k = pattern then out := i :: !out
+  done;
+  !out
+
+let text_of_host ms a =
+  String.init (Sarray.length a) (fun i ->
+      Char.chr (Int64.to_int (Sarray.peek_host ms a i)))
+
+let match_at text i =
+  let k = String.length pattern in
+  let n = Sarray.length text in
+  if i + k > n then false
+  else begin
+    let ok = ref true in
+    (try
+       for j = 0 to k - 1 do
+         Par.tick 2;
+         if Sarray.get text (i + j) <> Int64.of_int (Char.code pattern.[j]) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !ok
+  end
+
+let spec =
+  Spec.make ~name:"grep" ~descr:"pattern search with two-pass pack"
+    ~default_scale:200_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let text = Sarray.create ~len:scale ~elt_bytes:1 in
+      Bkit.gen_text ms text ~seed ~alphabet:"aababbab";
+      let chunk = 1024 in
+      let nchunks = (scale + chunk - 1) / chunk in
+      let counts = Sarray.create ~len:(nchunks + 1) ~elt_bytes:8 in
+      Par.parfor ~grain:1 0 nchunks (fun c ->
+          let lo = c * chunk and hi = min scale ((c + 1) * chunk) in
+          let n = ref 0 in
+          for i = lo to hi - 1 do
+            if match_at text i then incr n
+          done;
+          Sarray.set_i counts c !n);
+      let total = Bkit.seq_scan_excl counts in
+      let out = Sarray.create ~len:(max 1 total) ~elt_bytes:8 in
+      Par.parfor ~grain:1 0 nchunks (fun c ->
+          let lo = c * chunk and hi = min scale ((c + 1) * chunk) in
+          let pos = ref (Sarray.get_i counts c) in
+          for i = lo to hi - 1 do
+            if match_at text i then begin
+              Sarray.set_i out !pos i;
+              incr pos
+            end
+          done);
+      (text, out, total))
+    ~verify:(fun ~scale:_ ~seed:_ ~ms (text, out, total) ->
+      let expect = host_matches (text_of_host ms text) in
+      List.length expect = total
+      && List.for_all2
+           (fun e i -> e = i)
+           expect
+           (List.init total (fun i -> Int64.to_int (Sarray.peek_host ms out i))))

@@ -1,0 +1,3 @@
+(** PBBS benchmark: grep. *)
+
+val spec : Spec.t

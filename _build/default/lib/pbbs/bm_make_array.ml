@@ -1,0 +1,25 @@
+(* make_array: parallel tabulation of a large array allocated by the root
+   task. The writes target an ancestor (internal) heap, so the paper's
+   leaf-page marking cannot cover them — this is the benchmark the paper
+   reports as benefitting minimally from WARDen. *)
+
+open Warden_runtime
+
+let f i = Int64.of_int ((i * 2654435761) land 0x3FFFFFFF)
+
+let spec =
+  Spec.make ~name:"make_array" ~descr:"parallel tabulate into an ancestor array"
+    ~default_scale:300_000
+    ~prog:(fun ~scale ~seed:_ ~ms:_ () ->
+      let a = Sarray.create ~len:scale ~elt_bytes:8 in
+      Par.parfor ~grain:1024 0 scale (fun i ->
+          Par.tick 2;
+          Sarray.set a i (f i));
+      a)
+    ~verify:(fun ~scale ~seed:_ ~ms a ->
+      let h = Bkit.host_array ms a in
+      Array.length h = scale
+      &&
+      let ok = ref true in
+      Array.iteri (fun i v -> if v <> f i then ok := false) h;
+      !ok)

@@ -1,0 +1,3 @@
+(** PBBS benchmark: make_array. *)
+
+val spec : Spec.t

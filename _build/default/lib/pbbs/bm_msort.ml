@@ -1,0 +1,20 @@
+(* msort: parallel mergesort in the MPL leaf-allocating style — every task
+   builds its output in its own heap, so the generate-then-consume pattern
+   between merge levels is exactly the traffic WARDen's join-time
+   reconciliation converts from 3-hop downgrades into LLC hits. *)
+
+open Warden_runtime
+
+let spec =
+  Spec.make ~name:"msort" ~descr:"parallel mergesort, leaf-allocated outputs"
+    ~default_scale:24_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let input = Sarray.create ~len:scale ~elt_bytes:8 in
+      Bkit.gen_ints ms input ~seed ~bound:Int64.max_int;
+      (input, Bkit.msort ~grain:256 input))
+    ~verify:(fun ~scale ~seed:_ ~ms (input, out) ->
+      let inp = Bkit.host_array ms input in
+      let o = Bkit.host_array ms out in
+      Array.length o = scale
+      && Bkit.is_sorted o
+      && Bkit.checksum inp = Bkit.checksum o)

@@ -1,0 +1,3 @@
+(** PBBS benchmark: msort. *)
+
+val spec : Spec.t

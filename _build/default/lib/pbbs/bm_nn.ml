@@ -1,0 +1,115 @@
+(* nn: nearest neighbors. Queries are processed in parallel against a
+   spatially-gridded point set; each query task walks outward over grid
+   cells (built in a leaf-allocating construction phase) until the nearest
+   point is provably found. *)
+
+open Warden_runtime
+
+let grid_bits = 4
+let gside = 1 lsl grid_bits (* 16 x 16 grid *)
+let coord_max = 1 lsl 20
+
+let cell_of x y =
+  ((y * gside / coord_max) * gside) + (x * gside / coord_max)
+
+let dist2 ax ay bx by =
+  let dx = ax - bx and dy = ay - by in
+  (dx * dx) + (dy * dy)
+
+let spec =
+  Spec.make ~name:"nn" ~descr:"nearest neighbor over a bucketed point set"
+    ~default_scale:12_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let npts = scale and nq = scale / 8 in
+      let pts = Sarray.create ~len:npts ~elt_bytes:8 in
+      let qs = Sarray.create ~len:nq ~elt_bytes:8 in
+      let rng = Warden_util.Splitmix.make seed in
+      let gen _ =
+        Bkit.pack2
+          (Warden_util.Splitmix.int rng coord_max)
+          (Warden_util.Splitmix.int rng coord_max)
+      in
+      Sarray.init_host ms pts gen;
+      Sarray.init_host ms qs gen;
+      (* Bucket points by grid cell: count, scan, fill (in-sim). *)
+      let ncells = gside * gside in
+      let counts = Sarray.create ~len:(ncells + 1) ~elt_bytes:8 in
+      for i = 0 to npts - 1 do
+        let p = Sarray.get pts i in
+        let c = cell_of (Bkit.unpack_hi p) (Bkit.unpack_lo p) in
+        Sarray.set_i counts c (Sarray.get_i counts c + 1);
+        Par.tick 3
+      done;
+      ignore (Bkit.seq_scan_excl counts);
+      let offs = Sarray.create ~len:(ncells + 1) ~elt_bytes:8 in
+      for c = 0 to ncells do
+        Sarray.set offs c (Sarray.get counts c)
+      done;
+      let bucketed = Sarray.create ~len:npts ~elt_bytes:8 in
+      for i = 0 to npts - 1 do
+        let p = Sarray.get pts i in
+        let c = cell_of (Bkit.unpack_hi p) (Bkit.unpack_lo p) in
+        let pos = Sarray.get_i offs c in
+        Sarray.set_i offs c (pos + 1);
+        Sarray.set bucketed pos p;
+        Par.tick 3
+      done;
+      (* Parallel queries: expand rings of cells until the best distance
+         beats the untested ring's minimum possible distance. *)
+      let cell_w = coord_max / gside in
+      let nearest qx qy =
+        let best = ref max_int in
+        let ring = ref 0 in
+        let qcx = qx / cell_w and qcy = qy / cell_w in
+        let continue_ = ref true in
+        while !continue_ do
+          let r = !ring in
+          (* Scan cells at Chebyshev distance r from the query's cell. *)
+          for cy = qcy - r to qcy + r do
+            for cx = qcx - r to qcx + r do
+              if
+                (abs (cx - qcx) = r || abs (cy - qcy) = r)
+                && cx >= 0 && cx < gside && cy >= 0 && cy < gside
+              then begin
+                let c = (cy * gside) + cx in
+                let lo = Sarray.get_i counts c
+                and hi = Sarray.get_i counts (c + 1) in
+                for i = lo to hi - 1 do
+                  Par.tick 4;
+                  let p = Sarray.get bucketed i in
+                  let d = dist2 qx qy (Bkit.unpack_hi p) (Bkit.unpack_lo p) in
+                  if d < !best then best := d
+                done
+              end
+            done
+          done;
+          (* Any point in ring r+1 is at least r*cell_w away. *)
+          let safe = r * cell_w in
+          if (!best < safe * safe && !best < max_int) || r > gside then
+            continue_ := false
+          else ring := r + 1
+        done;
+        !best
+      in
+      let out =
+        Bkit.tabulate_leafy ~grain:64 ~n:nq ~elt_bytes:8 (fun qi ->
+            let q = Sarray.get qs qi in
+            Int64.of_int (nearest (Bkit.unpack_hi q) (Bkit.unpack_lo q)))
+      in
+      (pts, qs, out))
+    ~verify:(fun ~scale:_ ~seed:_ ~ms (pts, qs, out) ->
+      let hp = Bkit.host_array ms pts in
+      let hq = Bkit.host_array ms qs in
+      let ok = ref true in
+      Array.iteri
+        (fun qi q ->
+          let qx = Bkit.unpack_hi q and qy = Bkit.unpack_lo q in
+          let best = ref max_int in
+          Array.iter
+            (fun p ->
+              let d = dist2 qx qy (Bkit.unpack_hi p) (Bkit.unpack_lo p) in
+              if d < !best then best := d)
+            hp;
+          if Int64.to_int (Sarray.peek_host ms out qi) <> !best then ok := false)
+        hq;
+      !ok)

@@ -1,0 +1,3 @@
+(** PBBS benchmark: nn. *)
+
+val spec : Spec.t

@@ -1,0 +1,69 @@
+(* nqueens: count the placements of n queens. The top levels of the search
+   tree fork; each child task copies the board prefix into its own heap
+   (leaf allocation) before extending it. *)
+
+open Warden_runtime
+
+let host_count n =
+  let rec go row cols diag1 diag2 =
+    if row = n then 1
+    else begin
+      let total = ref 0 in
+      for c = 0 to n - 1 do
+        let d1 = row + c and d2 = row - c + n in
+        if
+          (not (List.mem c cols))
+          && (not (List.mem d1 diag1))
+          && not (List.mem d2 diag2)
+        then total := !total + go (row + 1) (c :: cols) (d1 :: diag1) (d2 :: diag2)
+      done;
+      !total
+    end
+  in
+  go 0 [] [] []
+
+(* board: a per-task array of column choices for rows [0, row). *)
+let safe board row col =
+  let ok = ref true in
+  for r = 0 to row - 1 do
+    Par.tick 3;
+    let c = Sarray.get_i board r in
+    if c = col || abs (c - col) = row - r then ok := false
+  done;
+  !ok
+
+let rec solve n board row =
+  if row = n then 1
+  else if row < 3 && n - row > 4 then
+    (* Parallel across column choices; each child re-creates the board in
+       its own heap. *)
+    Par.parreduce ~grain:1 0 n
+      ~map:(fun col ->
+        if safe board row col then begin
+          let mine = Sarray.create ~len:n ~elt_bytes:8 in
+          for r = 0 to row - 1 do
+            Sarray.set mine r (Sarray.get board r)
+          done;
+          Sarray.set_i mine row col;
+          solve n mine (row + 1)
+        end
+        else 0)
+      ~combine:( + ) ~init:0
+  else begin
+    let total = ref 0 in
+    for col = 0 to n - 1 do
+      if safe board row col then begin
+        Sarray.set_i board row col;
+        total := !total + solve n board (row + 1)
+      end
+    done;
+    !total
+  end
+
+let spec =
+  Spec.make ~name:"nqueens" ~descr:"n-queens solution counting"
+    ~default_scale:9
+    ~prog:(fun ~scale ~seed:_ ~ms:_ () ->
+      let board = Sarray.create ~len:scale ~elt_bytes:8 in
+      solve scale board 0)
+    ~verify:(fun ~scale ~seed:_ ~ms:_ count -> count = host_count scale)

@@ -1,0 +1,6 @@
+(** PBBS benchmark: nqueens. *)
+
+val spec : Spec.t
+
+val host_count : int -> int
+(** Host-side reference solution count. *)

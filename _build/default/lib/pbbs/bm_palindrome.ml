@@ -1,0 +1,75 @@
+(* palindrome: maximal palindromic radius around every center of a text
+   (expand-around-center), built functionally with leaf-allocated chunks
+   that later phases consume — the pattern where WARDen shines. *)
+
+open Warden_runtime
+
+(* Centers are indexed 0..2n-2: even = a character, odd = a gap. The
+   radius is the number of matched positions right of the center start. *)
+let host_radius text c =
+  let n = String.length text in
+  let r0 = (c / 2) + (c mod 2) in
+  let rec expand l r =
+    if l >= 0 && r < n && text.[l] = text.[r] then expand (l - 1) (r + 1)
+    else r - r0
+  in
+  expand (c / 2) r0
+
+let text_of_host ms a =
+  String.init (Sarray.length a) (fun i ->
+      Char.chr (Int64.to_int (Sarray.peek_host ms a i)))
+
+let radius text c =
+  let n = Sarray.length text in
+  let l0 = c / 2 and r0 = (c / 2) + (c mod 2) in
+  let rec expand l r =
+    Par.tick 3;
+    if l >= 0 && r < n && Sarray.get text l = Sarray.get text r then
+      expand (l - 1) (r + 1)
+    else r - r0
+  in
+  expand l0 r0
+
+let spec =
+  Spec.make ~name:"palindrome"
+    ~descr:"palindromic radii around all centers, leaf-allocated"
+    ~default_scale:40_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let text = Sarray.create ~len:scale ~elt_bytes:1 in
+      (* A small alphabet gives nontrivial palindrome density. *)
+      Bkit.gen_text ms text ~seed ~alphabet:"aab";
+      let ncenters = (2 * scale) - 1 in
+      let rad =
+        Bkit.tabulate_leafy ~grain:512 ~n:ncenters ~elt_bytes:8 (fun c ->
+            Int64.of_int (radius text c))
+      in
+      (* Consume: longest palindrome and total palindromic mass. *)
+      let best =
+        Par.parreduce ~grain:1024 0 ncenters
+          ~map:(fun c -> Bkit.pack2 (Sarray.get_i rad c) c)
+          ~combine:(fun a b -> if a >= b then a else b)
+          ~init:0L
+      in
+      let total =
+        Par.parreduce ~grain:1024 0 ncenters
+          ~map:(fun c -> Sarray.get_i rad c)
+          ~combine:( + ) ~init:0
+      in
+      (text, rad, best, total))
+    ~verify:(fun ~scale ~seed:_ ~ms (text, rad, best, total) ->
+      let t = text_of_host ms text in
+      let ncenters = (2 * scale) - 1 in
+      let hrad = Array.init ncenters (host_radius t) in
+      let hbest = ref 0L and htotal = ref 0 in
+      Array.iteri
+        (fun c r ->
+          htotal := !htotal + r;
+          let p = Bkit.pack2 r c in
+          if p > !hbest then hbest := p)
+        hrad;
+      let rad_ok = ref true in
+      Array.iteri
+        (fun c r ->
+          if Int64.to_int (Sarray.peek_host ms rad c) <> r then rad_ok := false)
+        hrad;
+      !rad_ok && best = !hbest && total = !htotal)

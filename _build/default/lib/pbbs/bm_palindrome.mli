@@ -1,0 +1,3 @@
+(** PBBS benchmark: palindrome. *)
+
+val spec : Spec.t

@@ -1,0 +1,56 @@
+(* primes: the recursive prime sieve of Figure 4. The flags array races
+   benignly — concurrent threads write the same value (false) to the same
+   byte — which is a WAW-apathetic pattern: disentangled but not DRF. *)
+
+open Warden_runtime
+
+let host_sieve n =
+  let flags = Array.make (n + 1) true in
+  if n >= 0 then flags.(0) <- false;
+  if n >= 1 then flags.(1) <- false;
+  let p = ref 2 in
+  while !p * !p <= n do
+    if flags.(!p) then begin
+      let m = ref (!p * !p) in
+      while !m <= n do
+        flags.(!m) <- false;
+        m := !m + !p
+      done
+    end;
+    incr p
+  done;
+  flags
+
+(* flags.(i) = 1 iff i is prime; array of bytes, sized n+1. *)
+let rec sieve_upto n =
+  let flags = Sarray.create ~len:(n + 1) ~elt_bytes:1 in
+  Par.parfor ~grain:2048 0 (n + 1) (fun i -> Sarray.set flags i 1L);
+  Sarray.set flags 0 0L;
+  if n >= 1 then Sarray.set flags 1 0L;
+  if n >= 4 then begin
+    let sqrt_n = int_of_float (sqrt (float_of_int n)) in
+    let sqrtflags = sieve_upto sqrt_n in
+    Par.parfor ~grain:1 0 (sqrt_n + 1) (fun p ->
+        if p >= 2 && Sarray.get sqrtflags p = 1L then
+          (* Mark multiples of p composite: benign same-value WAW races at
+             indices divisible by several primes. *)
+          Par.parfor ~grain:4096 2 ((n / p) + 1) (fun m ->
+              Par.tick 1;
+              Sarray.set flags (p * m) 0L))
+  end;
+  flags
+
+let spec =
+  Spec.make ~name:"primes" ~descr:"recursive parallel sieve (Fig. 4)"
+    ~default_scale:120_000
+    ~prog:(fun ~scale ~seed:_ ~ms:_ () -> sieve_upto scale)
+    ~verify:(fun ~scale ~seed:_ ~ms flags ->
+      let expect = host_sieve scale in
+      let got = Bkit.host_array ms flags in
+      Array.length got = scale + 1
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun i v -> if (v = 1L) <> expect.(i) then ok := false)
+        got;
+      !ok)

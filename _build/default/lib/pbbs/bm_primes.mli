@@ -1,0 +1,6 @@
+(** PBBS benchmark: primes. *)
+
+val spec : Spec.t
+
+val host_sieve : int -> bool array
+(** Host-side reference sieve; [.(i)] iff [i] is prime. *)

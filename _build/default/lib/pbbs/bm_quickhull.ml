@@ -1,0 +1,130 @@
+(* quickhull: 2D convex hull. Each recursive task filters its point set
+   into freshly allocated sub-arrays in its own heap — the divide phase of
+   PBBS quickhull, dominated by leaf allocation and later consumption. *)
+
+open Warden_runtime
+
+(* Points are stored as packed (x, y) pairs of 21-bit coordinates to keep
+   comparisons exact; geometry uses host ints read from the arrays. *)
+let pack_pt x y = Bkit.pack2 x y
+let px p = Bkit.unpack_hi p
+let py p = Bkit.unpack_lo p
+
+(* Twice the signed area of (a, b, c); > 0 when c is left of a->b. *)
+let cross a b c =
+  Par.tick 8;
+  ((px b - px a) * (py c - py a)) - ((py b - py a) * (px c - px a))
+
+let host_cross a b c =
+  ((px b - px a) * (py c - py a)) - ((py b - py a) * (px c - px a))
+
+(* Points strictly left of a->b, into a fresh array. *)
+let filter_left pts a b =
+  let n = Sarray.length pts in
+  let keep = ref [] and count = ref 0 in
+  for i = 0 to n - 1 do
+    let p = Sarray.get pts i in
+    if cross a b p > 0 then begin
+      keep := p :: !keep;
+      incr count
+    end
+  done;
+  let out = Sarray.create ~len:!count ~elt_bytes:8 in
+  List.iteri (fun i p -> Sarray.set out (!count - 1 - i) p) !keep;
+  out
+
+let rec hull_side pts a b =
+  let n = Sarray.length pts in
+  if n = 0 then []
+  else begin
+    (* Farthest point from the line a->b. *)
+    let far = ref (Sarray.get pts 0) in
+    let fd = ref (cross a b !far) in
+    for i = 1 to n - 1 do
+      let p = Sarray.get pts i in
+      let d = cross a b p in
+      if d > !fd then begin
+        far := p;
+        fd := d
+      end
+    done;
+    let c = !far in
+    if n <= 64 then begin
+      let l = filter_left pts a c and r = filter_left pts c b in
+      hull_side l a c @ [ c ] @ hull_side r c b
+    end
+    else begin
+      let l, r =
+        Par.par2 (fun () -> filter_left pts a c) (fun () -> filter_left pts c b)
+      in
+      let hl, hr =
+        Par.par2 (fun () -> hull_side l a c) (fun () -> hull_side r c b)
+      in
+      hl @ [ c ] @ hr
+    end
+  end
+
+let compute pts =
+  let n = Sarray.length pts in
+  (* Extremes: min and max by x (ties by y). *)
+  let mn = ref (Sarray.get pts 0) and mx = ref (Sarray.get pts 0) in
+  for i = 1 to n - 1 do
+    Par.tick 2;
+    let p = Sarray.get pts i in
+    if p < !mn then mn := p;
+    if p > !mx then mx := p
+  done;
+  let upper, lower =
+    Par.par2
+      (fun () -> hull_side (filter_left pts !mn !mx) !mn !mx)
+      (fun () -> hull_side (filter_left pts !mx !mn) !mx !mn)
+  in
+  (!mn :: upper) @ (!mx :: lower)
+
+let host_hull pts =
+  (* Monotone chain on the host for verification. *)
+  let pts = Array.copy pts in
+  Array.sort compare pts;
+  let build points =
+    let stack = ref [] in
+    Array.iter
+      (fun p ->
+        let rec pop () =
+          match !stack with
+          | b :: a :: rest when host_cross a b p <= 0 ->
+              stack := a :: rest;
+              pop ()
+          | _ -> ()
+        in
+        pop ();
+        stack := p :: !stack)
+      points;
+    List.rev (List.tl !stack)
+  in
+  let upper = build pts in
+  let lower = build (Array.of_list (List.rev (Array.to_list pts))) in
+  upper @ lower
+
+let spec =
+  Spec.make ~name:"quickhull" ~descr:"2-D convex hull by recursive filtering"
+    ~default_scale:20_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let pts = Sarray.create ~len:scale ~elt_bytes:8 in
+      let rng = Warden_util.Splitmix.make seed in
+      (* Random points in a disc, so the hull is small and interesting. *)
+      Sarray.init_host ms pts (fun _ ->
+          let rec draw () =
+            let x = Warden_util.Splitmix.int rng 1_000_000 in
+            let y = Warden_util.Splitmix.int rng 1_000_000 in
+            let dx = x - 500_000 and dy = y - 500_000 in
+            if (dx * dx) + (dy * dy) <= 500_000 * 500_000 then pack_pt x y
+            else draw ()
+          in
+          draw ());
+      let hull = compute pts in
+      (pts, hull))
+    ~verify:(fun ~scale:_ ~seed:_ ~ms (pts, hull) ->
+      let hp = Bkit.host_array ms pts in
+      let expect = List.sort_uniq compare (host_hull hp) in
+      let got = List.sort_uniq compare hull in
+      expect = got)

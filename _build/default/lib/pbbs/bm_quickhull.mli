@@ -1,0 +1,3 @@
+(** PBBS benchmark: quickhull. *)
+
+val spec : Spec.t

@@ -1,0 +1,111 @@
+(* ray: ray casting an image of a sphere scene. Pixels are traced in
+   parallel; each ray tests every sphere with integer fixed-point
+   arithmetic so that host verification is exact. *)
+
+open Warden_runtime
+
+(* Fixed-point 16.16 coordinates packed host-side; all math in plain ints. *)
+let fp v = v * 65536
+
+let nspheres = 24
+
+(* Deterministic scene derived from the seed. *)
+let scene seed =
+  let rng = Warden_util.Splitmix.make seed in
+  Array.init nspheres (fun _ ->
+      let cx = fp (Warden_util.Splitmix.int rng 400) - fp 200 in
+      let cy = fp (Warden_util.Splitmix.int rng 400) - fp 200 in
+      let cz = fp (200 + Warden_util.Splitmix.int rng 600) in
+      let r = fp (20 + Warden_util.Splitmix.int rng 60) in
+      (cx, cy, cz, r))
+
+(* Ray through pixel (i, j) of a w x w image on a z = fp 100 screen
+   centered on the origin; origin at (0,0,0). Returns the index of the
+   nearest sphere hit, or -1. Works on values loaded from the arrays. *)
+let trace ~w ~cx ~cy ~cz ~r2 i j =
+  let dx = fp (i - (w / 2)) / (w / 4) and dy = fp (j - (w / 2)) / (w / 4) in
+  let dz = fp 1 in
+  let best = ref (-1) and best_t = ref max_int in
+  for s = 0 to nspheres - 1 do
+    Par.tick 12;
+    let sx = Sarray.get_i cx s and sy = Sarray.get_i cy s in
+    let sz = Sarray.get_i cz s and sr2 = Sarray.get_i r2 s in
+    (* Solve |o + t*d - c|^2 = r^2 in fixed point, scaled down to avoid
+       overflow: work in units of 2^16 (i.e., divide coords by 2^8). *)
+    let sc v = v asr 8 in
+    let dxs = sc dx and dys = sc dy and dzs = sc dz in
+    let cxs = sc sx and cys = sc sy and czs = sc sz in
+    let a = (dxs * dxs) + (dys * dys) + (dzs * dzs) in
+    let b = -2 * ((dxs * cxs) + (dys * cys) + (dzs * czs)) in
+    let c = (cxs * cxs) + (cys * cys) + (czs * czs) - sc (sc sr2 * 256 * 256) in
+    let disc = (b * b) - (4 * a * c) in
+    if disc >= 0 then begin
+      (* t = (-b - sqrt(disc)) / 2a, scaled; integer sqrt. *)
+      let sq = int_of_float (sqrt (float_of_int disc)) in
+      let t = -b - sq in
+      if t > 0 && t < !best_t then begin
+        best_t := t;
+        best := s
+      end
+    end
+  done;
+  !best
+
+let spec =
+  Spec.make ~name:"ray" ~descr:"ray casting a sphere scene"
+    ~default_scale:72
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let w = scale in
+      let sph = scene seed in
+      let cx = Sarray.create ~len:nspheres ~elt_bytes:8 in
+      let cy = Sarray.create ~len:nspheres ~elt_bytes:8 in
+      let cz = Sarray.create ~len:nspheres ~elt_bytes:8 in
+      let r2 = Sarray.create ~len:nspheres ~elt_bytes:8 in
+      Sarray.init_host ms cx (fun s -> let x, _, _, _ = sph.(s) in Int64.of_int x);
+      Sarray.init_host ms cy (fun s -> let _, y, _, _ = sph.(s) in Int64.of_int y);
+      Sarray.init_host ms cz (fun s -> let _, _, z, _ = sph.(s) in Int64.of_int z);
+      Sarray.init_host ms r2 (fun s -> let _, _, _, r = sph.(s) in Int64.of_int (r * r / 65536));
+      let img =
+        Bkit.tabulate_leafy ~grain:128 ~n:(w * w) ~elt_bytes:8 (fun p ->
+            Int64.of_int (trace ~w ~cx ~cy ~cz ~r2 (p mod w) (p / w)))
+      in
+      (img, w))
+    ~verify:(fun ~scale:_ ~seed ~ms (img, w) ->
+      (* Recompute on the host with the same integer arithmetic, reading
+         sphere data from the same generator. *)
+      let sph = scene seed in
+      let hcx = Array.map (fun (x, _, _, _) -> x) sph in
+      let hcy = Array.map (fun (_, y, _, _) -> y) sph in
+      let hcz = Array.map (fun (_, _, z, _) -> z) sph in
+      let hr2 = Array.map (fun (_, _, _, r) -> r * r / 65536) sph in
+      let host_trace i j =
+        let dx = fp (i - (w / 2)) / (w / 4) and dy = fp (j - (w / 2)) / (w / 4) in
+        let dz = fp 1 in
+        let best = ref (-1) and best_t = ref max_int in
+        for s = 0 to nspheres - 1 do
+          let sc v = v asr 8 in
+          let dxs = sc dx and dys = sc dy and dzs = sc dz in
+          let cxs = sc hcx.(s) and cys = sc hcy.(s) and czs = sc hcz.(s) in
+          let a = (dxs * dxs) + (dys * dys) + (dzs * dzs) in
+          let b = -2 * ((dxs * cxs) + (dys * cys) + (dzs * czs)) in
+          let c =
+            (cxs * cxs) + (cys * cys) + (czs * czs) - sc (sc hr2.(s) * 256 * 256)
+          in
+          let disc = (b * b) - (4 * a * c) in
+          if disc >= 0 then begin
+            let sq = int_of_float (sqrt (float_of_int disc)) in
+            let t = -b - sq in
+            if t > 0 && t < !best_t then begin
+              best_t := t;
+              best := s
+            end
+          end
+        done;
+        !best
+      in
+      let ok = ref true in
+      for p = 0 to (w * w) - 1 do
+        if Int64.to_int (Sarray.peek_host ms img p) <> host_trace (p mod w) (p / w)
+        then ok := false
+      done;
+      !ok)

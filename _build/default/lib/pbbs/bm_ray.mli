@@ -1,0 +1,3 @@
+(** PBBS benchmark: ray. *)
+
+val spec : Spec.t

@@ -1,0 +1,77 @@
+(* suffix_array: prefix-doubling construction. Each round packs
+   (rank, next-rank) keys with suffix indices, sorts them with the
+   leaf-allocating parallel mergesort, and rescans ranks — a sort-heavy
+   pipeline of generate-then-consume phases. *)
+
+open Warden_runtime
+
+let host_suffix_array text =
+  let n = String.length text in
+  let idx = Array.init n (fun i -> i) in
+  let suffix i = String.sub text i (n - i) in
+  Array.sort (fun a b -> compare (suffix a) (suffix b)) idx;
+  idx
+
+(* Keys pack (rank1+1, rank2+1) into the high bits and the index below so
+   that sorting the packed words sorts by (rank1, rank2, index).
+   n <= 2^20, ranks <= n. *)
+let pack_key r1 r2 idx =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (r1 + 1)) 42)
+    (Int64.logor (Int64.shift_left (Int64.of_int (r2 + 1)) 21) (Int64.of_int idx))
+
+let key_idx v = Int64.to_int (Int64.logand v 0x1FFFFFL)
+let key_ranks v = Int64.shift_right_logical v 21
+
+let spec =
+  Spec.make ~name:"suffix_array" ~descr:"prefix-doubling suffix array"
+    ~default_scale:3_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let n = scale in
+      let text = Sarray.create ~len:n ~elt_bytes:1 in
+      Bkit.gen_text ms text ~seed ~alphabet:"abab$cd";
+      (* rank.(i): current rank of suffix i; init from characters. *)
+      let rank = Sarray.create ~len:n ~elt_bytes:8 in
+      Par.parfor ~grain:512 0 n (fun i -> Sarray.set rank i (Sarray.get text i));
+      let order = ref (Sarray.create ~len:n ~elt_bytes:8) in
+      let k = ref 1 in
+      let continue_ = ref true in
+      while !continue_ do
+        (* Build packed keys functionally, sort, then re-rank. *)
+        let keys =
+          Bkit.tabulate_leafy ~grain:256 ~n ~elt_bytes:8 (fun i ->
+              let r1 = Sarray.get_i rank i in
+              let r2 = if i + !k < n then Sarray.get_i rank (i + !k) else -1 in
+              pack_key r1 r2 i)
+        in
+        let sorted = Bkit.msort ~grain:256 keys in
+        (* Assign new ranks: equal (r1, r2) pairs share a rank. *)
+        let newrank = Sarray.create ~len:n ~elt_bytes:8 in
+        let distinct = ref 1 in
+        Sarray.set_i newrank (key_idx (Sarray.get sorted 0)) 0;
+        for j = 1 to n - 1 do
+          Par.tick 3;
+          let prev = Sarray.get sorted (j - 1) and cur = Sarray.get sorted j in
+          if key_ranks cur <> key_ranks prev then incr distinct;
+          Sarray.set_i newrank (key_idx cur) (!distinct - 1)
+        done;
+        Par.parfor ~grain:512 0 n (fun i ->
+            Sarray.set rank i (Sarray.get newrank i));
+        order :=
+          Bkit.tabulate_leafy ~grain:256 ~n ~elt_bytes:8 (fun j ->
+              Int64.of_int (key_idx (Sarray.get sorted j)));
+        if !distinct = n || !k >= n then continue_ := false else k := 2 * !k
+      done;
+      (text, !order))
+    ~verify:(fun ~scale:_ ~seed:_ ~ms (text, order) ->
+      let t =
+        String.init (Sarray.length text) (fun i ->
+            Char.chr (Int64.to_int (Sarray.peek_host ms text i)))
+      in
+      let expect = host_suffix_array t in
+      let ok = ref true in
+      Array.iteri
+        (fun j e ->
+          if Int64.to_int (Sarray.peek_host ms order j) <> e then ok := false)
+        expect;
+      !ok)

@@ -1,0 +1,6 @@
+(** PBBS benchmark: suffix_array. *)
+
+val spec : Spec.t
+
+val host_suffix_array : string -> int array
+(** Host-side reference construction (naive suffix sort). *)

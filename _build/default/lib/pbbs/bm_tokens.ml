@@ -1,0 +1,82 @@
+(* tokens: whitespace tokenization. A token belongs to the chunk where it
+   starts; chunks peek one character across their left boundary to decide
+   ownership, then the standard count / scan / fill pack emits
+   (start, length) pairs. *)
+
+open Warden_runtime
+
+let is_space c = c = Int64.of_int (Char.code ' ')
+
+let host_tokens text =
+  let toks = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && text.[!i] = ' ' do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && text.[!i] <> ' ' do
+        incr i
+      done;
+      toks := (start, !i - start) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let text_of_host ms a =
+  String.init (Sarray.length a) (fun i ->
+      Char.chr (Int64.to_int (Sarray.peek_host ms a i)))
+
+(* i starts a token iff text[i] is not a space and (i = 0 or text[i-1] is). *)
+let starts_token text i =
+  Par.tick 2;
+  (not (is_space (Sarray.get text i)))
+  && (i = 0 || is_space (Sarray.get text (i - 1)))
+
+let spec =
+  Spec.make ~name:"tokens" ~descr:"whitespace tokenization with pack"
+    ~default_scale:160_000
+    ~prog:(fun ~scale ~seed ~ms () ->
+      let text = Sarray.create ~len:scale ~elt_bytes:1 in
+      Bkit.gen_text ms text ~seed ~alphabet:"ab cd efg  h";
+      let chunk = 1024 in
+      let nchunks = (scale + chunk - 1) / chunk in
+      let counts = Sarray.create ~len:(nchunks + 1) ~elt_bytes:8 in
+      Par.parfor ~grain:1 0 nchunks (fun c ->
+          let lo = c * chunk and hi = min scale ((c + 1) * chunk) in
+          let n = ref 0 in
+          for i = lo to hi - 1 do
+            if starts_token text i then incr n
+          done;
+          Sarray.set_i counts c !n);
+      let total = Bkit.seq_scan_excl counts in
+      let starts = Sarray.create ~len:(max 1 total) ~elt_bytes:8 in
+      let lens = Sarray.create ~len:(max 1 total) ~elt_bytes:8 in
+      Par.parfor ~grain:1 0 nchunks (fun c ->
+          let lo = c * chunk and hi = min scale ((c + 1) * chunk) in
+          let pos = ref (Sarray.get_i counts c) in
+          for i = lo to hi - 1 do
+            if starts_token text i then begin
+              (* Scan forward (possibly past the chunk) for the end. *)
+              let j = ref i in
+              while !j < scale && not (is_space (Sarray.get text !j)) do
+                Par.tick 1;
+                incr j
+              done;
+              Sarray.set_i starts !pos i;
+              Sarray.set_i lens !pos (!j - i);
+              incr pos
+            end
+          done);
+      (text, starts, lens, total))
+    ~verify:(fun ~scale:_ ~seed:_ ~ms (text, starts, lens, total) ->
+      let expect = host_tokens (text_of_host ms text) in
+      List.length expect = total
+      && List.for_all2
+           (fun (s, l) i ->
+             s = Int64.to_int (Sarray.peek_host ms starts i)
+             && l = Int64.to_int (Sarray.peek_host ms lens i))
+           expect
+           (List.init total (fun i -> i)))

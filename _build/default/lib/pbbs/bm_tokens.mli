@@ -1,0 +1,3 @@
+(** PBBS benchmark: tokens. *)
+
+val spec : Spec.t

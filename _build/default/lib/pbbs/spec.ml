@@ -1,0 +1,28 @@
+open Warden_sim
+open Warden_runtime
+
+type t = {
+  name : string;
+  descr : string;
+  default_scale : int;
+  run :
+    scale:int ->
+    seed:int64 ->
+    ?params:Rtparams.t ->
+    ?workers:int ->
+    Engine.t ->
+    bool;
+}
+
+let make ~name ~descr ~default_scale ~prog ~verify =
+  {
+    name;
+    descr;
+    default_scale;
+    run =
+      (fun ~scale ~seed ?params ?workers eng ->
+        let ms = Engine.memsys eng in
+        let out, _ = Par.run ?params ?workers eng (prog ~scale ~seed ~ms) in
+        Memsys.flush_all ms;
+        verify ~scale ~seed ~ms out);
+  }

@@ -1,0 +1,34 @@
+(** Benchmark packaging for the PBBS-like suite (§7.1).
+
+    Each benchmark couples an in-simulator parallel program (written
+    against {!Warden_runtime.Par}) with a host-side verifier that checks
+    the program's output in the flushed final memory image. Running a
+    benchmark therefore validates the whole stack: a protocol bug that
+    delivers stale data makes verification fail. *)
+
+type t = {
+  name : string;
+  descr : string;
+  default_scale : int;
+      (** Problem size giving a simulation of a few hundred thousand to a
+          few million memory accesses (§7.1 scales inputs the same way). *)
+  run :
+    scale:int ->
+    seed:int64 ->
+    ?params:Warden_runtime.Rtparams.t ->
+    ?workers:int ->
+    Warden_sim.Engine.t ->
+    bool;
+      (** Execute on (and consume) the engine; returns whether the output
+          verified. *)
+}
+
+val make :
+  name:string ->
+  descr:string ->
+  default_scale:int ->
+  prog:(scale:int -> seed:int64 -> ms:Warden_sim.Memsys.t -> unit -> 'out) ->
+  verify:(scale:int -> seed:int64 -> ms:Warden_sim.Memsys.t -> 'out -> bool) ->
+  t
+(** [prog] runs as the root task; [verify] runs host-side after a full
+    cache flush. *)

@@ -1,0 +1,23 @@
+let all =
+  [
+    Bm_dedup.spec;
+    Bm_dmm.spec;
+    Bm_fib.spec;
+    Bm_grep.spec;
+    Bm_make_array.spec;
+    Bm_msort.spec;
+    Bm_nn.spec;
+    Bm_nqueens.spec;
+    Bm_palindrome.spec;
+    Bm_primes.spec;
+    Bm_quickhull.spec;
+    Bm_ray.spec;
+    Bm_suffix_array.spec;
+    Bm_tokens.spec;
+  ]
+
+let find name = List.find_opt (fun s -> s.Spec.name = name) all
+
+let names () = List.map (fun s -> s.Spec.name) all
+
+let disaggregated_subset = [ "dmm"; "grep"; "nn"; "palindrome" ]

@@ -1,0 +1,14 @@
+(** Registry of the 14 PBBS-like benchmarks the paper evaluates (§7.1). *)
+
+val all : Spec.t list
+(** In the paper's figure order: dedup, dmm, fib, grep, make_array, msort,
+    nn, nqueens, palindrome, primes, quickhull, ray, suffix_array,
+    tokens. *)
+
+val find : string -> Spec.t option
+
+val names : unit -> string list
+
+val disaggregated_subset : string list
+(** The four benchmarks the paper carries into the disaggregated study
+    (Fig. 12): dmm, grep, nn, palindrome. *)

@@ -1,0 +1,1 @@
+lib/proto/dirstate.ml: Bitset Hashtbl States Warden_util

@@ -1,0 +1,1 @@
+lib/proto/dirstate.mli: States Warden_util

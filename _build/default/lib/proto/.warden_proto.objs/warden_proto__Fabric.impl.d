@@ -1,0 +1,1 @@
+lib/proto/fabric.ml: Bytes Config Energy Pstats Warden_cache Warden_machine

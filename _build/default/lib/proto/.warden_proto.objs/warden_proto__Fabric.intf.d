@@ -1,0 +1,1 @@
+lib/proto/fabric.mli: Bytes Pstats Warden_cache Warden_machine

@@ -1,0 +1,1 @@
+lib/proto/mesi.ml: Bitset Bytes Dirstate Fabric Linedata List Pstats States Warden_cache Warden_machine Warden_util

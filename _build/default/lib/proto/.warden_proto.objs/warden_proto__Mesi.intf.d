@@ -1,0 +1,1 @@
+lib/proto/mesi.mli: Bytes Dirstate Fabric States Warden_cache

@@ -1,0 +1,1 @@
+lib/proto/protocol.ml: Dirstate Fabric List Mesi Pstats States Warden_cache

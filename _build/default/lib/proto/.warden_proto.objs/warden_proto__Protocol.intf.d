@@ -1,0 +1,1 @@
+lib/proto/protocol.mli: Fabric Mesi Pstats States Warden_cache

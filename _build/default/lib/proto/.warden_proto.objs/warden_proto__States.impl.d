@@ -1,0 +1,1 @@
+lib/proto/states.ml: Format

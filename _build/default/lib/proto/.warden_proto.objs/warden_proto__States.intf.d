@@ -1,0 +1,1 @@
+lib/proto/states.mli: Format

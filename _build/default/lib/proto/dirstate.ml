@@ -1,0 +1,38 @@
+open Warden_util
+
+type entry = {
+  mutable state : States.dstate;
+  mutable owner : int;
+  sharers : Bitset.t;
+  mutable w_multi : bool;
+}
+
+type t = (int, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 4096
+
+let entry t blk =
+  match Hashtbl.find_opt t blk with
+  | Some e -> e
+  | None ->
+      let e =
+        { state = States.D_I; owner = -1; sharers = Bitset.create (); w_multi = false }
+      in
+      Hashtbl.add t blk e;
+      e
+
+let find t blk = Hashtbl.find_opt t blk
+
+let iter t f = Hashtbl.iter f t
+
+let set_invalid e =
+  e.state <- States.D_I;
+  e.owner <- -1;
+  e.w_multi <- false;
+  Bitset.clear e.sharers
+
+let holders e =
+  match e.state with
+  | States.D_I -> []
+  | States.D_E | States.D_M -> if e.owner >= 0 then [ e.owner ] else []
+  | States.D_S | States.D_W -> Bitset.elements e.sharers

@@ -1,0 +1,41 @@
+(** The directory: per-block coherence state, owner and sharer set.
+
+    Modeled as an "ideal" (unbounded) directory: entries are never evicted,
+    mirroring full-map directory studies. The paper's protocol is described
+    against such a directory FSA (Fig. 5). *)
+
+type entry = {
+  mutable state : States.dstate;
+  mutable owner : int;  (** Core id for E/M; [-1] otherwise. *)
+  sharers : Warden_util.Bitset.t;
+      (** Cores holding a copy: used in S, and in W to remember every core
+          granted a copy for later reconciliation. *)
+  mutable w_multi : bool;
+      (** While in W: true once the block has ever had a second concurrent
+          copy or absorbed an eviction merge. Reconciliation may only
+          convert a sole holder in place ("no sharing" case, §5.2) when
+          this is false; otherwise the LLC may hold merged bytes newer than
+          the holder's fill base and the copy must be flushed and merged by
+          its dirty mask. *)
+}
+
+type t
+
+val create : unit -> t
+
+val entry : t -> int -> entry
+(** [entry t blk] returns the entry for block [blk], creating it in [D_I]
+    if absent. *)
+
+val find : t -> int -> entry option
+(** Like {!entry} but without materializing absent (hence invalid)
+    blocks. *)
+
+val iter : t -> (int -> entry -> unit) -> unit
+
+val set_invalid : entry -> unit
+(** Reset to [D_I] with no owner and no sharers. *)
+
+val holders : entry -> int list
+(** All cores with a copy according to the directory: the owner in E/M, the
+    sharer set in S/W, ascending. *)

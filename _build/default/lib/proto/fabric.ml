@@ -1,0 +1,77 @@
+open Warden_machine
+
+type probe = { levels : int; data : Warden_cache.Linedata.t }
+
+type t = {
+  config : Config.t;
+  energy : Energy.t;
+  stats : Pstats.t;
+  peek_priv : core:int -> blk:int -> probe option;
+  invalidate_priv : core:int -> blk:int -> probe option;
+  downgrade_priv : core:int -> blk:int -> probe option;
+  read_shared : blk:int -> Bytes.t * [ `L3 | `Dram | `Zero ];
+  llc_merge : blk:int -> Warden_cache.Linedata.t -> unit;
+  llc_put_full : blk:int -> Bytes.t -> unit;
+}
+
+let socket_of_core t core = Config.socket_of_core t.config core
+let home_socket t ~blk = Config.home_socket t.config blk
+
+let hop t ~from_socket ~to_socket =
+  if from_socket = to_socket then t.config.Config.intra_hop_lat
+  else t.config.Config.inter_socket_lat
+
+let req_leg t ~from_socket ~to_socket =
+  if t.config.Config.llc_remote then t.config.Config.inter_socket_lat
+  else if from_socket = to_socket then 0
+  else t.config.Config.inter_socket_lat
+
+let dir_leg t ~socket ~blk =
+  req_leg t ~from_socket:socket ~to_socket:(Config.home_socket t.config blk)
+
+let dir_hop t ~socket ~blk =
+  if t.config.Config.llc_remote then t.config.Config.inter_socket_lat
+  else hop t ~from_socket:(Config.home_socket t.config blk) ~to_socket:socket
+
+let msg t ~from_socket ~to_socket ~data =
+  let inter = from_socket <> to_socket in
+  (if data then
+     if inter then t.stats.Pstats.msgs_data_inter <- t.stats.Pstats.msgs_data_inter + 1
+     else t.stats.Pstats.msgs_data_intra <- t.stats.Pstats.msgs_data_intra + 1
+   else if inter then t.stats.Pstats.msgs_ctl_inter <- t.stats.Pstats.msgs_ctl_inter + 1
+   else t.stats.Pstats.msgs_ctl_intra <- t.stats.Pstats.msgs_ctl_intra + 1);
+  Energy.message t.energy ~inter_socket:inter ~data
+
+let dir_msg t ~socket ~blk ~data =
+  let inter =
+    t.config.Config.llc_remote || socket <> Config.home_socket t.config blk
+  in
+  (if data then
+     if inter then t.stats.Pstats.msgs_data_inter <- t.stats.Pstats.msgs_data_inter + 1
+     else t.stats.Pstats.msgs_data_intra <- t.stats.Pstats.msgs_data_intra + 1
+   else if inter then t.stats.Pstats.msgs_ctl_inter <- t.stats.Pstats.msgs_ctl_inter + 1
+   else t.stats.Pstats.msgs_ctl_intra <- t.stats.Pstats.msgs_ctl_intra + 1);
+  Energy.message t.energy ~inter_socket:inter ~data
+
+let dir_access t =
+  t.stats.Pstats.dir_accesses <- t.stats.Pstats.dir_accesses + 1;
+  Energy.dir_access t.energy
+
+let shared_read_latency t where =
+  Energy.l3_access t.energy;
+  match where with
+  | `L3 ->
+      t.stats.Pstats.l3_hits <- t.stats.Pstats.l3_hits + 1;
+      t.config.Config.l3_lat
+  | `Zero ->
+      t.stats.Pstats.zero_fills <- t.stats.Pstats.zero_fills + 1;
+      t.config.Config.l3_lat
+  | `Dram ->
+      t.stats.Pstats.l3_misses <- t.stats.Pstats.l3_misses + 1;
+      t.stats.Pstats.dram_reads <- t.stats.Pstats.dram_reads + 1;
+      Energy.dram_access t.energy;
+      let extra =
+        if t.config.Config.dram_remote then 2 * t.config.Config.inter_socket_lat
+        else 0
+      in
+      t.config.Config.l3_lat + t.config.Config.dram_lat + extra

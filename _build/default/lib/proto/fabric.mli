@@ -1,0 +1,73 @@
+(** The shared-memory fabric a coherence protocol operates over.
+
+    The simulator's memory system builds one of these and hands it to the
+    protocol. It exposes exactly the actions a directory controller can
+    take: probe/invalidate/downgrade a private cache's copy, and read or
+    merge blocks at the shared cache (which transparently falls through to
+    memory). Latency arithmetic and message accounting also live here so
+    both protocols charge costs identically. *)
+
+type probe = {
+  levels : int;
+      (** Cache levels holding the line in that core (1 = L2 only,
+          2 = L1+L2); the paper counts coherence events per cache. *)
+  data : Warden_cache.Linedata.t;  (** The copy (not a defensive copy). *)
+}
+
+type t = {
+  config : Warden_machine.Config.t;
+  energy : Warden_machine.Energy.t;
+  stats : Pstats.t;
+  peek_priv : core:int -> blk:int -> probe option;
+      (** Observe a private copy without changing it. *)
+  invalidate_priv : core:int -> blk:int -> probe option;
+      (** Remove the copy from the core's private hierarchy and return it. *)
+  downgrade_priv : core:int -> blk:int -> probe option;
+      (** Transition the copy to shared/clean, returning it as it was
+          before its dirty mask was cleared. *)
+  read_shared : blk:int -> Bytes.t * [ `L3 | `Dram | `Zero ];
+      (** Fetch a block at its home LLC slice, filling from memory on an
+          LLC miss; reports where it was found for latency/stats ([`Zero]
+          = zero-filled fresh memory, no DRAM access). *)
+  llc_merge : blk:int -> Warden_cache.Linedata.t -> unit;
+      (** Merge a private copy's dirty bytes into the LLC copy
+          (sectored writeback / reconciliation merge). *)
+  llc_put_full : blk:int -> Bytes.t -> unit;
+      (** Full-line dirty writeback into the LLC (M-state eviction). *)
+}
+
+val socket_of_core : t -> int -> int
+val home_socket : t -> blk:int -> int
+
+val hop : t -> from_socket:int -> to_socket:int -> int
+(** Latency of a third-party message leg (directory→owner, owner→requestor,
+    invalidation, ack): [intra_hop_lat] within a socket, [inter_socket_lat]
+    across sockets. *)
+
+val req_leg : t -> from_socket:int -> to_socket:int -> int
+(** Latency of the requestor↔home legs: 0 within a socket (the L3 access
+    latency of Table 2 already covers the on-chip round trip),
+    [inter_socket_lat] across sockets — or always [inter_socket_lat] on a
+    disaggregated machine, where the home complex is behind the fabric. *)
+
+val dir_leg : t -> socket:int -> blk:int -> int
+(** Latency of one leg between [socket] and block [blk]'s home complex
+    (directory/LLC): {!req_leg} against the home socket. *)
+
+val dir_msg : t -> socket:int -> blk:int -> data:bool -> unit
+(** Count a message between a socket and a home complex; on a
+    disaggregated machine these always cross the fabric. *)
+
+val dir_hop : t -> socket:int -> blk:int -> int
+(** Latency of a directory→third-party leg (Fwd, Inv): like {!hop} but
+    crossing the fabric on a disaggregated machine. *)
+
+val msg : t -> from_socket:int -> to_socket:int -> data:bool -> unit
+(** Count one protocol message and deposit its network energy. *)
+
+val dir_access : t -> unit
+(** Count a directory lookup/update. *)
+
+val shared_read_latency : t -> [ `L3 | `Dram | `Zero ] -> int
+(** L3 access latency, plus DRAM latency on a miss (doubled-leg remote
+    memory when the machine is disaggregated), with stats/energy counted. *)

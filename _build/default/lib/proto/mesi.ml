@@ -1,0 +1,196 @@
+open Warden_util
+open Warden_cache
+open States
+
+type grant = { pstate : States.pstate; fill : Bytes.t option; latency : int }
+
+(* Invalidate [target]'s copy, counting one invalidation per cache level
+   holding the line (the paper counts coherence events per cache). Returns
+   the extracted copy. *)
+let invalidate_counted (f : Fabric.t) ~core probe_result =
+  match probe_result with
+  | None -> None
+  | Some p ->
+      ignore core;
+      f.Fabric.stats.Pstats.invalidations <-
+        f.Fabric.stats.Pstats.invalidations + p.Fabric.levels;
+      Some p
+
+let downgrade_counted (f : Fabric.t) probe_result =
+  match probe_result with
+  | None -> None
+  | Some p ->
+      f.Fabric.stats.Pstats.downgrades <-
+        f.Fabric.stats.Pstats.downgrades + p.Fabric.levels;
+      Some p
+
+let handle_request (f : Fabric.t) dir ~core ~blk ~write ~holds_s =
+  let e = Dirstate.entry dir blk in
+  let cs = Fabric.socket_of_core f core in
+  Fabric.dir_access f;
+  Fabric.dir_msg f ~socket:cs ~blk ~data:false;
+  let to_home = Fabric.dir_leg f ~socket:cs ~blk in
+  let from_home = to_home in
+  let fetch_shared () =
+    let data, where = f.Fabric.read_shared ~blk in
+    let lat = Fabric.shared_read_latency f where in
+    Fabric.dir_msg f ~socket:cs ~blk ~data:true;
+    (data, lat)
+  in
+  match (e.Dirstate.state, write) with
+  | D_W, _ -> assert false (* peeled off by the WARDen front end *)
+  | D_I, _ ->
+      let data, shared_lat = fetch_shared () in
+      e.Dirstate.state <- (if write then D_M else D_E);
+      e.Dirstate.owner <- core;
+      {
+        pstate = grant_pstate ~write;
+        fill = Some data;
+        latency = to_home + shared_lat + from_home;
+      }
+  | D_S, false ->
+      assert (not (Bitset.mem e.Dirstate.sharers core));
+      let data, shared_lat = fetch_shared () in
+      Bitset.add e.Dirstate.sharers core;
+      { pstate = P_S; fill = Some data; latency = to_home + shared_lat + from_home }
+  | D_S, true ->
+      (* Upgrade (or write miss to a shared block): invalidate every other
+         sharer; acks flow to the requestor. *)
+      let inv_lat = ref 0 in
+      Bitset.iter e.Dirstate.sharers (fun s ->
+          if s <> core then begin
+            let ss = Fabric.socket_of_core f s in
+            Fabric.dir_msg f ~socket:ss ~blk ~data:false;
+            Fabric.msg f ~from_socket:ss ~to_socket:cs ~data:false;
+            ignore
+              (invalidate_counted f ~core:s (f.Fabric.invalidate_priv ~core:s ~blk));
+            inv_lat :=
+              max !inv_lat
+                (Fabric.dir_hop f ~socket:ss ~blk
+                + Fabric.hop f ~from_socket:ss ~to_socket:cs)
+          end);
+      let data, shared_lat =
+        if holds_s then (None, f.Fabric.config.Warden_machine.Config.l3_lat)
+        else
+          let d, l = fetch_shared () in
+          (Some d, l)
+      in
+      if not holds_s then
+        (* grant message already counted by fetch_shared *)
+        ()
+      else Fabric.dir_msg f ~socket:cs ~blk ~data:false;
+      e.Dirstate.state <- D_M;
+      e.Dirstate.owner <- core;
+      Bitset.clear e.Dirstate.sharers;
+      {
+        pstate = P_M;
+        fill = data;
+        latency = to_home + max shared_lat !inv_lat + from_home;
+      }
+  | (D_E | D_M), _ ->
+      (* Fwd-GetS / Fwd-GetM to the owner. The owner may have silently
+         upgraded E to M, so its data is fetched either way. *)
+      let o = e.Dirstate.owner in
+      assert (o >= 0 && o <> core);
+      let os = Fabric.socket_of_core f o in
+      f.Fabric.stats.Pstats.fwds <- f.Fabric.stats.Pstats.fwds + 1;
+      Fabric.dir_msg f ~socket:os ~blk ~data:false;
+      Fabric.msg f ~from_socket:os ~to_socket:cs ~data:true;
+      let probe =
+        if write then
+          invalidate_counted f ~core:o (f.Fabric.invalidate_priv ~core:o ~blk)
+        else downgrade_counted f (f.Fabric.downgrade_priv ~core:o ~blk)
+      in
+      let owner_line =
+        match probe with
+        | Some p -> p.Fabric.data
+        | None -> assert false (* directory is precise: owner must hold it *)
+      in
+      (* A dirty copy must reach the home on a downgrade so later S readers
+         can be served from the LLC: a real writeback data message. *)
+      if Linedata.is_dirty owner_line then begin
+        if not write then begin
+          Fabric.dir_msg f ~socket:os ~blk ~data:true;
+          f.Fabric.stats.Pstats.writebacks <-
+            f.Fabric.stats.Pstats.writebacks + 1
+        end;
+        f.Fabric.llc_merge ~blk owner_line;
+        Linedata.clear_dirty owner_line
+      end;
+      let data = Bytes.copy (Linedata.bytes owner_line) in
+      let latency =
+        to_home
+        + f.Fabric.config.Warden_machine.Config.l3_lat
+        + Fabric.dir_hop f ~socket:os ~blk
+        + f.Fabric.config.Warden_machine.Config.l2_lat
+        + Fabric.hop f ~from_socket:os ~to_socket:cs
+      in
+      if write then begin
+        e.Dirstate.state <- D_M;
+        e.Dirstate.owner <- core;
+        Bitset.clear e.Dirstate.sharers;
+        { pstate = P_M; fill = Some data; latency }
+      end
+      else begin
+        e.Dirstate.state <- D_S;
+        e.Dirstate.owner <- -1;
+        Bitset.clear e.Dirstate.sharers;
+        Bitset.add e.Dirstate.sharers o;
+        Bitset.add e.Dirstate.sharers core;
+        { pstate = P_S; fill = Some data; latency }
+      end
+
+let handle_evict (f : Fabric.t) dir ~core ~blk ~pstate ~data =
+  let e = Dirstate.entry dir blk in
+  let cs = Fabric.socket_of_core f core in
+  Fabric.dir_access f;
+  match pstate with
+  | P_M ->
+      (* Dir may still believe E after a silent E->M upgrade. *)
+      assert (e.Dirstate.state = D_M || e.Dirstate.state = D_E);
+      assert (e.Dirstate.owner = core);
+      Fabric.dir_msg f ~socket:cs ~blk ~data:true;
+      f.Fabric.stats.Pstats.writebacks <- f.Fabric.stats.Pstats.writebacks + 1;
+      f.Fabric.llc_put_full ~blk (Linedata.bytes data);
+      Dirstate.set_invalid e
+  | P_E ->
+      assert (e.Dirstate.state = D_E && e.Dirstate.owner = core);
+      Fabric.dir_msg f ~socket:cs ~blk ~data:false;
+      Dirstate.set_invalid e
+  | P_S ->
+      assert (e.Dirstate.state = D_S);
+      Fabric.dir_msg f ~socket:cs ~blk ~data:false;
+      Bitset.remove e.Dirstate.sharers core;
+      if Bitset.is_empty e.Dirstate.sharers then Dirstate.set_invalid e
+
+let flush_block (f : Fabric.t) dir ~blk =
+  match Dirstate.find dir blk with
+  | None -> ()
+  | Some e -> (
+      match e.Dirstate.state with
+      | D_I -> ()
+      | D_W -> assert false
+      | D_S ->
+          List.iter
+            (fun c -> ignore (f.Fabric.invalidate_priv ~core:c ~blk))
+            (Dirstate.holders e);
+          Dirstate.set_invalid e
+      | D_E | D_M -> (
+          let o = e.Dirstate.owner in
+          match f.Fabric.invalidate_priv ~core:o ~blk with
+          | None -> Dirstate.set_invalid e
+          | Some p ->
+              (* A silently-upgraded E line is dirty; a true E line is not.
+                 An M line must be written back whether or not its mask is
+                 set (its fill base may predate memory). The writeback is
+                 traffic the program owes no matter when it drains, so it
+                 is counted. *)
+              if e.Dirstate.state = D_M || Linedata.is_dirty p.Fabric.data
+              then begin
+                Fabric.dir_msg f ~socket:(Fabric.socket_of_core f o) ~blk
+                  ~data:true;
+                f.Fabric.stats.Pstats.writebacks <-
+                  f.Fabric.stats.Pstats.writebacks + 1;
+                f.Fabric.llc_put_full ~blk (Linedata.bytes p.Fabric.data)
+              end;
+              Dirstate.set_invalid e))

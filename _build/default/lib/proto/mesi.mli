@@ -1,0 +1,52 @@
+(** The baseline directory-based MESI protocol (Nagarajan et al. [63]).
+
+    Requests are processed atomically at the directory: each transaction
+    runs to completion (probes, forwards, invalidations and all) and
+    reports a total latency computed from the message legs it needed. This
+    "atomic transaction" simplification preserves the event counts and
+    latencies that drive the paper's evaluation while avoiding transient
+    states.
+
+    The WARDen protocol ({!Warden_core.Warden}) delegates to these entry
+    points for every block outside a WARD region, so the two protocols
+    charge identical costs on the common path. *)
+
+type grant = {
+  pstate : States.pstate;  (** State to install in the requestor's cache. *)
+  fill : Bytes.t option;
+      (** Block data to install; [None] for upgrades, which keep the data
+          already held. *)
+  latency : int;  (** Cycles until the requestor has its answer. *)
+}
+
+val handle_request :
+  Fabric.t ->
+  Dirstate.t ->
+  core:int ->
+  blk:int ->
+  write:bool ->
+  holds_s:bool ->
+  grant
+(** An L2 miss (or S-upgrade when [holds_s]) arriving at the directory.
+    Precondition: the directory entry is not [D_W] (callers peel that case
+    off first) and the requestor does not already have sufficient
+    permission. *)
+
+val handle_evict :
+  Fabric.t ->
+  Dirstate.t ->
+  core:int ->
+  blk:int ->
+  pstate:States.pstate ->
+  data:Warden_cache.Linedata.t ->
+  unit
+(** A private hierarchy evicted its copy: PutM (full-line dirty writeback),
+    PutE or PutS. Off the critical path — no latency is charged to the
+    thread, but messages and energy are counted. Precondition: the
+    directory entry is not [D_W]. *)
+
+val flush_block : Fabric.t -> Dirstate.t -> blk:int -> unit
+(** End-of-run drain used before comparing simulated memory against a
+    reference: silently pull every private copy of [blk] into the LLC and
+    invalidate the entry. Not counted as traffic. Handles MESI states only;
+    precondition: not [D_W]. *)

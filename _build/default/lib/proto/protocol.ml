@@ -1,0 +1,78 @@
+module type S = sig
+  type t
+
+  val name : string
+  val create : Fabric.t -> t
+  val fabric : t -> Fabric.t
+
+  val handle_request :
+    t -> core:int -> blk:int -> write:bool -> holds_s:bool -> Mesi.grant
+
+  val handle_evict :
+    t ->
+    core:int ->
+    blk:int ->
+    pstate:States.pstate ->
+    data:Warden_cache.Linedata.t ->
+    unit
+
+  val region_add : t -> lo:int -> hi:int -> bool
+  val is_ward : t -> blk:int -> bool
+  val region_remove : t -> lo:int -> hi:int -> int
+  val flush_all : t -> unit
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+let name (Packed ((module P), _)) = P.name
+let fabric (Packed ((module P), p)) = P.fabric p
+let stats t = (fabric t).Fabric.stats
+
+let handle_request (Packed ((module P), p)) ~core ~blk ~write ~holds_s =
+  P.handle_request p ~core ~blk ~write ~holds_s
+
+let handle_evict (Packed ((module P), p)) ~core ~blk ~pstate ~data =
+  P.handle_evict p ~core ~blk ~pstate ~data
+
+let region_add (Packed ((module P), p)) ~lo ~hi = P.region_add p ~lo ~hi
+let region_remove (Packed ((module P), p)) ~lo ~hi = P.region_remove p ~lo ~hi
+let is_ward (Packed ((module P), p)) ~blk = P.is_ward p ~blk
+let flush_all (Packed ((module P), p)) = P.flush_all p
+
+module Mesi_protocol = struct
+  type t = { fabric : Fabric.t; dir : Dirstate.t }
+
+  let name = "mesi"
+  let create fabric = { fabric; dir = Dirstate.create () }
+  let fabric t = t.fabric
+
+  let handle_request t ~core ~blk ~write ~holds_s =
+    Mesi.handle_request t.fabric t.dir ~core ~blk ~write ~holds_s
+
+  let handle_evict t ~core ~blk ~pstate ~data =
+    Mesi.handle_evict t.fabric t.dir ~core ~blk ~pstate ~data
+
+  (* The region instructions exist in the ISA either way; on a machine
+     without WARDen support they retire with no architectural effect (the
+     attempt is still counted, so runs are comparable). *)
+  let region_add t ~lo:_ ~hi:_ =
+    t.fabric.Fabric.stats.Pstats.ward_adds <-
+      t.fabric.Fabric.stats.Pstats.ward_adds + 1;
+    t.fabric.Fabric.stats.Pstats.ward_rejects <-
+      t.fabric.Fabric.stats.Pstats.ward_rejects + 1;
+    false
+
+  let is_ward _ ~blk:_ = false
+
+  let region_remove t ~lo:_ ~hi:_ =
+    t.fabric.Fabric.stats.Pstats.ward_removes <-
+      t.fabric.Fabric.stats.Pstats.ward_removes + 1;
+    0
+
+  let flush_all t =
+    let blocks = ref [] in
+    Dirstate.iter t.dir (fun blk _ -> blocks := blk :: !blocks);
+    List.iter (fun blk -> Mesi.flush_block t.fabric t.dir ~blk) !blocks
+end
+
+let mesi fabric = Packed ((module Mesi_protocol), Mesi_protocol.create fabric)

@@ -1,0 +1,65 @@
+(** First-class packaging of a coherence protocol.
+
+    The simulator's memory system drives whichever protocol it is given
+    through this interface; MESI ({!Mesi_protocol}) and WARDen
+    ({!Warden_core.Warden}) both implement it. The region operations model
+    the paper's "Add/Remove Region" instructions (§6.1): plain MESI
+    implements them as cheap no-ops so that the same runtime binary runs on
+    both protocols, exactly as WARDen supports unmodified legacy code. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : Fabric.t -> t
+
+  val fabric : t -> Fabric.t
+
+  val handle_request :
+    t -> core:int -> blk:int -> write:bool -> holds_s:bool -> Mesi.grant
+
+  val handle_evict :
+    t ->
+    core:int ->
+    blk:int ->
+    pstate:States.pstate ->
+    data:Warden_cache.Linedata.t ->
+    unit
+
+  val region_add : t -> lo:int -> hi:int -> bool
+  (** Declare [\[lo, hi)] a WARD region. Returns whether the hardware
+      accepted it (a full region CAM refuses). *)
+
+  val is_ward : t -> blk:int -> bool
+  (** Is this block currently inside an active WARD region? Always false
+      for the MESI baseline. Used by invariant checkers, which must exempt
+      W blocks from the single-writer rule. *)
+
+  val region_remove : t -> lo:int -> hi:int -> int
+  (** Remove the region and reconcile its blocks; returns the cycles the
+      announcing thread is charged. *)
+
+  val flush_all : t -> unit
+  (** Drain every cached copy to memory (end-of-run, uncounted). *)
+end
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+val name : t -> string
+val fabric : t -> Fabric.t
+val stats : t -> Pstats.t
+
+val handle_request :
+  t -> core:int -> blk:int -> write:bool -> holds_s:bool -> Mesi.grant
+
+val handle_evict :
+  t -> core:int -> blk:int -> pstate:States.pstate -> data:Warden_cache.Linedata.t -> unit
+
+val region_add : t -> lo:int -> hi:int -> bool
+val region_remove : t -> lo:int -> hi:int -> int
+val is_ward : t -> blk:int -> bool
+val flush_all : t -> unit
+
+val mesi : Fabric.t -> t
+(** Package the baseline MESI protocol. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable dir_accesses : int;
+  mutable invalidations : int;
+  mutable downgrades : int;
+  mutable fwds : int;
+  mutable msgs_ctl_intra : int;
+  mutable msgs_ctl_inter : int;
+  mutable msgs_data_intra : int;
+  mutable msgs_data_inter : int;
+  mutable writebacks : int;
+  mutable l3_hits : int;
+  mutable l3_misses : int;
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+  mutable zero_fills : int;
+  mutable ward_grants : int;
+  mutable ward_adds : int;
+  mutable ward_removes : int;
+  mutable ward_rejects : int;
+  mutable recon_blocks : int;
+  mutable recon_flushes : int;
+}
+
+let create () =
+  {
+    dir_accesses = 0;
+    invalidations = 0;
+    downgrades = 0;
+    fwds = 0;
+    msgs_ctl_intra = 0;
+    msgs_ctl_inter = 0;
+    msgs_data_intra = 0;
+    msgs_data_inter = 0;
+    writebacks = 0;
+    l3_hits = 0;
+    l3_misses = 0;
+    dram_reads = 0;
+    dram_writes = 0;
+    zero_fills = 0;
+    ward_grants = 0;
+    ward_adds = 0;
+    ward_removes = 0;
+    ward_rejects = 0;
+    recon_blocks = 0;
+    recon_flushes = 0;
+  }
+
+let total_msgs t =
+  t.msgs_ctl_intra + t.msgs_ctl_inter + t.msgs_data_intra + t.msgs_data_inter
+
+let copy t = { t with dir_accesses = t.dir_accesses }
+
+let diff ~baseline t =
+  {
+    dir_accesses = baseline.dir_accesses - t.dir_accesses;
+    invalidations = baseline.invalidations - t.invalidations;
+    downgrades = baseline.downgrades - t.downgrades;
+    fwds = baseline.fwds - t.fwds;
+    msgs_ctl_intra = baseline.msgs_ctl_intra - t.msgs_ctl_intra;
+    msgs_ctl_inter = baseline.msgs_ctl_inter - t.msgs_ctl_inter;
+    msgs_data_intra = baseline.msgs_data_intra - t.msgs_data_intra;
+    msgs_data_inter = baseline.msgs_data_inter - t.msgs_data_inter;
+    writebacks = baseline.writebacks - t.writebacks;
+    l3_hits = baseline.l3_hits - t.l3_hits;
+    l3_misses = baseline.l3_misses - t.l3_misses;
+    dram_reads = baseline.dram_reads - t.dram_reads;
+    dram_writes = baseline.dram_writes - t.dram_writes;
+    zero_fills = baseline.zero_fills - t.zero_fills;
+    ward_grants = baseline.ward_grants - t.ward_grants;
+    ward_adds = baseline.ward_adds - t.ward_adds;
+    ward_removes = baseline.ward_removes - t.ward_removes;
+    ward_rejects = baseline.ward_rejects - t.ward_rejects;
+    recon_blocks = baseline.recon_blocks - t.recon_blocks;
+    recon_flushes = baseline.recon_flushes - t.recon_flushes;
+  }

@@ -1,0 +1,41 @@
+(** Mutable counters maintained by the coherence protocols.
+
+    The evaluation figures are all computed from differences of these
+    counters between a MESI run and a WARDen run of the same program. *)
+
+type t = {
+  mutable dir_accesses : int;
+  mutable invalidations : int;
+      (** Private cache copies invalidated by coherence actions, counted per
+          cache level holding the line (the paper counts "per cache"). *)
+  mutable downgrades : int;
+      (** Private cache copies downgraded M/E→S by Fwd-GetS, counted per
+          cache level. *)
+  mutable fwds : int;  (** Fwd-GetS/GetM transactions sent to an owner. *)
+  mutable msgs_ctl_intra : int;
+  mutable msgs_ctl_inter : int;
+  mutable msgs_data_intra : int;
+  mutable msgs_data_inter : int;
+  mutable writebacks : int;  (** Dirty private lines written to the LLC. *)
+  mutable l3_hits : int;
+  mutable l3_misses : int;
+  mutable dram_reads : int;
+  mutable dram_writes : int;
+  mutable zero_fills : int;
+      (** LLC misses satisfied by zero-filling never-written memory. *)
+  mutable ward_grants : int;  (** Requests satisfied in the W state. *)
+  mutable ward_adds : int;
+  mutable ward_removes : int;
+  mutable ward_rejects : int;  (** Region adds refused by a full CAM. *)
+  mutable recon_blocks : int;  (** Blocks processed by reconciliation. *)
+  mutable recon_flushes : int;  (** Private copies flushed by reconciliation. *)
+}
+
+val create : unit -> t
+
+val total_msgs : t -> int
+
+val copy : t -> t
+
+val diff : baseline:t -> t -> t
+(** Field-wise [baseline - t]: how many events the run under test avoided. *)

@@ -1,0 +1,13 @@
+type dstate = D_I | D_S | D_E | D_M | D_W
+
+type pstate = P_S | P_E | P_M
+
+let grant_pstate ~write = if write then P_M else P_E
+
+let pp_dstate fmt s =
+  Format.pp_print_string fmt
+    (match s with D_I -> "I" | D_S -> "S" | D_E -> "E" | D_M -> "M" | D_W -> "W")
+
+let pp_pstate fmt s =
+  Format.pp_print_string fmt
+    (match s with P_S -> "S" | P_E -> "E" | P_M -> "M")

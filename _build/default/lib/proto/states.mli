@@ -1,0 +1,23 @@
+(** Coherence state vocabularies.
+
+    [dstate] is the directory's per-block state: the four MESI states plus
+    WARDen's W state (§5.1). The baseline MESI protocol never produces [W];
+    it is part of the shared vocabulary so that the directory, the fabric
+    and both protocols agree on types.
+
+    [pstate] is the state a private cache believes its copy is in. WARDen
+    deliberately leaves private caches unmodified (§5.1), so there is no
+    private W state: under W the directory hands out ordinary E/M grants. *)
+
+type dstate = D_I | D_S | D_E | D_M | D_W
+
+type pstate = P_S | P_E | P_M
+(** Invalid lines are simply absent from the private cache. *)
+
+val grant_pstate : write:bool -> pstate
+(** What a WARD-state or I-state grant installs privately: [M] for writes,
+    [E] for reads (WARDen returns exclusive copies to readers, §5.1; MESI
+    does the same from [D_I] — the E-state optimization). *)
+
+val pp_dstate : Format.formatter -> dstate -> unit
+val pp_pstate : Format.formatter -> pstate -> unit

@@ -1,0 +1,1 @@
+lib/runtime/heap.ml: Engine Hashtbl List Memsys Rtparams Warden_sim

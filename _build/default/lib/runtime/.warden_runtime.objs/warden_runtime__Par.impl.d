@@ -1,0 +1,1 @@
+lib/runtime/par.ml: Array Deque Effect Engine Fun Heap Int64 Memsys Option Rtparams Splitmix Warden_machine Warden_sim Warden_util

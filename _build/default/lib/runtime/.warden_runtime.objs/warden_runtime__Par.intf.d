@@ -1,0 +1,1 @@
+lib/runtime/par.mli: Heap Rtparams Warden_sim

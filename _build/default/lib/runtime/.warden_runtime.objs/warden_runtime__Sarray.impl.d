@@ -1,0 +1,1 @@
+lib/runtime/sarray.ml: Int64 Par Printf Warden_sim

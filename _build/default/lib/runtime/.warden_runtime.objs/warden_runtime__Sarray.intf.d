@@ -1,0 +1,1 @@
+lib/runtime/sarray.mli: Warden_sim

@@ -1,0 +1,139 @@
+open Warden_sim
+
+type page = {
+  base : int;
+  bytes : int;
+  mutable ward : bool;
+  mutable owner : t;
+}
+
+and t = {
+  heap_id : int;
+  parent : t option;
+  depth : int;
+  mutable pages : page list;
+  mutable marked : page list;
+  mutable cur : page option;
+  mutable cur_off : int;
+}
+
+(* Page registry: maps page-size-aligned chunks of the simulated address
+   space to the heap page occupying them. One simulation at a time. *)
+let chunk_bits = 12
+let registry : (int, page) Hashtbl.t = Hashtbl.create 4096
+let next_id = ref 0
+
+let region_hook : ([ `Add | `Remove ] -> lo:int -> hi:int -> unit) option ref =
+  ref None
+
+let notify_region which ~lo ~hi =
+  match !region_hook with None -> () | Some f -> f which ~lo ~hi
+
+let reset_registry () =
+  Hashtbl.reset registry;
+  next_id := 0
+
+let fresh _ms _params ~parent =
+  incr next_id;
+  {
+    heap_id = !next_id;
+    parent;
+    depth = (match parent with None -> 0 | Some p -> p.depth + 1);
+    pages = [];
+    marked = [];
+    cur = None;
+    cur_off = 0;
+  }
+
+let register_page page =
+  let lo = page.base lsr chunk_bits in
+  let hi = (page.base + page.bytes - 1) lsr chunk_bits in
+  for c = lo to hi do
+    Hashtbl.replace registry c page
+  done
+
+let round_up n align = (n + align - 1) land lnot (align - 1)
+
+let new_page ms (params : Rtparams.t) heap ~bytes =
+  let size = round_up (max bytes params.Rtparams.page_bytes) 4096 in
+  let base = Memsys.alloc ms ~bytes:size ~align:4096 in
+  Engine.Ops.tick params.Rtparams.page_cost;
+  let page = { base; bytes = size; ward = false; owner = heap } in
+  heap.pages <- page :: heap.pages;
+  register_page page;
+  if params.Rtparams.mark_leaf_pages then begin
+    (* The Add-Region instruction. The runtime tracks its marking intent
+       whether or not the hardware accepted (a full CAM, or a machine
+       without WARDen support, refuses); the later Remove-Region is
+       idempotent on unregistered regions. *)
+    ignore (Engine.Ops.region_add ~lo:base ~hi:(base + size));
+    notify_region `Add ~lo:base ~hi:(base + size);
+    page.ward <- true;
+    heap.marked <- page :: heap.marked
+  end;
+  page
+
+let alloc ms params heap ~bytes =
+  if bytes <= 0 then invalid_arg "Heap.alloc";
+  Engine.Ops.tick params.Rtparams.alloc_cost;
+  let size = round_up bytes 8 in
+  let fits =
+    match heap.cur with
+    | Some p -> heap.cur_off + size <= p.bytes
+    | None -> false
+  in
+  if (not fits) || size > params.Rtparams.page_bytes then begin
+    if size > params.Rtparams.page_bytes then begin
+      (* Dedicated page for a large object; keep bumping in the old page. *)
+      let p = new_page ms params heap ~bytes:size in
+      p.base
+    end
+    else begin
+      let p = new_page ms params heap ~bytes:size in
+      heap.cur <- Some p;
+      heap.cur_off <- size;
+      p.base
+    end
+  end
+  else begin
+    match heap.cur with
+    | Some p ->
+        let addr = p.base + heap.cur_off in
+        heap.cur_off <- heap.cur_off + size;
+        addr
+    | None -> assert false
+  end
+
+let unmark_all heap =
+  List.iter
+    (fun page ->
+      if page.ward then begin
+        page.ward <- false;
+        (* Remove-Region instruction: triggers reconciliation. *)
+        Engine.Ops.region_remove ~lo:page.base ~hi:(page.base + page.bytes);
+        notify_region `Remove ~lo:page.base ~hi:(page.base + page.bytes)
+      end)
+    heap.marked;
+  heap.marked <- []
+
+let merge_into ~child ~parent =
+  List.iter
+    (fun page ->
+      page.owner <- parent;
+      Engine.Ops.tick 1)
+    child.pages;
+  parent.pages <- List.rev_append child.pages parent.pages;
+  parent.marked <- List.rev_append child.marked parent.marked;
+  child.pages <- [];
+  child.marked <- [];
+  child.cur <- None
+
+let owner_of addr =
+  match Hashtbl.find_opt registry (addr lsr chunk_bits) with
+  | Some page when addr >= page.base && addr < page.base + page.bytes ->
+      Some page.owner
+  | _ -> None
+
+let rec is_ancestor_or_self h ~of_ =
+  h == of_
+  || match of_.parent with None -> false | Some p -> is_ancestor_or_self h ~of_:p

@@ -1,0 +1,59 @@
+(** The heap hierarchy (§2.1, Fig. 2): a dynamic tree of heaps mirroring
+    the spawn tree, each a list of pages filled by bump allocation.
+
+    Fresh pages allocated by a leaf task are announced to the hardware as
+    WARD regions; a heap's marked pages are unmarked (reconciled) at forks,
+    and a child's remaining marked pages are unmarked when the child's heap
+    merges into its parent at a join (see DESIGN.md on join-time
+    reconciliation). *)
+
+type page = {
+  base : int;
+  bytes : int;
+  mutable ward : bool;  (** Currently registered as a WARD region. *)
+  mutable owner : t;  (** Heap the page currently belongs to. *)
+}
+
+and t = {
+  heap_id : int;
+  parent : t option;
+  depth : int;
+  mutable pages : page list;
+  mutable marked : page list;  (** Subset of [pages] currently WARD. *)
+  mutable cur : page option;  (** Bump target. *)
+  mutable cur_off : int;
+}
+
+val fresh :
+  Warden_sim.Memsys.t -> Rtparams.t -> parent:t option -> t
+(** A new empty heap (pages materialize on first allocation). *)
+
+val alloc : Warden_sim.Memsys.t -> Rtparams.t -> t -> bytes:int -> int
+(** Bump-allocate naturally-aligned zeroed space in the heap, taking a new
+    page (and marking it WARD when the policy says so) as needed. Charges
+    allocation instructions through the engine; must be called inside a
+    run. Allocations larger than the page size get a dedicated page. *)
+
+val unmark_all : t -> unit
+(** Remove every WARD region of this heap (performed at forks and when the
+    heap merges into its parent); charges reconciliation latency. *)
+
+val merge_into : child:t -> parent:t -> unit
+(** Move the child's pages into the parent (join). Pages still marked WARD
+    stay marked and join the parent's marked set (the last-finisher
+    optimization: the parent resumes on the same hardware thread, so the
+    WARD property is preserved; see DESIGN.md). *)
+
+val owner_of : int -> t option
+(** Heap currently owning the page containing this address, if it was heap
+    memory (global lookup used by the disentanglement oracle). *)
+
+val is_ancestor_or_self : t -> of_:t -> bool
+(** [is_ancestor_or_self h ~of_:leaf]: is [h] on [leaf]'s root path? *)
+
+val reset_registry : unit -> unit
+(** Clear the global page registry (between runs). *)
+
+val region_hook : ([ `Add | `Remove ] -> lo:int -> hi:int -> unit) option ref
+(** Observer of the runtime's region marking/unmarking (even when the
+    hardware rejects a mark); used by the trace oracles. *)

@@ -1,0 +1,379 @@
+open Warden_util
+open Warden_sim
+module Ops = Engine.Ops
+
+type rstats = {
+  mutable forks : int;
+  mutable tasks : int;
+  mutable steals : int;
+  mutable steal_attempts : int;
+  mutable allocs : int;
+  mutable heap_pages : int;
+}
+
+type tcb = { task_id : int; heap : Heap.t }
+
+type task = { exec : unit -> unit }
+
+type sched = {
+  eng : Engine.t;
+  ms : Memsys.t;
+  params : Rtparams.t;
+  nworkers : int;
+  deques : task Deque.t array;
+  lock_addr : int array; (* simulated per-deque lock word *)
+  rngs : Splitmix.t array;
+  ctx : tcb option array;
+  stats : rstats;
+  mutable scratch : int; (* bump pointer for never-marked handoff space *)
+  mutable scratch_end : int;
+  mutable next_task : int;
+  mutable finished : bool;
+}
+
+let cur_sched : sched option ref = ref None
+
+let sched () =
+  match !cur_sched with
+  | Some s -> s
+  | None -> failwith "Par: no active run"
+
+type access_kind = R | W | RMW
+
+let access_hook :
+    (access_kind -> addr:int -> size:int -> value:int64 -> unit) option ref =
+  ref None
+
+let set_access_hook f = access_hook := Some f
+let clear_access_hook () = access_hook := None
+
+let hook kind ~addr ~size ~value =
+  match !access_hook with None -> () | Some f -> f kind ~addr ~size ~value
+
+(* --- user-facing memory operations ------------------------------------ *)
+
+let read addr ~size =
+  hook R ~addr ~size ~value:0L;
+  Ops.load addr ~size
+
+let write addr ~size v =
+  hook W ~addr ~size ~value:v;
+  Ops.store addr ~size v
+
+let cas addr ~size ~expected ~desired =
+  hook RMW ~addr ~size ~value:desired;
+  Ops.cas addr ~size ~expected ~desired
+
+let fetch_add addr ~size delta =
+  hook RMW ~addr ~size ~value:0L;
+  Ops.fetch_add addr ~size delta
+
+let tick = Ops.tick
+
+let current_tcb () =
+  match !cur_sched with None -> None | Some s -> s.ctx.(Ops.tid ())
+
+let current_heap () = Option.map (fun t -> t.heap) (current_tcb ())
+
+let memsys () = (sched ()).ms
+
+let alloc ~bytes =
+  let s = sched () in
+  match s.ctx.(Ops.tid ()) with
+  | None -> failwith "Par.alloc: no current task"
+  | Some tcb ->
+      s.stats.allocs <- s.stats.allocs + 1;
+      Heap.alloc s.ms s.params tcb.heap ~bytes
+
+(* Never-marked allocation for fork metadata when the ablation disables
+   heap-resident handoff. *)
+let scratch_alloc s bytes =
+  let size = (bytes + 63) land lnot 63 in
+  if s.scratch + size > s.scratch_end then begin
+    s.scratch <- Memsys.alloc s.ms ~bytes:65536 ~align:4096;
+    s.scratch_end <- s.scratch + 65536
+  end;
+  let a = s.scratch in
+  s.scratch <- s.scratch + size;
+  a
+
+(* --- fork-join machinery ----------------------------------------------- *)
+
+type _ Effect.t += Par2 : (unit -> 'a) * (unit -> 'b) -> ('a * 'b) Effect.t
+
+let par2 fa fb = Effect.perform (Par2 (fa, fb))
+
+let new_task_id s =
+  s.next_task <- s.next_task + 1;
+  s.next_task
+
+(* Run [f] in a fresh task context (fresh heap child of [parent_heap]);
+   returns through [finish]. The descriptor reads model the child fetching
+   its closure from the forking task's memory. *)
+let child_body s ~parent_heap ~desc ~join_ctr ~slot ~finish f () =
+  let tid = Ops.tid () in
+  let heap = Heap.fresh s.ms s.params ~parent:(Some parent_heap) in
+  let tcb = { task_id = new_task_id s; heap } in
+  s.stats.tasks <- s.stats.tasks + 1;
+  s.ctx.(tid) <- Some tcb;
+  (* Prologue: fetch the function pointer, environment and join info. *)
+  for i = 0 to 3 do
+    ignore (Ops.load (desc + (8 * i)) ~size:8)
+  done;
+  let v = f () in
+  (* Publish the result in the parent's join frame (as MPL does: results
+     are pointers written into the suspended parent's frame), then join. *)
+  Ops.store slot ~size:8 1L;
+  Ops.tick s.params.Rtparams.join_cost;
+  (* Join-time reconciliation: a non-last child's WARD data will be read
+     by the parent from another hardware thread, so it must be unmarked
+     (flushed) now. The last finisher keeps its pages marked — the parent
+     resumes on this very hardware thread, so no cross-thread RAW arises
+     (§3.1 is a hardware-thread property) and the pages stay WARD until
+     the parent's own next fork or join. The pre-read of the counter is a
+     heuristic: racing siblings may both flush, which is merely the
+     conservative outcome. *)
+  if Ops.load join_ctr ~size:8 > 1L then Heap.unmark_all heap;
+  Heap.merge_into ~child:heap ~parent:parent_heap;
+  finish v;
+  let old = Ops.fetch_add join_ctr ~size:8 (-1L) in
+  old = 1L (* true when this child is the last to finish *)
+
+let rec task_handler : sched -> (unit, unit) Effect.Deep.handler =
+ fun s ->
+  let open Effect.Deep in
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Par2 (fa, fb) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let tid = Ops.tid () in
+                let parent =
+                  match s.ctx.(tid) with
+                  | Some t -> t
+                  | None -> assert false
+                in
+                s.stats.forks <- s.stats.forks + 1;
+                Ops.tick s.params.Rtparams.fork_cost;
+                let halloc bytes =
+                  if s.params.Rtparams.handoff_in_heap then
+                    Heap.alloc s.ms s.params parent.heap ~bytes
+                  else scratch_alloc s bytes
+                in
+                (* Fork-time handoff: the descriptor the stolen child will
+                   read lives in the forking task's heap, written before
+                   the fork point so the unmark below flushes it to the
+                   shared cache (the §5.3 software optimization). The join
+                   counter and result slots are scheduler state (as in
+                   MPL): they are write-shared synchronization words, so
+                   they live in never-marked runtime memory. *)
+                let desc = halloc 32 in
+                (* Padded to a cache line so unrelated forks' sync words
+                   never share a block. *)
+                let sync = scratch_alloc s 64 in
+                let join_ctr = sync in
+                let slot_a = sync + 8 in
+                let slot_b = sync + 16 in
+                for i = 0 to 3 do
+                  Ops.store (desc + (8 * i)) ~size:8 (Int64.of_int (desc + i))
+                done;
+                Ops.store join_ctr ~size:8 2L;
+                (* The fork makes this heap internal: unmark its pages. *)
+                Heap.unmark_all parent.heap;
+                let ra = ref None and rb = ref None in
+                let resume () =
+                  let ftid = Ops.tid () in
+                  (* The parent resumes on the last finisher's core and
+                     touches both children's results. *)
+                  ignore (Ops.load slot_a ~size:8);
+                  ignore (Ops.load slot_b ~size:8);
+                  s.ctx.(ftid) <- Some parent;
+                  match (!ra, !rb) with
+                  | Some va, Some vb -> continue k (va, vb)
+                  | _ -> assert false
+                in
+                let right =
+                  {
+                    exec =
+                      (fun () ->
+                        if
+                          child_body s ~parent_heap:parent.heap ~desc ~join_ctr
+                            ~slot:slot_b
+                            ~finish:(fun v -> rb := Some v)
+                            fb ()
+                        then resume ());
+                  }
+                in
+                Deque.push_bottom s.deques.(tid) right;
+                (* Run the left child inline, as its own task. *)
+                let left_body () =
+                  if
+                    child_body s ~parent_heap:parent.heap ~desc ~join_ctr
+                      ~slot:slot_a
+                      ~finish:(fun v -> ra := Some v)
+                      fa ()
+                  then resume ()
+                in
+                match_with left_body () (task_handler s))
+        | _ -> None)
+  }
+
+let run_task s task = Effect.Deep.match_with task.exec () (task_handler s)
+
+(* One steal attempt, Chase-Lev style: read the victim's published top
+   pointer first (a cheap shared load that stays cached while the victim's
+   deque is quiet), and only contend with a CAS when there appears to be
+   work. Returns true if a task was executed. *)
+let try_steal s tid rng =
+  s.stats.steal_attempts <- s.stats.steal_attempts + 1;
+  Ops.stall s.params.Rtparams.steal_probe_cost;
+  let victim =
+    let v = Splitmix.int rng (s.nworkers - 1) in
+    if v >= tid then v + 1 else v
+  in
+  (* The lock word doubles as the victim's "age" publication: loading it
+     is the thief's peek. *)
+  ignore (Ops.load s.lock_addr.(victim) ~size:8);
+  if Deque.is_empty s.deques.(victim) then false
+  else if Ops.cas s.lock_addr.(victim) ~size:8 ~expected:0L ~desired:1L then begin
+    let stolen = Deque.steal_top s.deques.(victim) in
+    Ops.store s.lock_addr.(victim) ~size:8 0L;
+    match stolen with
+    | Some task ->
+        s.stats.steals <- s.stats.steals + 1;
+        Ops.stall s.params.Rtparams.steal_move_cost;
+        run_task s task;
+        true
+    | None -> false
+  end
+  else false
+
+let worker s tid () =
+  let rng = s.rngs.(tid) in
+  let base = s.params.Rtparams.idle_backoff in
+  let backoff = ref base in
+  let rec loop () =
+    if not s.finished then begin
+      (match Deque.pop_bottom s.deques.(tid) with
+      | Some task ->
+          backoff := base;
+          run_task s task
+      | None ->
+          if try_steal s tid rng then backoff := base
+          else begin
+            (* Exponential backoff keeps idle workers from flooding the
+               interconnect with probe traffic. *)
+            Ops.stall !backoff;
+            backoff := min (16 * base) (2 * !backoff)
+          end);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- derived combinators ------------------------------------------------ *)
+
+let default_grain () = (sched ()).params.Rtparams.default_grain
+
+let rec parfor ?grain lo hi f =
+  let g = match grain with Some g -> max 1 g | None -> default_grain () in
+  if hi - lo <= g then
+    for i = lo to hi - 1 do
+      f i
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    ignore (par2 (fun () -> parfor ~grain:g lo mid f) (fun () -> parfor ~grain:g mid hi f))
+  end
+
+let rec parreduce ?grain lo hi ~map ~combine ~init =
+  let g = match grain with Some g -> max 1 g | None -> default_grain () in
+  if hi <= lo then init
+  else if hi - lo <= g then begin
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := combine !acc (map i)
+    done;
+    !acc
+  end
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let a, b =
+      par2
+        (fun () -> parreduce ~grain:g lo mid ~map ~combine ~init)
+        (fun () -> parreduce ~grain:g mid hi ~map ~combine ~init)
+    in
+    combine a b
+  end
+
+(* --- top level ----------------------------------------------------------- *)
+
+let run ?(params = Rtparams.default) ?workers eng main =
+  if !cur_sched <> None then failwith "Par.run: already running";
+  let cfg = Engine.config eng in
+  let nthreads = Warden_machine.Config.num_threads cfg in
+  let nworkers =
+    match workers with
+    | None -> nthreads
+    | Some w ->
+        if w < 1 || w > nthreads then invalid_arg "Par.run: workers";
+        w
+  in
+  let ms = Engine.memsys eng in
+  Heap.reset_registry ();
+  let s =
+    {
+      eng;
+      ms;
+      params;
+      nworkers;
+      deques = Array.init nworkers (fun _ -> Deque.create ());
+      lock_addr =
+        Array.init nworkers (fun _ -> Memsys.alloc ms ~bytes:64 ~align:64);
+      rngs =
+        Array.init nworkers (fun i ->
+            Splitmix.make (Int64.add params.Rtparams.seed (Int64.of_int i)));
+      ctx = Array.make nthreads None;
+      stats =
+        {
+          forks = 0;
+          tasks = 0;
+          steals = 0;
+          steal_attempts = 0;
+          allocs = 0;
+          heap_pages = 0;
+        };
+      scratch = 0;
+      scratch_end = 0;
+      next_task = 0;
+      finished = false;
+    }
+  in
+  cur_sched := Some s;
+  let result = ref None in
+  let root =
+    {
+      exec =
+        (fun () ->
+          let tid = Ops.tid () in
+          let heap = Heap.fresh ms params ~parent:None in
+          s.ctx.(tid) <- Some { task_id = new_task_id s; heap };
+          s.stats.tasks <- s.stats.tasks + 1;
+          let v = main () in
+          Heap.unmark_all heap;
+          result := Some v;
+          s.finished <- true);
+    }
+  in
+  Deque.push_bottom s.deques.(0) root;
+  let bodies = Array.init nworkers (fun tid -> worker s tid) in
+  Fun.protect
+    ~finally:(fun () -> cur_sched := None)
+    (fun () -> ignore (Engine.run eng bodies));
+  match !result with
+  | Some v -> (v, s.stats)
+  | None -> failwith "Par.run: root task did not complete"

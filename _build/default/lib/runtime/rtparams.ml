@@ -1,0 +1,30 @@
+type t = {
+  page_bytes : int;
+  fork_cost : int;
+  join_cost : int;
+  alloc_cost : int;
+  page_cost : int;
+  steal_probe_cost : int;
+  steal_move_cost : int;
+  idle_backoff : int;
+  mark_leaf_pages : bool;
+  handoff_in_heap : bool;
+  default_grain : int;
+  seed : int64;
+}
+
+let default =
+  {
+    page_bytes = 4096;
+    fork_cost = 24;
+    join_cost = 16;
+    alloc_cost = 2;
+    page_cost = 30;
+    steal_probe_cost = 40;
+    steal_move_cost = 120;
+    idle_backoff = 60;
+    mark_leaf_pages = true;
+    handoff_in_heap = true;
+    default_grain = 512;
+    seed = 0x5EEDL;
+  }

@@ -1,0 +1,32 @@
+(** Tunables of the MPL-like runtime.
+
+    The costs are charged through the engine as instructions ([tick]) or
+    pure delay ([stall]) and stand in for the host-side work of the real
+    scheduler/allocator, which the simulator does not execute. *)
+
+type t = {
+  page_bytes : int;  (** Heap page size; WARD regions are whole pages. *)
+  fork_cost : int;  (** Instructions to create and enqueue one child task. *)
+  join_cost : int;  (** Instructions for one child's join bookkeeping. *)
+  alloc_cost : int;  (** Instructions per bump allocation. *)
+  page_cost : int;  (** Instructions to grab and link a fresh page. *)
+  steal_probe_cost : int;  (** Cycles per steal attempt beyond its CAS. *)
+  steal_move_cost : int;  (** Cycles to migrate a stolen task. *)
+  idle_backoff : int;  (** Cycles an idle worker waits between probes. *)
+  mark_leaf_pages : bool;
+      (** The paper's policy: mark fresh leaf-heap pages as WARD regions.
+          [false] degenerates to plain MESI behaviour even under the
+          WARDen protocol (ablation). *)
+  handoff_in_heap : bool;
+      (** Allocate fork descriptors in the forking task's heap (default),
+          so the unmark-at-fork reconciliation proactively flushes them to
+          the LLC before a stolen child reads them — the §5.3 software
+          optimization. [false] places them in never-marked scratch space,
+          isolating that win (ablation). Join counters and result slots are
+          scheduler synchronization state and always live outside the heap,
+          as in MPL. *)
+  default_grain : int;  (** Default parallel-for grain. *)
+  seed : int64;  (** Seed for steal-victim selection. *)
+}
+
+val default : t

@@ -1,0 +1,51 @@
+type t = { base : int; len : int; elt : int }
+
+let create ~len ~elt_bytes =
+  (match elt_bytes with
+  | 1 | 2 | 4 | 8 -> ()
+  | _ -> invalid_arg "Sarray.create: elt_bytes");
+  if len < 0 then invalid_arg "Sarray.create: len";
+  let base = Par.alloc ~bytes:(max 8 (len * elt_bytes)) in
+  { base; len; elt = elt_bytes }
+
+let length t = t.len
+
+let addr t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Sarray: index %d out of [0,%d)" i t.len);
+  t.base + (i * t.elt)
+
+let get t i = Par.read (addr t i) ~size:t.elt
+let set t i v = Par.write (addr t i) ~size:t.elt v
+
+let get_i t i = Int64.to_int (get t i)
+let set_i t i v = set t i (Int64.of_int v)
+
+let need_f t = if t.elt <> 8 then invalid_arg "Sarray: floats need 8-byte elements"
+
+let get_f t i =
+  need_f t;
+  Int64.float_of_bits (get t i)
+
+let set_f t i v =
+  need_f t;
+  set t i (Int64.bits_of_float v)
+
+let cas_i t i ~expected ~desired =
+  Par.cas (addr t i) ~size:t.elt ~expected:(Int64.of_int expected)
+    ~desired:(Int64.of_int desired)
+
+let fetch_add_i t i delta =
+  Int64.to_int (Par.fetch_add (addr t i) ~size:t.elt (Int64.of_int delta))
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Sarray.sub";
+  { base = t.base + (pos * t.elt); len; elt = t.elt }
+
+let init_host ms t f =
+  for i = 0 to t.len - 1 do
+    Warden_sim.Memsys.poke ms (t.base + (i * t.elt)) ~size:t.elt (f i)
+  done
+
+let peek_host ms t i =
+  Warden_sim.Memsys.peek ms (t.base + (i * t.elt)) ~size:t.elt

@@ -1,0 +1,42 @@
+(** Flat arrays in simulated memory, the workhorse data structure of the
+    benchmark suite (MPL sequences).
+
+    An array is a base address plus element geometry; every [get]/[set]
+    goes through the simulated memory system (and the access hook).
+    Element sizes of 1, 2, 4 or 8 bytes are supported; floats are stored
+    as IEEE bits in 8-byte elements. *)
+
+type t = { base : int; len : int; elt : int }
+
+val create : len:int -> elt_bytes:int -> t
+(** Allocate in the current task's heap (so fresh pages are WARD-marked
+    per policy). Must be called inside a run. *)
+
+val length : t -> int
+
+val get : t -> int -> int64
+val set : t -> int -> int64 -> unit
+
+val get_i : t -> int -> int
+val set_i : t -> int -> int -> unit
+
+val get_f : t -> int -> float
+val set_f : t -> int -> float -> unit
+(** Floats require 8-byte elements. *)
+
+val cas_i : t -> int -> expected:int -> desired:int -> bool
+val fetch_add_i : t -> int -> int -> int
+
+val addr : t -> int -> int
+(** Address of element [i] (bounds-checked). *)
+
+val sub : t -> pos:int -> len:int -> t
+(** View of a contiguous slice (no copy). *)
+
+val init_host : Warden_sim.Memsys.t -> t -> (int -> int64) -> unit
+(** Fill directly in the backing store, bypassing caches and time —
+    used to materialize benchmark {e inputs} before measurement, like
+    loading a PBBS input file. Only safe before any simulated access. *)
+
+val peek_host : Warden_sim.Memsys.t -> t -> int -> int64
+(** Read element [i] from the backing store (after {!Memsys.flush_all}). *)

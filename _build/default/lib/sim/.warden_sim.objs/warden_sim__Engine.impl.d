@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Addr Array Config Effect Energy Int64 Memsys Pqueue Queue Sstats Warden_machine Warden_mem Warden_util

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Memsys Warden_machine Warden_mem

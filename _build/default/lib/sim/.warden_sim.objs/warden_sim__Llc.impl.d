@@ -1,0 +1,1 @@
+lib/sim/llc.ml: Array Bytes Config Linedata Sa Store Warden_cache Warden_machine Warden_mem

@@ -1,0 +1,1 @@
+lib/sim/llc.mli: Bytes Warden_cache Warden_machine Warden_mem

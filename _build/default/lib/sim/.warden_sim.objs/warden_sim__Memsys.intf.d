@@ -1,0 +1,1 @@
+lib/sim/memsys.mli: Sstats Warden_machine Warden_mem Warden_proto

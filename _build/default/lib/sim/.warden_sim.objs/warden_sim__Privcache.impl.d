@@ -1,0 +1,1 @@
+lib/sim/privcache.ml: Config Fabric Linedata Printf Sa States Warden_cache Warden_machine Warden_proto

@@ -1,0 +1,1 @@
+lib/sim/privcache.mli: Bytes Warden_cache Warden_machine Warden_proto

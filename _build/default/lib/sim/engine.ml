@@ -1,0 +1,189 @@
+open Warden_util
+open Warden_mem
+open Warden_machine
+
+type _ Effect.t +=
+  | E_load : (Addr.t * int) -> int64 Effect.t
+  | E_store : (Addr.t * int * int64) -> unit Effect.t
+  | E_rmw : (Addr.t * int * (int64 -> int64)) -> int64 Effect.t
+  | E_tick : int -> unit Effect.t
+  | E_stall : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_tid : int Effect.t
+  | E_region_add : (int * int) -> bool Effect.t
+  | E_region_remove : (int * int) -> unit Effect.t
+  | E_yield : unit Effect.t
+
+type tstate = {
+  tid : int;
+  mutable time : int;
+  sb : int Queue.t; (* completion times of buffered stores, oldest first *)
+}
+
+type t = {
+  ms : Memsys.t;
+  cfg : Config.t;
+  runq : (unit -> unit) Pqueue.t;
+  threads : tstate array;
+  mutable used_threads : int;
+  mutable ran : bool;
+}
+
+let create cfg ~proto =
+  {
+    ms = Memsys.create cfg ~proto;
+    cfg;
+    runq = Pqueue.create ();
+    threads =
+      Array.init (Config.num_threads cfg) (fun tid ->
+          { tid; time = 0; sb = Queue.create () });
+    used_threads = 0;
+    ran = false;
+  }
+
+let memsys t = t.ms
+let config t = t.cfg
+
+let retire t (st : tstate) n =
+  let s = Memsys.sstats t.ms in
+  s.Sstats.instructions <- s.Sstats.instructions + n;
+  s.Sstats.per_thread_instructions.(st.tid) <-
+    s.Sstats.per_thread_instructions.(st.tid) + n
+
+let drain_ready st =
+  while (not (Queue.is_empty st.sb)) && Queue.peek st.sb <= st.time do
+    ignore (Queue.pop st.sb)
+  done
+
+(* A TSO fence: wait for every buffered store to complete. *)
+let drain_all st =
+  while not (Queue.is_empty st.sb) do
+    st.time <- max st.time (Queue.pop st.sb)
+  done
+
+let handler t st =
+  let open Effect.Deep in
+  let schedule k work =
+    Pqueue.add t.runq ~prio:st.time (fun () -> continue k (work ()))
+  in
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_tick n ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                st.time <- st.time + n;
+                retire t st n;
+                continue k ())
+        | E_stall n ->
+            Some
+              (fun k ->
+                st.time <- st.time + n;
+                continue k ())
+        | E_now -> Some (fun k -> continue k st.time)
+        | E_tid -> Some (fun k -> continue k st.tid)
+        | E_yield -> Some (fun k -> schedule k (fun () -> ()))
+        | E_load (addr, size) ->
+            Some
+              (fun k ->
+                schedule k (fun () ->
+                    let v, lat = Memsys.load t.ms ~thread:st.tid addr ~size in
+                    st.time <- st.time + lat;
+                    retire t st 1;
+                    v))
+        | E_store (addr, size, v) ->
+            Some
+              (fun k ->
+                schedule k (fun () ->
+                    drain_ready st;
+                    if Queue.length st.sb >= t.cfg.Config.store_buffer_entries
+                    then begin
+                      (Memsys.sstats t.ms).Sstats.sb_stalls <-
+                        (Memsys.sstats t.ms).Sstats.sb_stalls + 1;
+                      st.time <- max st.time (Queue.pop st.sb)
+                    end;
+                    let lat = Memsys.store t.ms ~thread:st.tid addr ~size v in
+                    Queue.push (st.time + lat) st.sb;
+                    st.time <- st.time + 1;
+                    retire t st 1))
+        | E_rmw (addr, size, f) ->
+            Some
+              (fun k ->
+                schedule k (fun () ->
+                    drain_all st;
+                    let old, lat = Memsys.rmw t.ms ~thread:st.tid addr ~size f in
+                    st.time <- st.time + lat + 2;
+                    retire t st 1;
+                    old))
+        | E_region_add (lo, hi) ->
+            Some
+              (fun k ->
+                schedule k (fun () ->
+                    st.time <- st.time + 1;
+                    retire t st 1;
+                    Memsys.region_add t.ms ~lo ~hi))
+        | E_region_remove (lo, hi) ->
+            Some
+              (fun k ->
+                schedule k (fun () ->
+                    let lat = Memsys.region_remove t.ms ~lo ~hi in
+                    st.time <- st.time + 1 + lat;
+                    retire t st 1))
+        | _ -> None)
+  }
+
+let run t bodies =
+  if t.ran then invalid_arg "Engine.run: engine already used";
+  t.ran <- true;
+  let n = Array.length bodies in
+  if n > Array.length t.threads then invalid_arg "Engine.run: too many threads";
+  t.used_threads <- n;
+  Array.iteri
+    (fun tid body ->
+      let st = t.threads.(tid) in
+      Pqueue.add t.runq ~prio:0 (fun () ->
+          Effect.Deep.match_with body () (handler t st)))
+    bodies;
+  let rec loop () =
+    match Pqueue.pop t.runq with
+    | None -> ()
+    | Some (_, f) ->
+        f ();
+        loop ()
+  in
+  loop ();
+  let makespan = ref 0 in
+  for tid = 0 to n - 1 do
+    drain_all t.threads.(tid);
+    makespan := max !makespan t.threads.(tid).time
+  done;
+  (Memsys.sstats t.ms).Sstats.cycles <- !makespan;
+  let cores_used =
+    min (Config.num_cores t.cfg)
+      ((n + t.cfg.Config.threads_per_core - 1) / t.cfg.Config.threads_per_core)
+  in
+  Energy.core_cycles (Memsys.energy t.ms) ~cores:cores_used ~cycles:!makespan;
+  !makespan
+
+module Ops = struct
+  let load addr ~size = Effect.perform (E_load (addr, size))
+  let store addr ~size v = Effect.perform (E_store (addr, size, v))
+  let rmw addr ~size f = Effect.perform (E_rmw (addr, size, f))
+
+  let cas addr ~size ~expected ~desired =
+    let old = rmw addr ~size (fun v -> if v = expected then desired else v) in
+    old = expected
+
+  let fetch_add addr ~size delta = rmw addr ~size (Int64.add delta)
+
+  let tick n = Effect.perform (E_tick n)
+  let stall n = Effect.perform (E_stall n)
+  let now () = Effect.perform E_now
+  let tid () = Effect.perform E_tid
+  let region_add ~lo ~hi = Effect.perform (E_region_add (lo, hi))
+  let region_remove ~lo ~hi = Effect.perform (E_region_remove (lo, hi))
+  let yield () = Effect.perform E_yield
+end

@@ -1,0 +1,56 @@
+(** The discrete-event simulation engine.
+
+    Each hardware thread is an OCaml computation that performs {!Ops}
+    effects; the engine suspends it at every memory operation, interleaves
+    all threads in global cycle order (FIFO among equal timestamps, so runs
+    are deterministic), and charges latencies from the memory system.
+
+    Timing model:
+    - [tick n] retires [n] single-cycle instructions;
+    - loads and RMWs block the thread for their full memory latency
+      (RMWs additionally drain the store buffer, like a TSO fence);
+    - stores retire in one cycle through a bounded store buffer and only
+      stall when it is full — the asymmetry the paper's Figure 10 analysis
+      relies on. *)
+
+type t
+
+val create : Warden_machine.Config.t -> proto:[ `Mesi | `Warden ] -> t
+
+val memsys : t -> Memsys.t
+val config : t -> Warden_machine.Config.t
+
+val run : t -> (unit -> unit) array -> int
+(** [run t bodies] runs [bodies.(tid)] on hardware thread [tid] (at most
+    {!Warden_machine.Config.num_threads}) until every thread finishes.
+    Returns the makespan in cycles, also recorded in the stats and charged
+    to the energy model. Can be called once per engine. *)
+
+(** Ambient operations for code running inside {!run}. Calling them
+    outside a run raises [Effect.Unhandled]. *)
+module Ops : sig
+  val load : Warden_mem.Addr.t -> size:int -> int64
+  val store : Warden_mem.Addr.t -> size:int -> int64 -> unit
+  val rmw : Warden_mem.Addr.t -> size:int -> (int64 -> int64) -> int64
+  (** Returns the pre-update value. *)
+
+  val cas : Warden_mem.Addr.t -> size:int -> expected:int64 -> desired:int64 -> bool
+  val fetch_add : Warden_mem.Addr.t -> size:int -> int64 -> int64
+
+  val tick : int -> unit
+  (** Retire [n] ordinary instructions ([n] cycles of compute). *)
+
+  val stall : int -> unit
+  (** Advance time without retiring instructions (scheduler overheads). *)
+
+  val now : unit -> int
+  val tid : unit -> int
+
+  val region_add : lo:int -> hi:int -> bool
+  val region_remove : lo:int -> hi:int -> unit
+  (** The paper's Add/Remove-Region instructions; each retires as one
+      instruction, and removal charges the reconciliation latency. *)
+
+  val yield : unit -> unit
+  (** Let other threads scheduled at the same cycle run first. *)
+end

@@ -1,0 +1,64 @@
+open Warden_cache
+open Warden_machine
+open Warden_mem
+
+type t = { slices : Linedata.t Sa.t array; store : Store.t }
+
+let create (cfg : Config.t) store =
+  {
+    slices =
+      Array.init cfg.Config.sockets (fun _ ->
+          Sa.create ~sets:(Config.l3_sets_per_socket cfg) ~ways:cfg.Config.l3_ways);
+    store;
+  }
+
+let store t = t.store
+
+let writeback t blk (line : Linedata.t) =
+  if Linedata.is_dirty line then
+    Store.write_block_masked t.store blk (Linedata.bytes line)
+      ~mask:(Linedata.dirty_mask line)
+
+let insert t ~socket ~blk line =
+  match Sa.insert t.slices.(socket) blk line with
+  | None -> ()
+  | Some (vblk, vline) -> writeback t vblk vline
+
+let get_or_fetch t ~socket ~blk =
+  match Sa.find t.slices.(socket) blk with
+  | Some line -> (line, `L3)
+  | None ->
+      if Store.materialized t.store blk then begin
+        let line = Linedata.of_bytes (Store.read_block t.store blk) in
+        insert t ~socket ~blk line;
+        (line, `Dram)
+      end
+      else begin
+        (* Never-written memory is known zero: synthesize the line at the
+           LLC without touching DRAM (zero-fill, as an OS does for fresh
+           pages). *)
+        let line = Linedata.create () in
+        insert t ~socket ~blk line;
+        (line, `Zero)
+      end
+
+let read t ~socket ~blk =
+  let line, where = get_or_fetch t ~socket ~blk in
+  (Linedata.bytes line, where)
+
+let merge t ~socket ~blk src =
+  let line, _ = get_or_fetch t ~socket ~blk in
+  Linedata.merge_masked ~dst:line ~src
+
+let put_full t ~socket ~blk bytes =
+  let line = Linedata.of_bytes (Bytes.copy bytes) in
+  Linedata.mark_all_dirty line;
+  insert t ~socket ~blk line
+
+let flush_to_store t =
+  Array.iter
+    (fun slice ->
+      Sa.iter slice (fun blk line ->
+          writeback t blk line;
+          Linedata.clear_dirty line))
+    t.slices

@@ -1,0 +1,204 @@
+open Warden_mem
+open Warden_cache
+open Warden_machine
+open Warden_proto
+
+type t = {
+  cfg : Config.t;
+  energy : Energy.t;
+  pstats : Pstats.t;
+  sstats : Sstats.t;
+  store : Store.t;
+  llc : Llc.t;
+  mutable priv : Privcache.t array;
+  mutable proto : Protocol.t option;
+  mutable bump : int;
+}
+
+let the_proto t =
+  match t.proto with Some p -> p | None -> failwith "Memsys: not initialized"
+
+let config t = t.cfg
+let protocol t = the_proto t
+let pstats t = t.pstats
+let sstats t = t.sstats
+let energy t = t.energy
+
+let create cfg ~proto =
+  let energy = Energy.create () in
+  let pstats = Pstats.create () in
+  let sstats = Sstats.create ~threads:(Config.num_threads cfg) in
+  let store = Store.create () in
+  let llc = Llc.create cfg store in
+  let t =
+    {
+      cfg;
+      energy;
+      pstats;
+      sstats;
+      store;
+      llc;
+      priv = [||];
+      proto = None;
+      (* Leave page zero unmapped so address 0 can act as a null. *)
+      bump = 1 lsl 16;
+    }
+  in
+  t.priv <-
+    Array.init (Config.num_cores cfg) (fun core ->
+        Privcache.create cfg ~evict:(fun ~blk pstate data ->
+            Protocol.handle_evict (the_proto t) ~core ~blk ~pstate ~data));
+  let fabric =
+    {
+      Fabric.config = cfg;
+      energy;
+      stats = pstats;
+      peek_priv = (fun ~core ~blk -> Privcache.peek t.priv.(core) ~blk);
+      invalidate_priv = (fun ~core ~blk -> Privcache.invalidate t.priv.(core) ~blk);
+      downgrade_priv = (fun ~core ~blk -> Privcache.downgrade t.priv.(core) ~blk);
+      read_shared =
+        (fun ~blk -> Llc.read llc ~socket:(Config.home_socket cfg blk) ~blk);
+      llc_merge =
+        (fun ~blk src -> Llc.merge llc ~socket:(Config.home_socket cfg blk) ~blk src);
+      llc_put_full =
+        (fun ~blk bytes ->
+          Llc.put_full llc ~socket:(Config.home_socket cfg blk) ~blk bytes);
+    }
+  in
+  t.proto <-
+    Some
+      (match proto with
+      | `Mesi -> Protocol.mesi fabric
+      | `Warden -> Warden_core.Warden.protocol fabric);
+  t
+
+(* Obtain a line with sufficient permission, returning it and the access
+   latency up to the point the data is available to the core. *)
+let access_line t ~thread ~blk ~write =
+  let core = Config.core_of_thread t.cfg thread in
+  let pc = t.priv.(core) in
+  Energy.l1_access t.energy;
+  match Privcache.lookup pc ~blk ~write with
+  | Privcache.Hit { line; lat; level } ->
+      (match level with
+      | `L1 -> t.sstats.Sstats.l1_hits <- t.sstats.Sstats.l1_hits + 1
+      | `L2 ->
+          t.sstats.Sstats.l2_hits <- t.sstats.Sstats.l2_hits + 1;
+          Energy.l2_access t.energy);
+      (line, lat)
+  | Privcache.Upgrade line ->
+      t.sstats.Sstats.priv_misses <- t.sstats.Sstats.priv_misses + 1;
+      Energy.l2_access t.energy;
+      let g =
+        Protocol.handle_request (the_proto t) ~core ~blk ~write:true ~holds_s:true
+      in
+      (match g.Mesi.fill with
+      | None -> ()
+      | Some bytes ->
+          (* A WARD grant may re-fill even on upgrade paths; accept it. *)
+          Linedata.fill_from line.Privcache.data bytes);
+      line.Privcache.state <- g.Mesi.pstate;
+      (line, t.cfg.Config.l2_lat + g.Mesi.latency)
+  | Privcache.Miss ->
+      t.sstats.Sstats.priv_misses <- t.sstats.Sstats.priv_misses + 1;
+      Energy.l2_access t.energy;
+      let g =
+        Protocol.handle_request (the_proto t) ~core ~blk ~write ~holds_s:false
+      in
+      let bytes =
+        match g.Mesi.fill with Some b -> b | None -> assert false
+      in
+      let line = Privcache.fill pc ~blk g.Mesi.pstate bytes in
+      (line, t.cfg.Config.l2_lat + g.Mesi.latency)
+
+let load t ~thread addr ~size =
+  t.sstats.Sstats.loads <- t.sstats.Sstats.loads + 1;
+  let blk = Addr.block_of addr in
+  let line, lat = access_line t ~thread ~blk ~write:false in
+  let v =
+    Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size
+  in
+  (v, lat)
+
+let write_line line ~off ~size v =
+  (match line.Privcache.state with
+  | States.P_E -> line.Privcache.state <- States.P_M (* silent E->M upgrade *)
+  | States.P_M -> ()
+  | States.P_S -> assert false);
+  Linedata.store line.Privcache.data ~off ~size v
+
+let store t ~thread addr ~size v =
+  t.sstats.Sstats.stores <- t.sstats.Sstats.stores + 1;
+  let blk = Addr.block_of addr in
+  let line, lat = access_line t ~thread ~blk ~write:true in
+  write_line line ~off:(Addr.offset_in_block addr) ~size v;
+  lat
+
+let rmw t ~thread addr ~size f =
+  t.sstats.Sstats.rmws <- t.sstats.Sstats.rmws + 1;
+  let blk = Addr.block_of addr in
+  let line, lat = access_line t ~thread ~blk ~write:true in
+  let off = Addr.offset_in_block addr in
+  let old = Linedata.load line.Privcache.data ~off ~size in
+  write_line line ~off ~size (f old);
+  (old, lat)
+
+let region_add t ~lo ~hi = Protocol.region_add (the_proto t) ~lo ~hi
+let region_remove t ~lo ~hi = Protocol.region_remove (the_proto t) ~lo ~hi
+
+let alloc t ~bytes ~align =
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Memsys.alloc: align";
+  let addr = (t.bump + align - 1) land lnot (align - 1) in
+  t.bump <- addr + bytes;
+  addr
+
+let flush_all t =
+  Protocol.flush_all (the_proto t);
+  Llc.flush_to_store t.llc
+
+let peek t addr ~size = Store.load t.store addr ~size
+let poke t addr ~size v = Store.store t.store addr ~size v
+
+let footprint_bytes t = Store.footprint_bytes t.store
+
+(* The directory is reachable only through the protocol's handlers, so the
+   audit walks the private caches and cross-checks with fabric peeks. *)
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let ncores = Config.num_cores t.cfg in
+  let holders_of blk =
+    List.filter
+      (fun c -> Privcache.peek t.priv.(c) ~blk <> None)
+      (List.init ncores Fun.id)
+  in
+  let proto = the_proto t in
+  (* SWMR among private copies — except for blocks in an active WARD
+     region, where multiple exclusive-like copies are the design. *)
+  for core = 0 to ncores - 1 do
+    Privcache.iter_resident t.priv.(core) (fun blk line ->
+        if not (Protocol.is_ward proto ~blk) then
+          match line.Privcache.state with
+          | States.P_M | States.P_E ->
+              List.iter
+                (fun other ->
+                  if other <> core then
+                    err
+                      "SWMR violated: block %d exclusive at core %d but held by %d"
+                      blk core other)
+                (holders_of blk)
+          | States.P_S ->
+              (* S means clean with respect to the LLC. *)
+              if Warden_cache.Linedata.is_dirty line.Privcache.data then
+                err "dirty S copy of block %d at core %d" blk core)
+  done;
+  (* L1 inclusion is checked inside each private cache. *)
+  for core = 0 to ncores - 1 do
+    match Privcache.check_inclusion t.priv.(core) with
+    | Ok () -> ()
+    | Error m -> err "core %d: %s" core m
+  done;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "\n" (List.rev es))

@@ -1,0 +1,68 @@
+(** The complete simulated memory system: per-core private hierarchies, the
+    socket-interleaved shared LLC, the directory-based protocol (MESI or
+    WARDen) and the backing store, with unified latency, event and energy
+    accounting.
+
+    All simulated data lives in the cache lines and the store — a load's
+    value really comes from the copy coherence delivered, so protocol bugs
+    corrupt program output rather than hiding. *)
+
+type t
+
+val create :
+  Warden_machine.Config.t -> proto:[ `Mesi | `Warden ] -> t
+
+val config : t -> Warden_machine.Config.t
+val protocol : t -> Warden_proto.Protocol.t
+val pstats : t -> Warden_proto.Pstats.t
+val sstats : t -> Sstats.t
+val energy : t -> Warden_machine.Energy.t
+
+val load : t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 * int
+(** Value and latency (cycles). *)
+
+val store : t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 -> int
+(** Latency of the store's memory-system transaction (the engine hides it
+    behind the store buffer). *)
+
+val rmw :
+  t ->
+  thread:int ->
+  Warden_mem.Addr.t ->
+  size:int ->
+  (int64 -> int64) ->
+  int64 * int
+(** Atomic read-modify-write: applies the function to the current value,
+    stores the result, and returns the {e old} value and the latency. *)
+
+val region_add : t -> lo:int -> hi:int -> bool
+val region_remove : t -> lo:int -> hi:int -> int
+
+val alloc : t -> bytes:int -> align:int -> Warden_mem.Addr.t
+(** Fresh simulated memory from a global bump allocator. Addresses are
+    never reused; [align] must be a power of two. *)
+
+val flush_all : t -> unit
+(** Drain every cache to the store so that {!peek} observes the final
+    coherent memory image (used by tests and verifiers at end of run). *)
+
+val peek : t -> Warden_mem.Addr.t -> size:int -> int64
+(** Read the backing store directly (bypassing caches; see {!flush_all}). *)
+
+val poke : t -> Warden_mem.Addr.t -> size:int -> int64 -> unit
+(** Write the backing store directly. Only meaningful before any cache has
+    a copy (pre-run initialization of inputs). *)
+
+val footprint_bytes : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Audit the private caches against the coherence rules:
+
+    - SWMR: a block held E/M by one core is held by nobody else — except
+      blocks inside an active WARD region, where multiple exclusive-like
+      copies are WARDen's design;
+    - every S copy is clean with respect to the LLC;
+    - inclusion: every L1-resident block is L2-resident.
+
+    O(total cache capacity); meant for tests and debugging, not for the
+    simulation fast path. *)

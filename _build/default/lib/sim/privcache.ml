@@ -1,0 +1,99 @@
+open Warden_cache
+open Warden_proto
+open Warden_machine
+
+type line = { mutable state : States.pstate; data : Linedata.t }
+
+type t = {
+  l1 : unit Sa.t;
+  l2 : line Sa.t;
+  l1_lat : int;
+  l2_lat : int;
+  evict : blk:int -> States.pstate -> Linedata.t -> unit;
+}
+
+let create (cfg : Config.t) ~evict =
+  {
+    l1 = Sa.create ~sets:(Config.l1_sets cfg) ~ways:cfg.Config.l1_ways;
+    l2 = Sa.create ~sets:(Config.l2_sets cfg) ~ways:cfg.Config.l2_ways;
+    l1_lat = cfg.Config.l1_lat;
+    l2_lat = cfg.Config.l2_lat;
+    evict;
+  }
+
+type lookup =
+  | Hit of { line : line; lat : int; level : [ `L1 | `L2 ] }
+  | Upgrade of line
+  | Miss
+
+let classify line ~write =
+  match (line.state, write) with
+  | States.P_S, true -> Upgrade line
+  | _, _ -> Hit { line; lat = 0; level = `L2 }
+
+let lookup t ~blk ~write =
+  let in_l1 = Sa.find t.l1 blk <> None in
+  match Sa.find t.l2 blk with
+  | None ->
+      (* Inclusion: nothing in L1 without L2. *)
+      assert (not in_l1);
+      Miss
+  | Some line -> (
+      if not in_l1 then
+        (* Promote into L1; the displaced L1 line stays valid in L2. *)
+        ignore (Sa.insert t.l1 blk ());
+      match classify line ~write with
+      | Hit h ->
+          Hit
+            {
+              h with
+              lat = (if in_l1 then t.l1_lat else t.l2_lat);
+              level = (if in_l1 then `L1 else `L2);
+            }
+      | other -> other)
+
+let fill t ~blk pstate bytes =
+  let line = { state = pstate; data = Linedata.create () } in
+  Linedata.fill_from line.data bytes;
+  (match Sa.insert t.l2 blk line with
+  | None -> ()
+  | Some (vblk, vline) ->
+      ignore (Sa.remove t.l1 vblk);
+      t.evict ~blk:vblk vline.state vline.data);
+  ignore (Sa.insert t.l1 blk ());
+  line
+
+let iter_resident t f = Sa.iter t.l2 f
+
+let check_inclusion t =
+  let bad = ref None in
+  Sa.iter t.l1 (fun blk () ->
+      if (not (Sa.mem t.l2 blk)) && !bad = None then
+        bad := Some (Printf.sprintf "block %d in L1 but not in L2" blk));
+  match !bad with None -> Ok () | Some m -> Error m
+
+let probe_of t blk line =
+  let levels = if Sa.mem t.l1 blk then 2 else 1 in
+  { Fabric.levels; data = line.data }
+
+let peek t ~blk =
+  match Sa.find t.l2 blk with
+  | None -> None
+  | Some line -> Some (probe_of t blk line)
+
+let invalidate t ~blk =
+  match Sa.find t.l2 blk with
+  | None -> None
+  | Some line ->
+      let p = probe_of t blk line in
+      ignore (Sa.remove t.l1 blk);
+      ignore (Sa.remove t.l2 blk);
+      Some p
+
+let downgrade t ~blk =
+  match Sa.find t.l2 blk with
+  | None -> None
+  | Some line ->
+      let p = probe_of t blk line in
+      line.state <- States.P_S;
+      Some p

@@ -1,0 +1,46 @@
+(** One core's private cache hierarchy: an L1 tag array inclusive in an L2
+    that holds the data and coherence state.
+
+    The directory tracks private hierarchies as single coherent units (the
+    usual simplification: L1/L2 are latency levels of one private copy).
+    Coherence events against a line are counted per level holding it, as
+    the paper counts them. *)
+
+type line = {
+  mutable state : Warden_proto.States.pstate;
+  data : Warden_cache.Linedata.t;
+}
+
+type t
+
+val create :
+  Warden_machine.Config.t ->
+  evict:(blk:int -> Warden_proto.States.pstate -> Warden_cache.Linedata.t -> unit) ->
+  t
+(** [evict] is called with each line displaced from L2 (the private
+    hierarchy's writeback/PutX path into the protocol). *)
+
+type lookup =
+  | Hit of { line : line; lat : int; level : [ `L1 | `L2 ] }
+      (** Permission sufficient; for writes the state is E or M (an E hit
+          is the silent E→M upgrade — the caller flips the state). *)
+  | Upgrade of line  (** Line held in S but the access needs to write. *)
+  | Miss
+
+val lookup : t -> blk:int -> write:bool -> lookup
+(** Probe the hierarchy, promoting L2 hits into L1 and refreshing LRU. *)
+
+val fill : t -> blk:int -> Warden_proto.States.pstate -> Bytes.t -> line
+(** Install a granted line into L2 and L1, evicting victims as needed. *)
+
+val iter_resident : t -> (int -> line -> unit) -> unit
+(** Visit every block resident in the hierarchy (i.e., in L2). *)
+
+val check_inclusion : t -> (unit, string) result
+(** Verify L1 ⊆ L2. *)
+
+val peek : t -> blk:int -> Warden_proto.Fabric.probe option
+val invalidate : t -> blk:int -> Warden_proto.Fabric.probe option
+val downgrade : t -> blk:int -> Warden_proto.Fabric.probe option
+(** Fabric probes; see {!Warden_proto.Fabric}. [downgrade] leaves the line
+    in S with its dirty mask intact — the protocol merges then clears it. *)

@@ -1,0 +1,32 @@
+type t = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable rmws : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable priv_misses : int;
+  mutable sb_stalls : int;
+  mutable cycles : int;
+  per_thread_instructions : int array;
+}
+
+let create ~threads =
+  {
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    rmws = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    priv_misses = 0;
+    sb_stalls = 0;
+    cycles = 0;
+    per_thread_instructions = Array.make threads 0;
+  }
+
+let ipc t =
+  if t.cycles = 0 then 0.
+  else float_of_int t.instructions /. float_of_int t.cycles
+
+let kilo_instructions t = float_of_int t.instructions /. 1000.

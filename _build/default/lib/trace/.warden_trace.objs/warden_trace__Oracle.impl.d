@@ -1,0 +1,1 @@
+lib/trace/oracle.ml: Fun Hashtbl Heap List Par Printf String Warden_core Warden_runtime Warden_sim

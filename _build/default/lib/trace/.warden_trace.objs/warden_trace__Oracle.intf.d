@@ -1,0 +1,1 @@
+lib/trace/oracle.mli:

@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Format Fun Hashtbl Heap List Par Printf Warden_mem Warden_runtime Warden_sim Wardprop

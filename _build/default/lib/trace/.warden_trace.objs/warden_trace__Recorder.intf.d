@@ -1,0 +1,1 @@
+lib/trace/recorder.mli: Format Warden_runtime

@@ -1,0 +1,28 @@
+(** Live execution oracles: dynamic checkers wired into the runtime's
+    access and region hooks.
+
+    - {b Disentanglement} (Definition 1): every program access must land in
+      the accessing task's own heap or an ancestor's heap.
+    - {b WARD regions} (§3.1): while a page is marked, no cross-thread RAW
+      at any of its locations, no cross-thread WAW writing different
+      values, and no atomics (which require coherence).
+
+    The oracles validate the central claim of §4.1 — that the runtime's
+    leaf-page marking only ever marks memory that actually has the WARD
+    property — on real executions of the benchmark suite. *)
+
+type report = {
+  accesses : int;  (** Program accesses observed. *)
+  ward_accesses : int;  (** Of those, accesses inside active WARD pages. *)
+  disentanglement_violations : string list;  (** First few, formatted. *)
+  ward_violations : string list;
+}
+
+val ward_fraction : report -> float
+
+val with_oracle : (unit -> 'a) -> 'a * report
+(** Install the hooks, run the function (typically a whole [Par.run]),
+    uninstall, and report. Not reentrant. *)
+
+val check_clean : report -> (unit, string) result
+(** [Ok ()] when no violations were observed. *)

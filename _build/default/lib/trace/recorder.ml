@@ -1,0 +1,160 @@
+open Warden_runtime
+
+type event = {
+  cycle : int;
+  thread : int;
+  kind : Par.access_kind;
+  addr : int;
+  size : int;
+  value : int64;
+  in_ward : bool;
+}
+
+type summary = {
+  events : int;
+  dropped : int;
+  ward_events : int;
+  reads : int;
+  writes : int;
+  rmws : int;
+  distinct_blocks : int;
+  shared_blocks : int;
+  ward_verdict : [ `Ward | `Violations of int ];
+}
+
+type epoch = { mutable evs : Wardprop.event list (* newest first *) }
+
+type state = {
+  mutable buf : event list; (* newest first *)
+  mutable kept : int;
+  capacity : int;
+  mutable dropped : int;
+  mutable ward_events : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable rmws : int;
+  block_threads : (int, int) Hashtbl.t;
+      (* block -> thread id, or -2 once touched by several threads *)
+  epochs : (int, epoch) Hashtbl.t; (* 4 KiB chunk -> live epoch *)
+  mutable violations : int;
+}
+
+let chunk_of addr = addr lsr 12
+
+let on_region st which ~lo ~hi =
+  match which with
+  | `Add ->
+      let e = { evs = [] } in
+      let c = ref (chunk_of lo) in
+      while !c lsl 12 < hi do
+        Hashtbl.replace st.epochs !c e;
+        incr c
+      done
+  | `Remove ->
+      (match Hashtbl.find_opt st.epochs (chunk_of lo) with
+      | Some e ->
+          if Wardprop.classify (List.rev e.evs) <> Wardprop.Ward then
+            st.violations <- st.violations + 1
+      | None -> ());
+      let c = ref (chunk_of lo) in
+      while !c lsl 12 < hi do
+        Hashtbl.remove st.epochs !c;
+        incr c
+      done
+
+let on_access st kind ~addr ~size ~value =
+  let thread = Warden_sim.Engine.Ops.tid () in
+  let cycle = Warden_sim.Engine.Ops.now () in
+  let epoch = Hashtbl.find_opt st.epochs (chunk_of addr) in
+  let in_ward = epoch <> None in
+  (match kind with
+  | Par.R -> st.reads <- st.reads + 1
+  | Par.W -> st.writes <- st.writes + 1
+  | Par.RMW -> st.rmws <- st.rmws + 1);
+  if in_ward then st.ward_events <- st.ward_events + 1;
+  (match epoch with
+  | Some e ->
+      e.evs <-
+        { Wardprop.thread; write = kind <> Par.R; addr; value } :: e.evs
+  | None -> ());
+  let blk = Warden_mem.Addr.block_of addr in
+  (match Hashtbl.find_opt st.block_threads blk with
+  | None -> Hashtbl.add st.block_threads blk thread
+  | Some t when t = thread || t = -2 -> ()
+  | Some _ -> Hashtbl.replace st.block_threads blk (-2));
+  if st.kept >= st.capacity then st.dropped <- st.dropped + 1
+  else begin
+    st.buf <- { cycle; thread; kind; addr; size; value; in_ward } :: st.buf;
+    st.kept <- st.kept + 1
+  end
+
+let record ?(capacity = 200_000) f =
+  let st =
+    {
+      buf = [];
+      kept = 0;
+      capacity;
+      dropped = 0;
+      ward_events = 0;
+      reads = 0;
+      writes = 0;
+      rmws = 0;
+      block_threads = Hashtbl.create 4096;
+      epochs = Hashtbl.create 256;
+      violations = 0;
+    }
+  in
+  Par.set_access_hook (fun kind ~addr ~size ~value ->
+      on_access st kind ~addr ~size ~value);
+  Heap.region_hook := Some (fun which ~lo ~hi -> on_region st which ~lo ~hi);
+  let finish () =
+    Par.clear_access_hook ();
+    Heap.region_hook := None
+  in
+  let v = Fun.protect ~finally:finish f in
+  (* Classify epochs still live at the end (e.g., the root heap). *)
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ e ->
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.add seen e ();
+        if Wardprop.classify (List.rev e.evs) <> Wardprop.Ward then
+          st.violations <- st.violations + 1
+      end)
+    st.epochs;
+  let shared =
+    Hashtbl.fold (fun _ t acc -> if t = -2 then acc + 1 else acc)
+      st.block_threads 0
+  in
+  let summary =
+    {
+      events = st.reads + st.writes + st.rmws;
+      dropped = st.dropped;
+      ward_events = st.ward_events;
+      reads = st.reads;
+      writes = st.writes;
+      rmws = st.rmws;
+      distinct_blocks = Hashtbl.length st.block_threads;
+      shared_blocks = shared;
+      ward_verdict =
+        (if st.violations = 0 then `Ward else `Violations st.violations);
+    }
+  in
+  (v, List.rev st.buf, summary)
+
+let ward_coverage s =
+  if s.events = 0 then 0. else float_of_int s.ward_events /. float_of_int s.events
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>accesses: %d (%d reads, %d writes, %d atomics)%s@,\
+     WARD coverage: %.1f%% of accesses in marked regions@,\
+     footprint: %d blocks touched, %d shared across threads@,\
+     offline WARD classification: %s@]"
+    s.events s.reads s.writes s.rmws
+    (if s.dropped > 0 then Printf.sprintf " [%d beyond buffer]" s.dropped else "")
+    (100. *. ward_coverage s)
+    s.distinct_blocks s.shared_blocks
+    (match s.ward_verdict with
+    | `Ward -> "every marked region was WARD"
+    | `Violations n -> Printf.sprintf "%d region epochs violated WARD" n)

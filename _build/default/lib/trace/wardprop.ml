@@ -1,0 +1,36 @@
+type event = { thread : int; write : bool; addr : int; value : int64 }
+
+type verdict =
+  | Ward
+  | Raw_dependence of { addr : int; writer : int; reader : int }
+  | Waw_ordered of { addr : int; first : int; second : int }
+
+type cell = { mutable writer : int; mutable value : int64 }
+
+let classify events =
+  let last_write : (int, cell) Hashtbl.t = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> Ward
+    | ev :: rest -> (
+        match Hashtbl.find_opt last_write ev.addr with
+        | None ->
+            if ev.write then
+              Hashtbl.add last_write ev.addr
+                { writer = ev.thread; value = ev.value };
+            go rest
+        | Some c ->
+            if ev.write then
+              if ev.thread <> c.writer && ev.value <> c.value then
+                Waw_ordered { addr = ev.addr; first = c.writer; second = ev.thread }
+              else begin
+                c.writer <- ev.thread;
+                c.value <- ev.value;
+                go rest
+              end
+            else if ev.thread <> c.writer then
+              Raw_dependence { addr = ev.addr; writer = c.writer; reader = ev.thread }
+            else go rest)
+  in
+  go events
+
+let is_ward events = classify events = Ward

@@ -1,0 +1,28 @@
+(** Offline classifier for the WARD property (§3.1).
+
+    Given the ordered accesses that a set of hardware threads made to a
+    candidate region during its lifetime, decide whether the region had the
+    WARD property:
+
+    + no execution order may contain a cross-thread RAW dependence, and
+    + any cross-thread WAW dependence must be resolvable in either order.
+
+    Because the accesses come from one observed execution, we check
+    conservatively: any read that follows a different thread's write to the
+    same location violates condition 1; cross-thread WAWs writing {e
+    different} values violate condition 2 (same-value WAWs — the prime-
+    sieve pattern — are apathetic and allowed). This classifies the paper's
+    Figure 3: Event 1 → [Raw_dependence], Event 2 → [Waw_ordered],
+    Event 3 (same value or never read) → [Ward]. *)
+
+type event = { thread : int; write : bool; addr : int; value : int64 }
+
+type verdict =
+  | Ward
+  | Raw_dependence of { addr : int; writer : int; reader : int }
+  | Waw_ordered of { addr : int; first : int; second : int }
+
+val classify : event list -> verdict
+(** First violation wins; RAW is reported in stream order. *)
+
+val is_ward : event list -> bool

@@ -1,0 +1,67 @@
+(* Growable circular buffer. [top] is the index of the oldest element,
+   [bottom] one past the newest; both grow without bound and are reduced
+   modulo the capacity, so [bottom - top] is the population. *)
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;
+  mutable bottom : int;
+}
+
+let initial_capacity = 16
+
+let create () = { buf = Array.make initial_capacity None; top = 0; bottom = 0 }
+
+let length t = t.bottom - t.top
+
+let is_empty t = length t = 0
+
+let slot t i = i land (Array.length t.buf - 1)
+
+let grow t =
+  let old = t.buf in
+  let n = Array.length old in
+  let fresh = Array.make (2 * n) None in
+  for i = t.top to t.bottom - 1 do
+    fresh.(i land ((2 * n) - 1)) <- old.(i land (n - 1))
+  done;
+  t.buf <- fresh
+
+let push_bottom t x =
+  if length t = Array.length t.buf then grow t;
+  t.buf.(slot t t.bottom) <- Some x;
+  t.bottom <- t.bottom + 1
+
+let pop_bottom t =
+  if is_empty t then None
+  else begin
+    t.bottom <- t.bottom - 1;
+    let i = slot t t.bottom in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    x
+  end
+
+let steal_top t =
+  if is_empty t then None
+  else begin
+    let i = slot t t.top in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.top <- t.top + 1;
+    x
+  end
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.top <- 0;
+  t.bottom <- 0
+
+let to_list t =
+  let rec go i acc =
+    if i < t.top then acc
+    else
+      match t.buf.(slot t i) with
+      | Some x -> go (i - 1) (x :: acc)
+      | None -> go (i - 1) acc
+  in
+  go (t.bottom - 1) []

@@ -1,0 +1,28 @@
+(** Double-ended work queue used by the work-stealing scheduler.
+
+    The owner pushes and pops at the bottom; thieves steal from the top.
+    The simulator is single-threaded, so no synchronization is needed; the
+    structure only has to preserve work-stealing (LIFO-owner / FIFO-thief)
+    order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_bottom : 'a t -> 'a -> unit
+(** Owner enqueues freshly spawned work. *)
+
+val pop_bottom : 'a t -> 'a option
+(** Owner takes the most recently pushed item, [None] if empty. *)
+
+val steal_top : 'a t -> 'a option
+(** Thief takes the oldest item, [None] if empty. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Top-to-bottom snapshot, oldest first. *)

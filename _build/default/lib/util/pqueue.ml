@@ -1,0 +1,79 @@
+type 'a entry = { prio : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* heap.(0) is unused storage once empty; [size] tracks population. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+(* [a] comes before [b] if its priority is smaller, FIFO on ties. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let ensure_capacity t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let dummy = t.heap.(0) in
+    let fresh = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit t.heap 0 fresh 0 cap;
+    t.heap <- fresh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~prio payload =
+  let entry = { prio; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  ensure_capacity t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_prio t = if t.size = 0 then None else Some t.heap.(0).prio
+
+let peek t =
+  if t.size = 0 then None else Some (t.heap.(0).prio, t.heap.(0).payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.prio, top.payload)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,26 @@
+(** Binary min-heap priority queue keyed by integer priorities.
+
+    Drives the discrete-event engine: priorities are cycle timestamps.
+    Ties are broken by insertion order (FIFO), which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:int -> 'a -> unit
+
+val min_prio : 'a t -> int option
+(** Priority of the front element without removing it. *)
+
+val peek : 'a t -> (int * 'a) option
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the element with the smallest priority (FIFO among
+    equal priorities). *)
+
+val clear : 'a t -> unit

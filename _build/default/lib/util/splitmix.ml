@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let make seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* Mixing function from Steele, Lea & Flood, "Fast splittable pseudorandom
+   number generators" (OOPSLA 2014). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let int64_in t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Splitmix.int64_in";
+  (* Rejection sampling to avoid modulo bias: reject when the draw falls in
+     the incomplete final interval, detected by r - v + (bound - 1)
+     overflowing (the standard Java nextLong(bound) test). *)
+  let rec go () =
+    let r = Int64.shift_right_logical (next t) 1 in
+    let v = Int64.rem r bound in
+    if Int64.compare (Int64.add (Int64.sub r v) (Int64.sub bound 1L)) 0L < 0
+    then go ()
+    else v
+  in
+  go ()
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int";
+  Int64.to_int (int64_in t (Int64.of_int bound))
+
+let float t bound =
+  let r = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let split t = { state = mix64 (next t) }
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,35 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every stochastic choice in the simulator (steal victims, workload
+    generation) draws from an explicitly-seeded [Splitmix.t] so that whole
+    simulations are reproducible bit-for-bit. *)
+
+type t
+
+val make : int64 -> t
+(** [make seed] creates a generator from a 64-bit seed. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int64_in : t -> int64 -> int64
+(** [int64_in t bound] is uniform in [\[0, bound)]. Requires [bound > 0L]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator, as in the SplitMix design. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

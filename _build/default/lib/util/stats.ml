@@ -1,0 +1,45 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+      let log_sum =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0. then invalid_arg "Stats.geomean: nonpositive element";
+            acc +. log x)
+          0. xs
+      in
+      exp (log_sum /. float_of_int (List.length xs))
+
+let percent_change ~baseline ~value =
+  if baseline = 0. then 0. else (baseline -. value) /. baseline *. 100.
+
+let speedup ~baseline ~value = if value = 0. then infinity else baseline /. value
+
+type online = {
+  mutable n : int;
+  mutable m : float; (* running mean *)
+  mutable s : float; (* sum of squared deviations *)
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let online () = { n = 0; m = 0.; s = 0.; lo = infinity; hi = neg_infinity }
+
+let push t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.m in
+  t.m <- t.m +. (delta /. float_of_int t.n);
+  t.s <- t.s +. (delta *. (x -. t.m));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let omean t = t.m
+let variance t = if t.n < 2 then 0. else t.s /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let omin t = t.lo
+let omax t = t.hi

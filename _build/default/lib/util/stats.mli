@@ -1,0 +1,26 @@
+(** Small statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list. Requires all elements positive. *)
+
+val percent_change : baseline:float -> value:float -> float
+(** [(baseline - value) / baseline * 100.]: positive means [value] improved
+    (shrank) relative to [baseline]. *)
+
+val speedup : baseline:float -> value:float -> float
+(** [baseline /. value]; how much faster [value] is than [baseline]. *)
+
+type online
+(** Online accumulator for count/mean/min/max (Welford for variance). *)
+
+val online : unit -> online
+val push : online -> float -> unit
+val count : online -> int
+val omean : online -> float
+val variance : online -> float
+val stddev : online -> float
+val omin : online -> float
+val omax : online -> float

@@ -1,0 +1,53 @@
+let fmt_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  Buffer.add_string buf
+    (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let bar_chart ?(width = 40) ~title () series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let max_mag =
+    List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 0. series
+  in
+  let scale = if max_mag = 0. then 0. else float_of_int width /. max_mag in
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (Float.abs v *. scale) in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.make (label_w - String.length label) ' ');
+      Buffer.add_string buf " |";
+      if v < 0. then Buffer.add_char buf '-';
+      Buffer.add_string buf (String.make n '#');
+      Buffer.add_string buf (Printf.sprintf " %.2f\n" v))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Plain-text rendering of tables and bar charts.
+
+    The experiment harness uses these to print each reproduced table and
+    figure in a shape directly comparable to the paper. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Aligned ASCII table with a header rule. All rows must have the same
+    arity as the header. *)
+
+val bar_chart :
+  ?width:int -> title:string -> unit -> (string * float) list -> string
+(** [bar_chart ~title () series] renders one horizontal bar per labelled
+    value, scaled to [width] characters for the maximum magnitude.
+    Negative values render with a leading [-] marker on the bar. *)
+
+val fmt_f : ?decimals:int -> float -> string
+(** Fixed-point float formatting, default 2 decimals. *)

@@ -1,0 +1,1 @@
+test/test_cache.ml: Addr Alcotest Array Bytes Char Fun Hashtbl Int64 Linedata List Option QCheck2 QCheck_alcotest Sa Store Warden_cache Warden_mem

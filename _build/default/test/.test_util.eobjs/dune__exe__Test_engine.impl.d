@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Config Engine Int64 Memsys Printf Sstats Warden_machine Warden_proto Warden_sim

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Config Exp Experiments List Microbench Option Printf String Warden_harness Warden_machine Warden_pbbs

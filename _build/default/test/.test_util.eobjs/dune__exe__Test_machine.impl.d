@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Config Energy Format List String Warden_machine

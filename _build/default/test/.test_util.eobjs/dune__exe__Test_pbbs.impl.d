@@ -1,0 +1,1 @@
+test/test_pbbs.ml: Alcotest Config Engine List Spec Suite Warden_machine Warden_pbbs Warden_sim Warden_trace

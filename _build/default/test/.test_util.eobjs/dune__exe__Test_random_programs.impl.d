@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Alcotest Array Config Engine Int64 List Memsys Par Printf QCheck2 QCheck_alcotest Result Sarray Warden_machine Warden_pbbs Warden_runtime Warden_sim Warden_trace

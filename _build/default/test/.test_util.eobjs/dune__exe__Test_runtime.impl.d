@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Config Engine Int64 Memsys Par Printf Pstats Sstats Warden_machine Warden_proto Warden_runtime Warden_sim

@@ -1,0 +1,1 @@
+test/test_sarray.ml: Alcotest Config Engine Fun Heap Int64 Option Par Rtparams Sarray Warden_machine Warden_runtime Warden_sim

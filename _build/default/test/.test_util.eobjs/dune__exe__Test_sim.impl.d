@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Config Engine Int64 List Memsys Printf Sstats Warden_machine Warden_sim Warden_util

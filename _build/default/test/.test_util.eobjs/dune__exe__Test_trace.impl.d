@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Config Engine Int64 List Oracle Par QCheck2 QCheck_alcotest Result String Warden_machine Warden_runtime Warden_sim Warden_trace Wardprop

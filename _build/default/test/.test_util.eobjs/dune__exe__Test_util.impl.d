@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Deque Fun Hashtbl Int64 List Pqueue Printf QCheck2 QCheck_alcotest Splitmix Stats String Table Warden_util

@@ -1,0 +1,190 @@
+(* Tests for the benchmark toolkit (Bkit) and the benchmarks' host-side
+   reference implementations. *)
+
+open Warden_machine
+open Warden_sim
+open Warden_runtime
+open Warden_pbbs
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let in_run f =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Warden in
+  fst (Par.run eng f)
+
+(* --- pack2 ------------------------------------------------------------------ *)
+
+let pack_roundtrip =
+  qtest ~count:300 "pack2 roundtrips"
+    QCheck2.Gen.(pair (int_range 0 0x3FFFFFFF) (int_range 0 0x3FFFFFFF))
+    (fun (hi, lo) ->
+      let p = Bkit.pack2 hi lo in
+      Bkit.unpack_hi p = hi && Bkit.unpack_lo p = lo)
+
+let pack_order =
+  qtest ~count:300 "pack2 orders lexicographically"
+    QCheck2.Gen.(
+      pair
+        (pair (int_range 0 100000) (int_range 0 100000))
+        (pair (int_range 0 100000) (int_range 0 100000)))
+    (fun ((a1, a2), (b1, b2)) ->
+      let cmp_pair = compare (a1, a2) (b1, b2) in
+      let cmp_packed = Int64.unsigned_compare (Bkit.pack2 a1 a2) (Bkit.pack2 b1 b2) in
+      (cmp_pair = 0) = (cmp_packed = 0)
+      && (cmp_pair < 0) = (cmp_packed < 0))
+
+let test_pack_rejects_out_of_range () =
+  Alcotest.check_raises "negative" (Invalid_argument "Bkit.pack2") (fun () ->
+      ignore (Bkit.pack2 (-1) 0))
+
+(* --- host helpers -------------------------------------------------------------- *)
+
+let test_is_sorted_checksum () =
+  Alcotest.(check bool) "sorted" true (Bkit.is_sorted [| 1L; 2L; 2L; 9L |]);
+  Alcotest.(check bool) "unsorted" false (Bkit.is_sorted [| 2L; 1L |]);
+  (* Unsigned comparison: -1L is the largest value. *)
+  Alcotest.(check bool) "unsigned order" true (Bkit.is_sorted [| 5L; -1L |]);
+  let a = [| 3L; 1L; 2L |] and b = [| 2L; 3L; 1L |] in
+  Alcotest.(check int64) "checksum order-insensitive" (Bkit.checksum a)
+    (Bkit.checksum b);
+  Alcotest.(check bool) "checksum discriminates" true
+    (Bkit.checksum a <> Bkit.checksum [| 3L; 1L; 5L |])
+
+(* --- in-simulator algorithms --------------------------------------------------- *)
+
+let test_seq_sort () =
+  in_run (fun () ->
+      let ms = Par.memsys () in
+      let a = Sarray.create ~len:200 ~elt_bytes:8 in
+      Bkit.gen_ints ms a ~seed:5L ~bound:1000L;
+      Bkit.seq_sort a ~lo:0 ~hi:200;
+      let h = Bkit.host_array ms a in
+      (* The flushless host view can be stale; read through the simulator. *)
+      ignore h;
+      let prev = ref Int64.min_int in
+      let sorted = ref true in
+      for i = 0 to 199 do
+        let v = Sarray.get a i in
+        if Int64.unsigned_compare !prev v > 0 && i > 0 then sorted := false;
+        prev := v
+      done;
+      Alcotest.(check bool) "sorted in place" true !sorted)
+
+let test_seq_sort_partial_range () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:6 ~elt_bytes:8 in
+      List.iteri (fun i v -> Sarray.set a i v) [ 9L; 5L; 4L; 3L; 2L; 1L ];
+      Bkit.seq_sort a ~lo:1 ~hi:5;
+      Alcotest.(check (list int64)) "only [1,5) sorted"
+        [ 9L; 2L; 3L; 4L; 5L; 1L ]
+        (List.init 6 (Sarray.get a)))
+
+let test_merge_into () =
+  in_run (fun () ->
+      let mk l =
+        let a = Sarray.create ~len:(List.length l) ~elt_bytes:8 in
+        List.iteri (fun i v -> Sarray.set a i v) l;
+        a
+      in
+      let dst = Sarray.create ~len:7 ~elt_bytes:8 in
+      Bkit.merge_into ~src1:(mk [ 1L; 4L; 6L ]) ~src2:(mk [ 2L; 3L; 5L; 7L ]) ~dst;
+      Alcotest.(check (list int64)) "merged"
+        [ 1L; 2L; 3L; 4L; 5L; 6L; 7L ]
+        (List.init 7 (Sarray.get dst)))
+
+let test_msort_sorts () =
+  in_run (fun () ->
+      let ms = Par.memsys () in
+      let a = Sarray.create ~len:1500 ~elt_bytes:8 in
+      Bkit.gen_ints ms a ~seed:9L ~bound:Int64.max_int;
+      let out = Bkit.msort ~grain:128 a in
+      let ok = ref true in
+      for i = 0 to 1498 do
+        if Int64.unsigned_compare (Sarray.get out i) (Sarray.get out (i + 1)) > 0
+        then ok := false
+      done;
+      Alcotest.(check bool) "sorted" true !ok;
+      Alcotest.(check int) "length" 1500 (Sarray.length out))
+
+let test_tabulate_leafy () =
+  in_run (fun () ->
+      let out =
+        Bkit.tabulate_leafy ~grain:64 ~n:1000 ~elt_bytes:8 (fun i ->
+            Int64.of_int (i * 3))
+      in
+      let ok = ref true in
+      for i = 0 to 999 do
+        if Sarray.get out i <> Int64.of_int (i * 3) then ok := false
+      done;
+      Alcotest.(check bool) "tabulated" true !ok)
+
+let test_seq_scan_excl () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:5 ~elt_bytes:8 in
+      List.iteri (fun i v -> Sarray.set_i a i v) [ 3; 1; 4; 1; 5 ];
+      let total = Bkit.seq_scan_excl a in
+      Alcotest.(check int) "total" 14 total;
+      Alcotest.(check (list int)) "exclusive prefix"
+        [ 0; 3; 4; 8; 9 ]
+        (List.init 5 (Sarray.get_i a)))
+
+let test_mat_views () =
+  in_run (fun () ->
+      let m = Bkit.Mat.create ~n:4 in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          Bkit.Mat.set m i j (Int64.of_int ((10 * i) + j))
+        done
+      done;
+      let q11 = Bkit.Mat.quad m 1 1 in
+      Alcotest.(check int) "quad size" 2 q11.Bkit.Mat.n;
+      Alcotest.(check int64) "quad (0,0) = m (2,2)" 22L (Bkit.Mat.get q11 0 0);
+      Bkit.Mat.set q11 1 1 99L;
+      Alcotest.(check int64) "writes through to m (3,3)" 99L (Bkit.Mat.get m 3 3))
+
+(* --- benchmark host references -------------------------------------------------- *)
+
+let test_host_sieve () =
+  let flags = Bm_primes.host_sieve 30 in
+  let primes =
+    List.filter (fun i -> flags.(i)) (List.init 31 Fun.id)
+  in
+  Alcotest.(check (list int)) "primes to 30"
+    [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29 ]
+    primes
+
+let test_host_nqueens () =
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check int) (Printf.sprintf "nqueens %d" n) expect
+        (Bm_nqueens.host_count n))
+    [ (4, 2); (5, 10); (6, 4); (7, 40); (8, 92) ]
+
+let test_host_fib () =
+  Alcotest.(check int) "fib 20" 6765 (Bm_fib.fib_seq 20)
+
+let test_host_suffix_array () =
+  let sa = Bm_suffix_array.host_suffix_array "banana" in
+  Alcotest.(check (array int)) "banana" [| 5; 3; 1; 0; 4; 2 |] sa
+
+let suite =
+  [
+    pack_roundtrip;
+    pack_order;
+    Alcotest.test_case "pack2 range" `Quick test_pack_rejects_out_of_range;
+    Alcotest.test_case "is_sorted / checksum" `Quick test_is_sorted_checksum;
+    Alcotest.test_case "seq_sort" `Quick test_seq_sort;
+    Alcotest.test_case "seq_sort partial" `Quick test_seq_sort_partial_range;
+    Alcotest.test_case "merge_into" `Quick test_merge_into;
+    Alcotest.test_case "msort sorts" `Quick test_msort_sorts;
+    Alcotest.test_case "tabulate_leafy" `Quick test_tabulate_leafy;
+    Alcotest.test_case "seq_scan_excl" `Quick test_seq_scan_excl;
+    Alcotest.test_case "mat views" `Quick test_mat_views;
+    Alcotest.test_case "host sieve" `Quick test_host_sieve;
+    Alcotest.test_case "host fib" `Quick test_host_fib;
+    Alcotest.test_case "host nqueens" `Quick test_host_nqueens;
+    Alcotest.test_case "host suffix array" `Quick test_host_suffix_array;
+  ]
+
+let () = Alcotest.run "warden-bkit" [ ("bkit", suite) ]

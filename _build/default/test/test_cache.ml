@@ -1,0 +1,228 @@
+(* Unit and property tests for warden.mem and warden.cache: the backing
+   store, address geometry, sectored line data and the set-associative
+   arrays. *)
+
+open Warden_mem
+open Warden_cache
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Addr ------------------------------------------------------------------ *)
+
+let test_addr_geometry () =
+  Alcotest.(check int) "block size" 64 Addr.block_size;
+  Alcotest.(check int) "block of 0" 0 (Addr.block_of 63);
+  Alcotest.(check int) "block of 64" 1 (Addr.block_of 64);
+  Alcotest.(check int) "offset" 63 (Addr.offset_in_block 127);
+  Alcotest.(check int) "base" 64 (Addr.block_base 127);
+  Alcotest.(check bool) "same block" true (Addr.same_block 64 127);
+  Alcotest.(check bool) "diff block" false (Addr.same_block 63 64);
+  Alcotest.(check (list int)) "span" [ 0; 1; 2 ] (Addr.blocks_spanning 32 100);
+  Alcotest.(check (list int)) "empty span" [] (Addr.blocks_spanning 32 0)
+
+(* --- Store ------------------------------------------------------------------ *)
+
+let test_store_roundtrip () =
+  let s = Store.create () in
+  Store.store s 0x1000 ~size:8 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Store.load s 0x1000 ~size:8);
+  Alcotest.(check int64) "low u32" 0x55667788L (Store.load s 0x1000 ~size:4);
+  Alcotest.(check int64) "byte 0 (little endian)" 0x88L (Store.load s 0x1000 ~size:1);
+  Alcotest.(check int64) "byte 7" 0x11L (Store.load s 0x1007 ~size:1);
+  Alcotest.(check int64) "unwritten reads zero" 0L (Store.load s 0x9000 ~size:8)
+
+let test_store_alignment_rejected () =
+  let s = Store.create () in
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Store: unaligned 8-byte access at 0x1001") (fun () ->
+      ignore (Store.load s 0x1001 ~size:8));
+  Alcotest.check_raises "bad size" (Invalid_argument "Store: size must be 1, 2, 4 or 8")
+    (fun () -> ignore (Store.load s 0x1000 ~size:3))
+
+let test_store_materialization () =
+  let s = Store.create () in
+  Alcotest.(check bool) "fresh not materialized" false
+    (Store.materialized s (Addr.block_of 0x2000));
+  Store.store s 0x2000 ~size:1 1L;
+  Alcotest.(check bool) "written materialized" true
+    (Store.materialized s (Addr.block_of 0x2000));
+  Alcotest.(check bool) "neighbor block untouched" false
+    (Store.materialized s (Addr.block_of 0x2040))
+
+let test_store_masked_writeback () =
+  let s = Store.create () in
+  Store.store s 0 ~size:8 0x0101010101010101L;
+  let data = Bytes.make 64 '\xFF' in
+  (* Write back only bytes 0 and 2. *)
+  Store.write_block_masked s 0 data ~mask:0b101L;
+  Alcotest.(check int64) "byte 0 replaced" 0xFFL (Store.load s 0 ~size:1);
+  Alcotest.(check int64) "byte 1 kept" 0x01L (Store.load s 1 ~size:1);
+  Alcotest.(check int64) "byte 2 replaced" 0xFFL (Store.load s 2 ~size:1)
+
+let store_model =
+  qtest ~count:200 "store matches byte-array model"
+    QCheck2.Gen.(list (pair (int_range 0 511) (int_range 0 255)))
+    (fun writes ->
+      let s = Store.create () in
+      let model = Bytes.make 512 '\000' in
+      List.iter
+        (fun (off, v) ->
+          Store.store s off ~size:1 (Int64.of_int v);
+          Bytes.set model off (Char.chr v))
+        writes;
+      List.for_all
+        (fun off ->
+          Store.load s off ~size:1 = Int64.of_int (Char.code (Bytes.get model off)))
+        (List.init 512 Fun.id))
+
+(* --- Linedata ---------------------------------------------------------------- *)
+
+let test_linedata_dirty_tracking () =
+  let l = Linedata.create () in
+  Alcotest.(check bool) "clean" false (Linedata.is_dirty l);
+  Linedata.store l ~off:8 ~size:4 0xAABBCCDDL;
+  Alcotest.(check int64) "mask covers bytes 8-11" 0xF00L (Linedata.dirty_mask l);
+  Alcotest.(check int64) "readback" 0xAABBCCDDL (Linedata.load l ~off:8 ~size:4);
+  Linedata.clear_dirty l;
+  Alcotest.(check bool) "cleared" false (Linedata.is_dirty l);
+  Alcotest.(check int64) "data survives clear" 0xAABBCCDDL
+    (Linedata.load l ~off:8 ~size:4)
+
+let test_linedata_fill_resets () =
+  let l = Linedata.create () in
+  Linedata.store l ~off:0 ~size:8 1L;
+  Linedata.fill_from l (Bytes.make 64 '\x42');
+  Alcotest.(check bool) "fill clears dirty" false (Linedata.is_dirty l);
+  Alcotest.(check int64) "fill data visible" 0x4242424242424242L
+    (Linedata.load l ~off:16 ~size:8)
+
+let test_linedata_merge_masked () =
+  (* Two copies with disjoint dirty bytes merge losslessly, the paper's
+     false-sharing reconciliation. *)
+  let base = Bytes.make 64 '\000' in
+  let a = Linedata.of_bytes (Bytes.copy base) in
+  let b = Linedata.of_bytes (Bytes.copy base) in
+  Linedata.store a ~off:0 ~size:1 0x11L;
+  Linedata.store b ~off:1 ~size:1 0x22L;
+  let dst = Linedata.of_bytes (Bytes.copy base) in
+  Linedata.merge_masked ~dst ~src:a;
+  Linedata.merge_masked ~dst ~src:b;
+  Alcotest.(check int64) "byte from a" 0x11L (Linedata.load dst ~off:0 ~size:1);
+  Alcotest.(check int64) "byte from b" 0x22L (Linedata.load dst ~off:1 ~size:1);
+  Alcotest.(check int64) "merged mask" 3L (Linedata.dirty_mask dst)
+
+let test_range_mask () =
+  Alcotest.(check int64) "one byte" 0x8L (Linedata.range_mask ~off:3 ~size:1);
+  Alcotest.(check int64) "full line" (-1L) (Linedata.range_mask ~off:0 ~size:64)
+
+let linedata_merge_model =
+  qtest ~count:200 "sector merge = per-byte last-writer"
+    QCheck2.Gen.(list (pair (int_range 0 1) (pair (int_range 0 63) (int_range 1 255))))
+    (fun writes ->
+      (* Replay single-byte writes by two "cores" into private copies, then
+         merge in core order; compare against a flat model where merge
+         order only matters for bytes both wrote. *)
+      let base = Bytes.make 64 '\000' in
+      let copies = [| Linedata.of_bytes (Bytes.copy base); Linedata.of_bytes (Bytes.copy base) |] in
+      let model = Array.make 64 None in
+      List.iter
+        (fun (core, (off, v)) ->
+          Linedata.store copies.(core) ~off ~size:1 (Int64.of_int v);
+          (* core 1 merges after core 0, so it wins ties *)
+          match model.(off) with
+          | Some (c, _) when c > core -> ()
+          | _ -> model.(off) <- Some (core, v))
+        writes;
+      let dst = Linedata.of_bytes (Bytes.copy base) in
+      Linedata.merge_masked ~dst ~src:copies.(0);
+      Linedata.merge_masked ~dst ~src:copies.(1);
+      Array.for_all Fun.id
+        (Array.init 64 (fun off ->
+             match model.(off) with
+             | None -> Linedata.load dst ~off ~size:1 = 0L
+             | Some (_, v) -> Linedata.load dst ~off ~size:1 = Int64.of_int v)))
+
+(* --- Sa (set-associative array) -------------------------------------------- *)
+
+let test_sa_insert_find () =
+  let c = Sa.create ~sets:4 ~ways:2 in
+  Alcotest.(check int) "capacity" 8 (Sa.capacity_blocks c);
+  Alcotest.(check (option int)) "no eviction" None
+    (Option.map fst (Sa.insert c 0 "a"));
+  Alcotest.(check (option string)) "find" (Some "a") (Sa.find c 0);
+  Alcotest.(check bool) "mem" true (Sa.mem c 0);
+  Alcotest.(check (option string)) "absent" None (Sa.find c 4)
+
+let test_sa_lru_eviction () =
+  let c = Sa.create ~sets:1 ~ways:2 in
+  ignore (Sa.insert c 0 "a");
+  ignore (Sa.insert c 1 "b");
+  ignore (Sa.find c 0);
+  (* touch a: now b is LRU *)
+  (match Sa.insert c 2 "c" with
+  | Some (1, "b") -> ()
+  | _ -> Alcotest.fail "expected b evicted");
+  Alcotest.(check bool) "a kept" true (Sa.mem c 0);
+  Alcotest.(check bool) "c present" true (Sa.mem c 2)
+
+let test_sa_would_evict () =
+  let c = Sa.create ~sets:1 ~ways:1 in
+  ignore (Sa.insert c 7 "x");
+  Alcotest.(check (option (pair int string))) "predicts victim" (Some (7, "x"))
+    (Sa.would_evict c 9);
+  Alcotest.(check (option (pair int string))) "resident: no eviction" None
+    (Sa.would_evict c 7)
+
+let test_sa_remove_and_iter () =
+  let c = Sa.create ~sets:2 ~ways:2 in
+  List.iter (fun b -> ignore (Sa.insert c b b)) [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "population" 4 (Sa.population c);
+  ignore (Sa.remove c 2);
+  Alcotest.(check int) "after remove" 3 (Sa.population c);
+  let seen = ref [] in
+  Sa.iter c (fun blk _ -> seen := blk :: !seen);
+  Alcotest.(check (list int)) "iter all" [ 0; 1; 3 ] (List.sort compare !seen);
+  let ranged = ref [] in
+  Sa.iter_range c ~lo_block:1 ~hi_block:4 (fun blk _ -> ranged := blk :: !ranged);
+  Alcotest.(check (list int)) "iter range" [ 1; 3 ] (List.sort compare !ranged)
+
+(* The cache never exceeds capacity and never loses a resident block
+   without an eviction report. *)
+let sa_accounting =
+  qtest ~count:200 "insertions are fully accounted"
+    QCheck2.Gen.(list (int_range 0 63))
+    (fun blocks ->
+      let c = Sa.create ~sets:4 ~ways:2 in
+      let resident = Hashtbl.create 16 in
+      List.iter
+        (fun blk ->
+          (match Sa.insert c blk () with
+          | Some (victim, ()) -> Hashtbl.remove resident victim
+          | None -> ());
+          Hashtbl.replace resident blk ())
+        blocks;
+      Sa.population c = Hashtbl.length resident
+      && Hashtbl.fold (fun blk () acc -> acc && Sa.mem c blk) resident true)
+
+let suite =
+  [
+    Alcotest.test_case "addr geometry" `Quick test_addr_geometry;
+    Alcotest.test_case "store roundtrip" `Quick test_store_roundtrip;
+    Alcotest.test_case "store alignment" `Quick test_store_alignment_rejected;
+    Alcotest.test_case "store materialization" `Quick test_store_materialization;
+    Alcotest.test_case "store masked writeback" `Quick test_store_masked_writeback;
+    store_model;
+    Alcotest.test_case "linedata dirty tracking" `Quick test_linedata_dirty_tracking;
+    Alcotest.test_case "linedata fill" `Quick test_linedata_fill_resets;
+    Alcotest.test_case "linedata merge" `Quick test_linedata_merge_masked;
+    Alcotest.test_case "range mask" `Quick test_range_mask;
+    linedata_merge_model;
+    Alcotest.test_case "sa insert/find" `Quick test_sa_insert_find;
+    Alcotest.test_case "sa lru" `Quick test_sa_lru_eviction;
+    Alcotest.test_case "sa would_evict" `Quick test_sa_would_evict;
+    Alcotest.test_case "sa remove/iter" `Quick test_sa_remove_and_iter;
+    sa_accounting;
+  ]
+
+let () = Alcotest.run "warden-cache" [ ("cache", suite) ]

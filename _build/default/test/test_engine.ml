@@ -1,0 +1,195 @@
+(* Engine-level tests: instruction/cycle accounting, store-buffer
+   behaviour, SMT sharing, zero-fill, and scheduling determinism. *)
+
+open Warden_machine
+open Warden_sim
+module Ops = Engine.Ops
+
+let run cfg bodies =
+  let eng = Engine.create cfg ~proto:`Mesi in
+  let cycles = Engine.run eng bodies in
+  (eng, Engine.memsys eng, cycles)
+
+let test_tick_accounting () =
+  let _, ms, cycles =
+    run (Config.single_socket ()) [| (fun () -> Ops.tick 100) |]
+  in
+  Alcotest.(check int) "cycles = ticks" 100 cycles;
+  Alcotest.(check int) "instructions = ticks" 100
+    (Memsys.sstats ms).Sstats.instructions
+
+let test_stall_is_not_instructions () =
+  let _, ms, cycles =
+    run (Config.single_socket ()) [| (fun () -> Ops.stall 50; Ops.tick 10) |]
+  in
+  Alcotest.(check int) "cycles include stall" 60 cycles;
+  Alcotest.(check int) "instructions exclude stall" 10
+    (Memsys.sstats ms).Sstats.instructions
+
+let test_makespan_is_max () =
+  let _, _, cycles =
+    run (Config.single_socket ())
+      [| (fun () -> Ops.tick 10); (fun () -> Ops.tick 500); (fun () -> ()) |]
+  in
+  Alcotest.(check int) "slowest thread defines makespan" 500 cycles
+
+let test_store_buffer_hides_latency () =
+  (* A store's miss latency overlaps with subsequent compute; a load's
+     cannot. Both kernels end with the same 200 ticks. *)
+  let kernel_time use_load =
+    let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+    let ms = Engine.memsys eng in
+    let a = Memsys.alloc ms ~bytes:8 ~align:8 in
+    Engine.run eng
+      [|
+        (fun () ->
+          if use_load then ignore (Ops.load a ~size:8)
+          else Ops.store a ~size:8 1L;
+          Ops.tick 200);
+      |]
+  in
+  let store_time = kernel_time false and load_time = kernel_time true in
+  Alcotest.(check bool)
+    (Printf.sprintf "store overlaps compute (%d) vs load (%d)" store_time
+       load_time)
+    true
+    (store_time < load_time)
+
+let test_store_buffer_fills_up () =
+  (* Issue far more stores than the buffer has entries, each to a distinct
+     block (every one misses): the thread must eventually stall. *)
+  let cfg = Config.single_socket () in
+  let eng = Engine.create cfg ~proto:`Mesi in
+  let ms = Engine.memsys eng in
+  let n = 4 * cfg.Config.store_buffer_entries in
+  let a = Memsys.alloc ms ~bytes:(64 * n) ~align:64 in
+  ignore
+    (Engine.run eng
+       [|
+         (fun () ->
+           for i = 0 to n - 1 do
+             Ops.store (a + (64 * i)) ~size:8 (Int64.of_int i)
+           done);
+       |]);
+  Alcotest.(check bool) "sb stalls recorded" true
+    ((Memsys.sstats ms).Sstats.sb_stalls > 0)
+
+let test_rmw_drains_store_buffer () =
+  (* An atomic acts as a fence: its completion time covers buffered
+     stores. Verified by it being slower after a burst of store misses. *)
+  let cfg = Config.single_socket () in
+  let run_with_burst burst =
+    let eng = Engine.create cfg ~proto:`Mesi in
+    let ms = Engine.memsys eng in
+    let a = Memsys.alloc ms ~bytes:4096 ~align:64 in
+    let flag = Memsys.alloc ms ~bytes:8 ~align:64 in
+    Engine.run eng
+      [|
+        (fun () ->
+          if burst then
+            for i = 0 to 20 do
+              Ops.store (a + (64 * i)) ~size:8 1L
+            done;
+          ignore (Ops.fetch_add flag ~size:8 1L));
+      |]
+  in
+  let quiet = run_with_burst false and busy = run_with_burst true in
+  Alcotest.(check bool)
+    (Printf.sprintf "fence waits for buffered stores (%d vs %d)" busy quiet)
+    true (busy > quiet + 100)
+
+let test_smt_threads_share_l1 () =
+  (* Thread 1 reads what thread 0 wrote; on the same core the read must be
+     an L1/L2 hit, on different cores it must not be. *)
+  let cross tpc =
+    let cfg = Config.single_socket ~threads_per_core:tpc () in
+    let eng = Engine.create cfg ~proto:`Mesi in
+    let ms = Engine.memsys eng in
+    let a = Memsys.alloc ms ~bytes:8 ~align:64 in
+    ignore
+      (Engine.run eng
+         [|
+           (fun () -> Ops.store a ~size:8 9L);
+           (fun () ->
+             Ops.stall 2_000;
+             ignore (Ops.load a ~size:8));
+         |]);
+    let s = Memsys.sstats ms in
+    (s.Sstats.l1_hits, (Memsys.pstats ms).Warden_proto.Pstats.downgrades)
+  in
+  let _, down_smt = cross 2 in
+  let _, down_sep = cross 1 in
+  Alcotest.(check int) "same core: no downgrade" 0 down_smt;
+  Alcotest.(check bool) "different cores: downgrade" true (down_sep > 0)
+
+let test_zero_fill_counted () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+  let ms = Engine.memsys eng in
+  let a = Memsys.alloc ms ~bytes:64 ~align:64 in
+  ignore (Engine.run eng [| (fun () -> ignore (Ops.load a ~size:8)) |]);
+  let ps = Memsys.pstats ms in
+  Alcotest.(check int) "fresh block zero-filled" 1 ps.Warden_proto.Pstats.zero_fills;
+  Alcotest.(check int) "no dram read" 0 ps.Warden_proto.Pstats.dram_reads
+
+let test_initialized_input_comes_from_dram () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+  let ms = Engine.memsys eng in
+  let a = Memsys.alloc ms ~bytes:64 ~align:64 in
+  Memsys.poke ms a ~size:8 7L;
+  ignore (Engine.run eng [| (fun () -> ignore (Ops.load a ~size:8)) |]);
+  let ps = Memsys.pstats ms in
+  Alcotest.(check int) "host-initialized data is in memory" 1
+    ps.Warden_proto.Pstats.dram_reads
+
+let test_engine_single_use () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+  ignore (Engine.run eng [| (fun () -> ()) |]);
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Engine.run: engine already used") (fun () ->
+      ignore (Engine.run eng [| (fun () -> ()) |]))
+
+let test_too_many_threads_rejected () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+  Alcotest.check_raises "13 bodies on 12 threads"
+    (Invalid_argument "Engine.run: too many threads") (fun () ->
+      ignore (Engine.run eng (Array.make 13 (fun () -> ()))))
+
+let test_deterministic_interleaving () =
+  let go () =
+    let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+    let ms = Engine.memsys eng in
+    let a = Memsys.alloc ms ~bytes:8 ~align:8 in
+    ignore
+      (Engine.run eng
+         (Array.init 8 (fun tid () ->
+              for _ = 1 to 50 do
+                ignore (Ops.fetch_add a ~size:8 (Int64.of_int (tid + 1)))
+              done)));
+    Memsys.flush_all ms;
+    ( Memsys.peek ms a ~size:8,
+      (Memsys.sstats ms).Sstats.cycles,
+      (Memsys.pstats ms).Warden_proto.Pstats.invalidations )
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "tick accounting" `Quick test_tick_accounting;
+    Alcotest.test_case "stall accounting" `Quick test_stall_is_not_instructions;
+    Alcotest.test_case "makespan" `Quick test_makespan_is_max;
+    Alcotest.test_case "store buffer hides latency" `Quick
+      test_store_buffer_hides_latency;
+    Alcotest.test_case "store buffer fills" `Quick test_store_buffer_fills_up;
+    Alcotest.test_case "rmw is a fence" `Quick test_rmw_drains_store_buffer;
+    Alcotest.test_case "smt shares the L1" `Quick test_smt_threads_share_l1;
+    Alcotest.test_case "zero fill" `Quick test_zero_fill_counted;
+    Alcotest.test_case "inputs come from dram" `Quick
+      test_initialized_input_comes_from_dram;
+    Alcotest.test_case "single use" `Quick test_engine_single_use;
+    Alcotest.test_case "thread limit" `Quick test_too_many_threads_rejected;
+    Alcotest.test_case "deterministic interleaving" `Quick
+      test_deterministic_interleaving;
+  ]
+
+let () = Alcotest.run "warden-engine" [ ("engine", suite) ]

@@ -1,0 +1,114 @@
+(* Tests for the experiment harness: the Table-1 microbenchmark, the
+   derived metrics of Figures 7-12, and the experiment renderers. *)
+
+open Warden_machine
+open Warden_harness
+
+let mk_result ?(cycles = 1000) ?(instructions = 2000) ?(inv = 100) ?(down = 50)
+    ?(net = 1000.) ?(proc = 5000.) ?(verified = true) proto =
+  {
+    Exp.bench = "synthetic";
+    proto;
+    machine = "test";
+    verified;
+    cycles;
+    instructions;
+    ipc = float_of_int instructions /. float_of_int cycles;
+    loads = 0;
+    invalidations = inv;
+    downgrades = down;
+    messages = 0;
+    ward_grants = 0;
+    recon_blocks = 0;
+    energy_network_pj = net;
+    energy_processor_pj = proc;
+    energy_total_pj = net +. proc;
+  }
+
+let test_metrics_math () =
+  let pair =
+    {
+      Exp.mesi = mk_result ~cycles:2000 ~inv:120 ~down:80 ~net:2000. ~proc:8000. "mesi";
+      warden = mk_result ~cycles:1000 ~inv:20 ~down:30 ~net:1000. ~proc:6000. "warden";
+    }
+  in
+  Alcotest.(check (float 1e-9)) "speedup" 2.0 (Exp.speedup pair);
+  Alcotest.(check (float 1e-9)) "interconnect savings" 50.
+    (Exp.interconnect_savings_pct pair);
+  Alcotest.(check (float 1e-9)) "processor savings" 25.
+    (Exp.processor_savings_pct pair);
+  (* (120+80) - (20+30) = 150 events over 2 kilo-instructions. *)
+  Alcotest.(check (float 1e-9)) "events per kilo" 75.
+    (Exp.inv_down_reduced_per_kilo pair);
+  (* Downgrade share of the reduction: (80-30)/150. *)
+  Alcotest.(check (float 1e-6)) "downgrade share" (50. /. 150. *. 100.)
+    (Exp.downgrade_share_pct pair);
+  Alcotest.(check (float 1e-6)) "shares sum to 100" 100.
+    (Exp.downgrade_share_pct pair +. Exp.inv_share_pct pair);
+  (* IPC: mesi 1.0, warden 2.0. *)
+  Alcotest.(check (float 1e-6)) "ipc improvement" 100. (Exp.ipc_improvement_pct pair)
+
+let test_scale_of () =
+  let spec = Option.get (Warden_pbbs.Suite.find "msort") in
+  Alcotest.(check bool) "quick smaller" true
+    (Exp.scale_of ~quick:true spec < Exp.scale_of ~quick:false spec)
+
+let test_microbench_ordering () =
+  let rows = Microbench.table1 ~iters:300 () in
+  Alcotest.(check int) "three scenarios" 3 (List.length rows);
+  match List.map (fun r -> r.Microbench.cycles_per_iter) rows with
+  | [ same_core; same_socket; cross ] ->
+      Alcotest.(check bool) "same core fastest" true (same_core < same_socket);
+      Alcotest.(check bool) "cross socket slowest" true (same_socket < cross);
+      (* Within 2x of the paper's simulated latencies (Table 1). *)
+      List.iter
+        (fun r ->
+          let ratio = r.Microbench.cycles_per_iter /. r.Microbench.paper_simulated in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s within 2.5x of Sniper (%f)" r.Microbench.scenario
+               ratio)
+            true
+            (ratio > 0.4 && ratio < 2.5))
+        rows
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_run_pair_on_real_bench () =
+  let spec = Option.get (Warden_pbbs.Suite.find "fib") in
+  let pair = Exp.run_pair ~quick:true ~config:(Config.single_socket ()) spec in
+  Alcotest.(check bool) "both verified" true
+    (pair.Exp.mesi.Exp.verified && pair.Exp.warden.Exp.verified);
+  Alcotest.(check bool) "cycles positive" true (pair.Exp.mesi.Exp.cycles > 0);
+  Alcotest.(check string) "protos recorded" "mesi" pair.Exp.mesi.Exp.proto;
+  Alcotest.(check bool) "warden within 15% either way" true
+    (let s = Exp.speedup pair in
+     s > 0.85 && s < 1.6)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_renderers_do_not_raise () =
+  let sr =
+    Experiments.run_suite ~quick:true ~names:[ "fib"; "make_array" ]
+      ~config:(Config.single_socket ()) ()
+  in
+  let out = Experiments.render_perf_energy ~title:"test" sr in
+  Alcotest.(check bool) "perf table mentions fib" true (contains out "fib");
+  List.iter
+    (fun render ->
+      Alcotest.(check bool) "nonempty" true (String.length (render sr) > 0))
+    [ Experiments.render_fig9; Experiments.render_fig10; Experiments.render_fig11 ];
+  Alcotest.(check bool) "table2 nonempty" true
+    (String.length (Experiments.render_table2 ()) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "derived metrics math" `Quick test_metrics_math;
+    Alcotest.test_case "quick scales" `Quick test_scale_of;
+    Alcotest.test_case "table1 ordering and band" `Quick test_microbench_ordering;
+    Alcotest.test_case "run_pair on fib" `Quick test_run_pair_on_real_bench;
+    Alcotest.test_case "renderers" `Quick test_renderers_do_not_raise;
+  ]
+
+let () = Alcotest.run "warden-harness" [ ("harness", suite) ]

@@ -1,0 +1,111 @@
+(* Tests for warden.machine: configuration derivations, topology maps and
+   the energy accounting. *)
+
+open Warden_machine
+
+let test_table2_values () =
+  let c = Config.dual_socket () in
+  Alcotest.(check int) "cores" 24 (Config.num_cores c);
+  Alcotest.(check int) "threads" 24 (Config.num_threads c);
+  Alcotest.(check int) "l1 sets: 32KB/8way/64B" 64 (Config.l1_sets c);
+  Alcotest.(check int) "l2 sets: 256KB/8way/64B" 512 (Config.l2_sets c);
+  (* 2.5MB x 12 cores / 20 ways / 64B = 24576 lines/way, rounded down to a
+     power of two. *)
+  Alcotest.(check int) "l3 sets per socket" 16384 (Config.l3_sets_per_socket c);
+  Alcotest.(check int) "latencies" 71 c.Config.l3_lat
+
+let test_topology_maps () =
+  let c = Config.dual_socket () in
+  Alcotest.(check int) "thread->core" 5 (Config.core_of_thread c 5);
+  Alcotest.(check int) "core->socket 0" 0 (Config.socket_of_core c 11);
+  Alcotest.(check int) "core->socket 1" 1 (Config.socket_of_core c 12);
+  Alcotest.(check int) "home interleave even" 0 (Config.home_socket c 4);
+  Alcotest.(check int) "home interleave odd" 1 (Config.home_socket c 5);
+  let smt = Config.single_socket ~threads_per_core:2 () in
+  Alcotest.(check int) "smt siblings share a core" (Config.core_of_thread smt 0)
+    (Config.core_of_thread smt 1);
+  Alcotest.(check int) "24 threads on 12 cores" 24 (Config.num_threads smt)
+
+let test_presets () =
+  Alcotest.(check int) "single socket" 12 (Config.num_cores (Config.single_socket ()));
+  Alcotest.(check int) "4 sockets" 48
+    (Config.num_cores (Config.many_socket ~sockets:4 ()));
+  let d = Config.disaggregated () in
+  Alcotest.(check bool) "disagg home is remote" true d.Config.llc_remote;
+  Alcotest.(check int) "1us at 3.3GHz" 3300 d.Config.inter_socket_lat
+
+let test_with_cores () =
+  let c = Config.with_cores (Config.dual_socket ()) 8 in
+  Alcotest.(check int) "restricted" 8 (Config.num_cores c);
+  Alcotest.check_raises "not divisible"
+    (Invalid_argument "Config.with_cores: not divisible") (fun () ->
+      ignore (Config.with_cores (Config.dual_socket ()) 7));
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Config.with_cores: too many") (fun () ->
+      ignore (Config.with_cores (Config.single_socket ()) 26))
+
+let test_pp_mentions_key_fields () =
+  let s = Format.asprintf "%a" Config.pp (Config.dual_socket ()) in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and h = String.length s in
+        let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("pp mentions " ^ needle) true found)
+    [ "dual-socket"; "32 KB"; "6-16-71"; "3.3 GHz" ]
+
+(* --- Energy ------------------------------------------------------------- *)
+
+let test_energy_buckets () =
+  let e = Energy.create () in
+  Energy.core_cycles e ~cores:2 ~cycles:100;
+  Energy.l1_access e;
+  Energy.l2_access e;
+  Energy.l3_access e;
+  Energy.dram_access e;
+  let c = Energy.costs e in
+  Alcotest.(check (float 1e-6)) "core bucket"
+    (2. *. 100. *. c.Energy.core_cycle_pj)
+    (Energy.core_pj e);
+  Alcotest.(check (float 1e-6)) "cache bucket"
+    (c.Energy.l1_pj +. c.Energy.l2_pj +. c.Energy.l3_pj)
+    (Energy.cache_pj e);
+  Alcotest.(check (float 1e-6)) "dram bucket" c.Energy.dram_pj (Energy.dram_pj e);
+  Alcotest.(check (float 1e-6)) "processor = core+cache+dram"
+    (Energy.core_pj e +. Energy.cache_pj e +. Energy.dram_pj e)
+    (Energy.processor_pj e)
+
+let test_energy_messages () =
+  let e = Energy.create () in
+  let c = Energy.costs e in
+  Energy.message e ~inter_socket:false ~data:false;
+  Alcotest.(check (float 1e-6)) "intra ctl" c.Energy.msg_intra_pj
+    (Energy.network_pj e);
+  Energy.message e ~inter_socket:true ~data:true;
+  Alcotest.(check (float 1e-6)) "inter data = 5 flits"
+    (c.Energy.msg_intra_pj +. (5. *. c.Energy.msg_inter_pj))
+    (Energy.network_pj e);
+  Alcotest.(check (float 1e-6)) "total = processor + network"
+    (Energy.processor_pj e +. Energy.network_pj e)
+    (Energy.total_pj e)
+
+let test_energy_inter_dwarfs_intra () =
+  let c = Energy.default_costs in
+  Alcotest.(check bool) "inter-socket messages cost much more" true
+    (c.Energy.msg_inter_pj > 5. *. c.Energy.msg_intra_pj)
+
+let suite =
+  [
+    Alcotest.test_case "table 2 values" `Quick test_table2_values;
+    Alcotest.test_case "topology maps" `Quick test_topology_maps;
+    Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "with_cores" `Quick test_with_cores;
+    Alcotest.test_case "config printing" `Quick test_pp_mentions_key_fields;
+    Alcotest.test_case "energy buckets" `Quick test_energy_buckets;
+    Alcotest.test_case "energy messages" `Quick test_energy_messages;
+    Alcotest.test_case "energy cost ordering" `Quick test_energy_inter_dwarfs_intra;
+  ]
+
+let () = Alcotest.run "warden-machine" [ ("machine", suite) ]

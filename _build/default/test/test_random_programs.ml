@@ -1,0 +1,149 @@
+(* Generative end-to-end testing: random disentangled fork-join programs
+   run under MESI and under WARDen; both must compute the same result,
+   leave identical final memory, and (under WARDen) pass the trace oracles.
+
+   A program is a random binary fork tree. Every task allocates its own
+   output array in its heap (fresh WARD pages), reads windows of an
+   ancestor-provided input, writes a disjoint slice of an ancestor scratch
+   array (in-place phase — still disentangled), and after its join reads
+   both children's outputs to build its own. This exercises the full mix
+   of memory behaviours the runtime's marking and WARDen's reconciliation
+   must handle, on shapes no hand-written benchmark has. *)
+
+open Warden_machine
+open Warden_sim
+open Warden_runtime
+
+type prog = Leaf of int | Node of prog * prog
+
+let rec size = function Leaf _ -> 1 | Node (l, r) -> 1 + size l + size r
+
+let gen_prog =
+  QCheck2.Gen.(
+    sized_size (int_range 1 24)
+    @@ fix (fun self n ->
+           if n <= 1 then map (fun w -> Leaf w) (int_range 1 24)
+           else
+             frequency
+               [
+                 (1, map (fun w -> Leaf w) (int_range 1 24));
+                 ( 3,
+                   map2
+                     (fun l r -> Node (l, r))
+                     (self (n / 2))
+                     (self (n - 1 - (n / 2))) );
+               ]))
+
+let out_len = 24
+
+(* Interpret [prog]; [input] is an ancestor array every task may read,
+   [scratch] an ancestor array in which each task owns a disjoint slice.
+   Returns the root task's output array plus a host-side mirror of its
+   expected contents. *)
+let interpret ~input ~scratch prog =
+  (* Slots are assigned structurally (preorder), so the scratch layout is
+     identical across protocol runs regardless of scheduling. *)
+  let rec go path slot prog =
+    let out = Sarray.create ~len:out_len ~elt_bytes:8 in
+    let expect = Array.make out_len 0L in
+    (match prog with
+    | Leaf work ->
+        for i = 0 to out_len - 1 do
+          Par.tick 1;
+          let v =
+            Int64.add
+              (Sarray.get input ((path + (i * work)) mod Sarray.length input))
+              (Int64.of_int ((path * 1000) + i))
+          in
+          Sarray.set out i v;
+          expect.(i) <- v
+        done
+    | Node (l, r) ->
+        let (lo, le), (ro, re) =
+          Par.par2
+            (fun () -> go ((2 * path) + 1) (slot + 1) l)
+            (fun () -> go ((2 * path) + 2) (slot + 1 + size l) r)
+        in
+        for i = 0 to out_len - 1 do
+          Par.tick 1;
+          let v = Int64.logxor (Sarray.get lo i) (Sarray.get ro i) in
+          Sarray.set out i v;
+          expect.(i) <- Int64.logxor le.(i) re.(i)
+        done);
+    (* In-place phase: fill this task's private slice of the ancestor
+       scratch (slices are disjoint across tasks). *)
+    for i = 0 to out_len - 1 do
+      Sarray.set scratch ((slot * out_len) + i) (Sarray.get out i)
+    done;
+    (out, expect)
+  in
+  go 0 0 prog
+
+let run_program proto prog =
+  let eng = Engine.create (Config.dual_socket ()) ~proto in
+  let ms = Engine.memsys eng in
+  let ntasks = size prog in
+  let (out, expect, scratch), _ =
+    Par.run eng (fun () ->
+        let input = Sarray.create ~len:256 ~elt_bytes:8 in
+        Warden_pbbs.Bkit.gen_ints ms input ~seed:17L ~bound:1_000_003L;
+        let scratch = Sarray.create ~len:(ntasks * out_len) ~elt_bytes:8 in
+        let out, expect = interpret ~input ~scratch prog in
+        (out, expect, scratch))
+  in
+  Memsys.flush_all ms;
+  let final_out = Array.init out_len (fun i -> Sarray.peek_host ms out i) in
+  let final_scratch =
+    Array.init (ntasks * out_len) (fun i -> Sarray.peek_host ms scratch i)
+  in
+  (final_out, expect, final_scratch)
+
+let prop_protocols_agree prog =
+  let out_m, expect_m, scratch_m = run_program `Mesi prog in
+  let out_w, expect_w, scratch_w = run_program `Warden prog in
+  out_m = expect_m && out_w = expect_w && out_m = out_w
+  && scratch_m = scratch_w
+
+let prop_warden_oracle_clean prog =
+  let _, report =
+    Warden_trace.Oracle.with_oracle (fun () -> run_program `Warden prog)
+  in
+  Result.is_ok (Warden_trace.Oracle.check_clean report)
+
+let qtest ?(count = 25) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name
+       ~print:(fun p ->
+         let rec pp = function
+           | Leaf w -> Printf.sprintf "L%d" w
+           | Node (l, r) -> Printf.sprintf "(%s %s)" (pp l) (pp r)
+         in
+         pp p)
+       gen_prog prop)
+
+let fixed_shapes =
+  (* A few deterministic shapes covering the edges: a lone leaf, a deep
+     left spine, a deep right spine, a balanced tree. *)
+  let rec left n = if n = 0 then Leaf 3 else Node (left (n - 1), Leaf 1) in
+  let rec right n = if n = 0 then Leaf 5 else Node (Leaf 2, right (n - 1)) in
+  let rec bal n = if n = 0 then Leaf 7 else Node (bal (n - 1), bal (n - 1)) in
+  [ ("single leaf", Leaf 4); ("left spine", left 6); ("right spine", right 6);
+    ("balanced depth 4", bal 4) ]
+
+let fixed_tests =
+  List.map
+    (fun (name, prog) ->
+      Alcotest.test_case name `Quick (fun () ->
+          Alcotest.(check bool) "protocols agree" true (prop_protocols_agree prog);
+          Alcotest.(check bool) "oracle clean" true (prop_warden_oracle_clean prog)))
+    fixed_shapes
+
+let suite =
+  fixed_tests
+  @ [
+      qtest "random programs: MESI = WARDen = expected" prop_protocols_agree;
+      qtest ~count:15 "random programs: WARDen oracles clean"
+        prop_warden_oracle_clean;
+    ]
+
+let () = Alcotest.run "warden-random" [ ("random-programs", suite) ]

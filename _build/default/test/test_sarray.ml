@@ -1,0 +1,179 @@
+(* Runtime data-structure tests: simulated arrays, heap hierarchy
+   behaviour, and runtime parameter variants. *)
+
+open Warden_machine
+open Warden_sim
+open Warden_runtime
+
+let in_run ?params ?(proto = `Warden) f =
+  let eng = Engine.create (Config.single_socket ()) ~proto in
+  fst (Par.run ?params eng f)
+
+(* --- Sarray ------------------------------------------------------------- *)
+
+let test_sarray_roundtrip () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:16 ~elt_bytes:8 in
+      Sarray.set a 3 123L;
+      Alcotest.(check int64) "i64" 123L (Sarray.get a 3);
+      Sarray.set_i a 4 (-7);
+      Alcotest.(check int) "int" (-7) (Sarray.get_i a 4);
+      Sarray.set_f a 5 3.25;
+      Alcotest.(check (float 1e-12)) "float" 3.25 (Sarray.get_f a 5))
+
+let test_sarray_bounds () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:4 ~elt_bytes:8 in
+      Alcotest.check_raises "negative"
+        (Invalid_argument "Sarray: index -1 out of [0,4)") (fun () ->
+          ignore (Sarray.get a (-1)));
+      Alcotest.check_raises "past end"
+        (Invalid_argument "Sarray: index 4 out of [0,4)") (fun () ->
+          ignore (Sarray.get a 4)))
+
+let test_sarray_bytes () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:10 ~elt_bytes:1 in
+      Sarray.set a 9 0x41L;
+      Alcotest.(check int64) "byte" 0x41L (Sarray.get a 9);
+      (* Bytes are truncated, not range-checked. *)
+      Sarray.set a 0 0x1FFL;
+      Alcotest.(check int64) "truncated" 0xFFL (Sarray.get a 0))
+
+let test_sarray_sub () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:10 ~elt_bytes:8 in
+      for i = 0 to 9 do
+        Sarray.set_i a i (i * 10)
+      done;
+      let s = Sarray.sub a ~pos:3 ~len:4 in
+      Alcotest.(check int) "len" 4 (Sarray.length s);
+      Alcotest.(check int) "aliases parent" 30 (Sarray.get_i s 0);
+      Sarray.set_i s 1 999;
+      Alcotest.(check int) "writes through" 999 (Sarray.get_i a 4);
+      Alcotest.check_raises "sub bounds" (Invalid_argument "Sarray.sub")
+        (fun () -> ignore (Sarray.sub a ~pos:8 ~len:3)))
+
+let test_sarray_atomics () =
+  in_run (fun () ->
+      let a = Sarray.create ~len:2 ~elt_bytes:8 in
+      Alcotest.(check bool) "cas ok" true (Sarray.cas_i a 0 ~expected:0 ~desired:5);
+      Alcotest.(check bool) "cas stale" false
+        (Sarray.cas_i a 0 ~expected:0 ~desired:9);
+      Alcotest.(check int) "fetch_add old" 5 (Sarray.fetch_add_i a 0 2);
+      Alcotest.(check int) "fetch_add new" 7 (Sarray.get_i a 0))
+
+let test_sarray_host_init () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+  let out = ref None in
+  let _ =
+    Par.run eng (fun () ->
+        let ms = Par.memsys () in
+        let a = Sarray.create ~len:8 ~elt_bytes:8 in
+        Sarray.init_host ms a (fun i -> Int64.of_int (100 + i));
+        out := Some (Sarray.get a 7))
+  in
+  Alcotest.(check (option int64)) "host-poked value visible" (Some 107L) !out
+
+(* --- Heap hierarchy ------------------------------------------------------- *)
+
+let test_alloc_alignment_and_freshness () =
+  in_run (fun () ->
+      let a = Par.alloc ~bytes:5 in
+      let b = Par.alloc ~bytes:3 in
+      Alcotest.(check int) "8-byte aligned" 0 (a land 7);
+      Alcotest.(check bool) "disjoint bump" true (b >= a + 8);
+      Alcotest.(check int64) "zero initialized" 0L (Par.read a ~size:8))
+
+let test_large_alloc () =
+  in_run (fun () ->
+      (* Bigger than a page: must still be usable end to end. *)
+      let n = 3000 in
+      let a = Par.alloc ~bytes:(8 * n) in
+      Par.write (a + (8 * (n - 1))) ~size:8 11L;
+      Alcotest.(check int64) "last cell" 11L (Par.read (a + (8 * (n - 1))) ~size:8))
+
+let test_heap_ownership_tracking () =
+  in_run (fun () ->
+      let a = Par.alloc ~bytes:8 in
+      let mine = Option.get (Par.current_heap ()) in
+      let owner = Option.get (Heap.owner_of a) in
+      Alcotest.(check bool) "allocation owned by current heap" true (owner == mine);
+      Alcotest.(check bool) "unknown address unowned" true
+        (Heap.owner_of 0x10 = None);
+      (* After a fork+join the child's allocation is owned by the parent. *)
+      let child_addr, _ =
+        Par.par2 (fun () -> Par.alloc ~bytes:8) (fun () -> ())
+      in
+      let owner' = Option.get (Heap.owner_of child_addr) in
+      Alcotest.(check bool) "merged into parent" true
+        (Heap.is_ancestor_or_self owner' ~of_:mine))
+
+let test_ancestor_or_self () =
+  in_run (fun () ->
+      let root = Option.get (Par.current_heap ()) in
+      let (), () =
+        Par.par2
+          (fun () ->
+            let mine = Option.get (Par.current_heap ()) in
+            Alcotest.(check bool) "root is ancestor" true
+              (Heap.is_ancestor_or_self root ~of_:mine);
+            Alcotest.(check bool) "self" true
+              (Heap.is_ancestor_or_self mine ~of_:mine);
+            Alcotest.(check bool) "child is not ancestor of root" false
+              (Heap.is_ancestor_or_self mine ~of_:root))
+          (fun () -> ())
+      in
+      ())
+
+(* --- Runtime parameters ---------------------------------------------------- *)
+
+let fib_check params =
+  let v =
+    in_run ~params (fun () ->
+        Par.parreduce ~grain:1 0 32 ~map:(fun i -> i) ~combine:( + ) ~init:0)
+  in
+  Alcotest.(check int) "sum under params" (31 * 32 / 2) v
+
+let test_no_marking_params () =
+  fib_check { Rtparams.default with Rtparams.mark_leaf_pages = false }
+
+let test_scratch_handoff_params () =
+  fib_check { Rtparams.default with Rtparams.handoff_in_heap = false }
+
+let test_small_pages () = fib_check { Rtparams.default with Rtparams.page_bytes = 4096 }
+
+let test_restricted_workers () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Warden in
+  let v, rs =
+    Par.run ~workers:2 eng (fun () ->
+        Par.parreduce ~grain:4 0 100 ~map:Fun.id ~combine:( + ) ~init:0)
+  in
+  Alcotest.(check int) "correct with 2 workers" 4950 v;
+  Alcotest.(check bool) "work still happened" true (rs.Par.tasks > 10)
+
+let test_workers_bounds () =
+  let eng = Engine.create (Config.single_socket ()) ~proto:`Mesi in
+  Alcotest.check_raises "zero workers" (Invalid_argument "Par.run: workers")
+    (fun () -> ignore (Par.run ~workers:0 eng (fun () -> ())))
+
+let suite =
+  [
+    Alcotest.test_case "sarray roundtrip" `Quick test_sarray_roundtrip;
+    Alcotest.test_case "sarray bounds" `Quick test_sarray_bounds;
+    Alcotest.test_case "sarray bytes" `Quick test_sarray_bytes;
+    Alcotest.test_case "sarray sub" `Quick test_sarray_sub;
+    Alcotest.test_case "sarray atomics" `Quick test_sarray_atomics;
+    Alcotest.test_case "sarray host init" `Quick test_sarray_host_init;
+    Alcotest.test_case "alloc alignment" `Quick test_alloc_alignment_and_freshness;
+    Alcotest.test_case "large alloc" `Quick test_large_alloc;
+    Alcotest.test_case "heap ownership" `Quick test_heap_ownership_tracking;
+    Alcotest.test_case "ancestor-or-self" `Quick test_ancestor_or_self;
+    Alcotest.test_case "params: no marking" `Quick test_no_marking_params;
+    Alcotest.test_case "params: scratch handoff" `Quick test_scratch_handoff_params;
+    Alcotest.test_case "params: page size" `Quick test_small_pages;
+    Alcotest.test_case "restricted workers" `Quick test_restricted_workers;
+    Alcotest.test_case "workers bounds" `Quick test_workers_bounds;
+  ]
+
+let () = Alcotest.run "warden-sarray" [ ("sarray-heap", suite) ]
