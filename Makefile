@@ -9,8 +9,8 @@ BENCH ?= fib
 MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
-.PHONY: all build test bench all_pbbs single_pbbs activate_one_socket \
-        activate_two_socket examples clean
+.PHONY: all build test bench bench-quick bench-json all_pbbs single_pbbs \
+        activate_one_socket activate_two_socket examples clean
 
 all: build
 
@@ -22,6 +22,15 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Reduced-scale pass over every experiment (minutes instead of hours).
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+# Machine-readable simulator-performance snapshot into BENCH_sim.json
+# (host ms/run per kernel plus simulated MIPS).
+bench-json:
+	dune exec bench/main.exe -- json
 
 activate_one_socket:
 	echo single > $(MACHINE_FILE)

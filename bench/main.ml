@@ -3,13 +3,32 @@
    and times representative simulator kernels with Bechamel.
 
    Run with:  dune exec bench/main.exe            (full paper scales)
-              dune exec bench/main.exe -- quick   (reduced scales)        *)
+              dune exec bench/main.exe -- quick   (reduced scales)
+              dune exec bench/main.exe -- json    (machine-readable timing
+                                                   into BENCH_sim.json)
+   [--jobs N] (or WARDEN_JOBS) caps the domains used for independent
+   simulations; the default is the machine's recommended domain count.  *)
 
 open Warden_machine
 open Warden_harness
 open Warden_runtime
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let json_mode = Array.exists (fun a -> a = "json") Sys.argv
+
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv then Pool.default_jobs ()
+    else if Sys.argv.(i) = "--jobs" || Sys.argv.(i) = "-j" then
+      if i + 1 >= Array.length Sys.argv then
+        invalid_arg "--jobs: missing value"
+      else
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg "--jobs: expected a positive integer"
+    else find (i + 1)
+  in
+  find 1
 
 let section title =
   Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
@@ -20,7 +39,7 @@ let section title =
 
 let run_paper_experiments () =
   section "Part 1: paper experiments (Tables 1-2, Figures 7-12)";
-  let ok = Experiments.run_all ~quick () in
+  let ok = Experiments.run_all ~quick ~jobs () in
   Printf.printf "every benchmark verified: %b\n%!" ok;
   ok
 
@@ -33,20 +52,26 @@ let ablation_benches = [ "msort"; "palindrome"; "quickhull"; "fib" ]
 let speedup_with ?params ?config name =
   let spec = Option.get (Warden_pbbs.Suite.find name) in
   let config = Option.value config ~default:(Config.dual_socket ()) in
-  let pair = Exp.run_pair ~quick:true ?params ~config spec in
+  let pair = Exp.run_pair ~quick:true ?params ~jobs:1 ~config spec in
   Exp.speedup pair
 
-(* variants: (label, params option, config option) *)
+(* variants: (label, params option, config option); every (bench, variant)
+   cell is an independent pair of simulations, fanned across the pool. *)
 let ablation_table title variants =
   let header = "Benchmark" :: List.map (fun (l, _, _) -> l) variants in
+  let cells =
+    Pool.map ~jobs
+      (fun (bench, (_, params, config)) ->
+        Printf.sprintf "%.2f" (speedup_with ?params ?config bench))
+      (List.concat_map
+         (fun bench -> List.map (fun v -> (bench, v)) variants)
+         ablation_benches)
+  in
+  let nv = List.length variants in
   let rows =
-    List.map
-      (fun bench ->
-        bench
-        :: List.map
-             (fun (_, params, config) ->
-               Printf.sprintf "%.2f" (speedup_with ?params ?config bench))
-             variants)
+    List.mapi
+      (fun i bench ->
+        bench :: List.filteri (fun j _ -> j / nv = i) cells)
       ablation_benches
   in
   print_string (title ^ "\n" ^ Warden_util.Table.render ~header ~rows ^ "\n");
@@ -152,9 +177,9 @@ let run_ablations () =
 let run_scaling () =
   section "Part 2b: scaling studies (7.3)";
   let names = [ "dmm"; "msort"; "palindrome"; "quickhull" ] in
-  print_string (Experiments.render_worker_scaling ~quick:true ~names ());
+  print_string (Experiments.render_worker_scaling ~quick:true ~jobs ~names ());
   print_newline ();
-  print_string (Experiments.render_socket_scaling ~quick:true ~names ());
+  print_string (Experiments.render_socket_scaling ~quick:true ~jobs ~names ());
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -187,8 +212,8 @@ let bechamel_tests () =
         (bench_pair "dmm" 32 (Config.disaggregated ()));
     ]
 
-let run_bechamel () =
-  section "Part 3: Bechamel timing of the simulator kernels (host time)";
+(* Returns (kernel, ms/run) estimates so the json mode can persist them. *)
+let measure_bechamel () =
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
@@ -203,22 +228,98 @@ let run_bechamel () =
   in
   let names = ref [] in
   Hashtbl.iter (fun name _ -> names := name :: !names) results;
-  List.iter
+  List.filter_map
     (fun name ->
       match Analyze.OLS.estimates (Hashtbl.find results name) with
-      | Some (est :: _) -> Printf.printf "%-45s %12.2f ms/run\n" name (est /. 1e6)
-      | _ -> Printf.printf "%-45s (no estimate)\n" name)
+      | Some (est :: _) -> Some (name, est /. 1e6)
+      | _ -> None)
     (List.sort compare !names)
 
+let run_bechamel () =
+  section "Part 3: Bechamel timing of the simulator kernels (host time)";
+  List.iter
+    (fun (name, ms) -> Printf.printf "%-45s %12.2f ms/run\n" name ms)
+    (measure_bechamel ())
+
+(* ------------------------------------------------------------------ *)
+(* json mode: machine-readable simulator-performance snapshot          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Simulator throughput: wall-clock the quick dual-socket suite and count
+   the simulated instructions it retires. *)
+let measure_sim_throughput () =
+  let t0 = Unix.gettimeofday () in
+  let sr = Experiments.run_suite ~quick:true ~jobs ~config:(Config.dual_socket ()) () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let instrs =
+    List.fold_left
+      (fun acc (_, p) ->
+        acc + p.Exp.mesi.Exp.instructions + p.Exp.warden.Exp.instructions)
+      0 sr
+  in
+  let cycles =
+    List.fold_left
+      (fun acc (_, p) -> acc + p.Exp.mesi.Exp.cycles + p.Exp.warden.Exp.cycles)
+      0 sr
+  in
+  (wall, instrs, cycles)
+
+let run_json () =
+  let kernels = measure_bechamel () in
+  let wall, instrs, cycles = measure_sim_throughput () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf "  \"kernels_ms_per_run\": {\n";
+  List.iteri
+    (fun i (name, ms) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.3f%s\n" (json_escape name) ms
+           (if i = List.length kernels - 1 then "" else ",")))
+    kernels;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick_suite_wall_s\": %.3f,\n" wall);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick_suite_sim_instructions\": %d,\n" instrs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick_suite_sim_cycles\": %d,\n" cycles);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"sim_mips\": %.3f\n"
+       (if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "wrote BENCH_sim.json\n%!"
+
 let () =
-  Printf.printf
-    "WARDen reproduction bench harness (%s scales)\n\
-     Every run simulates the full machine: caches, directory, protocol, \
-     runtime.\n"
-    (if quick then "quick" else "paper");
-  let ok = run_paper_experiments () in
-  run_ablations ();
-  run_scaling ();
-  run_bechamel ();
-  Printf.printf "\nDONE. all benchmark runs verified: %b\n" ok;
-  exit (if ok then 0 else 1)
+  if json_mode then run_json ()
+  else begin
+    Printf.printf
+      "WARDen reproduction bench harness (%s scales, %d job(s))\n\
+       Every run simulates the full machine: caches, directory, protocol, \
+       runtime.\n"
+      (if quick then "quick" else "paper")
+      jobs;
+    let ok = run_paper_experiments () in
+    run_ablations ();
+    run_scaling ();
+    run_bechamel ();
+    Printf.printf "\nDONE. all benchmark runs verified: %b\n" ok;
+    exit (if ok then 0 else 1)
+  end

@@ -17,6 +17,15 @@ let machine_of = function
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced problem sizes.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for running independent simulations in parallel \
+           (default: $(b,WARDEN_JOBS) or the recommended domain count).")
+
 let machine_arg =
   Arg.(
     value
@@ -137,12 +146,12 @@ let table2_cmd =
       0)
 
 let fig_cmd name doc config title =
-  let run quick =
-    let sr = Experiments.run_suite ~quick ~config:(config ()) () in
+  let run quick jobs =
+    let sr = Experiments.run_suite ~quick ?jobs ~config:(config ()) () in
     print_string (Experiments.render_perf_energy ~title sr);
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ jobs_arg)
 
 let fig7_cmd =
   fig_cmd "fig7" "Reproduce Figure 7 (single socket)." Config.single_socket
@@ -153,8 +162,10 @@ let fig8_cmd =
     "Figure 8: performance and energy gains, dual socket"
 
 let analysis_cmd =
-  let run quick =
-    let sr = Experiments.run_suite ~quick ~config:(Config.dual_socket ()) () in
+  let run quick jobs =
+    let sr =
+      Experiments.run_suite ~quick ?jobs ~config:(Config.dual_socket ()) ()
+    in
     print_string (Experiments.render_fig9 sr);
     print_newline ();
     print_string (Experiments.render_fig10 sr);
@@ -165,12 +176,13 @@ let analysis_cmd =
   Cmd.v
     (Cmd.info "analysis"
        ~doc:"Reproduce Figures 9-11 (dual-socket coherence-event analysis).")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ jobs_arg)
 
 let fig12_cmd =
-  let run quick =
+  let run quick jobs =
     let sr =
-      Experiments.run_suite ~quick ~names:Warden_pbbs.Suite.disaggregated_subset
+      Experiments.run_suite ~quick ?jobs
+        ~names:Warden_pbbs.Suite.disaggregated_subset
         ~config:(Config.disaggregated ()) ()
     in
     print_string
@@ -180,20 +192,20 @@ let fig12_cmd =
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"Reproduce Figure 12 (disaggregated system).")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ jobs_arg)
 
 let scaling_cmd =
-  let run quick =
+  let run quick jobs =
     let names = [ "dmm"; "msort"; "palindrome"; "quickhull" ] in
-    print_string (Experiments.render_worker_scaling ~quick ~names ());
+    print_string (Experiments.render_worker_scaling ~quick ?jobs ~names ());
     print_newline ();
-    print_string (Experiments.render_socket_scaling ~quick ~names ());
+    print_string (Experiments.render_socket_scaling ~quick ?jobs ~names ());
     0
   in
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Worker-count and socket-count scaling studies (7.3).")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ jobs_arg)
 
 let trace_cmd =
   let name_arg =
@@ -236,10 +248,10 @@ let trace_cmd =
     Term.(const run $ name_arg $ machine_arg $ scale_arg)
 
 let all_cmd =
-  let run quick = exit_of_bool (Experiments.run_all ~quick ()) in
+  let run quick jobs = exit_of_bool (Experiments.run_all ~quick ?jobs ()) in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the evaluation.")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ jobs_arg)
 
 let main =
   Cmd.group

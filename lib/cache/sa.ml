@@ -44,6 +44,17 @@ let find t blk =
       w.last_use <- t.tick;
       w.payload
 
+let peek t blk =
+  match find_way t blk with None -> None | Some w -> w.payload
+
+let touch t blk =
+  match find_way t blk with
+  | None -> false
+  | Some w ->
+      t.tick <- t.tick + 1;
+      w.last_use <- t.tick;
+      true
+
 let mem t blk = find_way t blk <> None
 
 (* The LRU victim among occupied ways, or the first empty way. *)

@@ -18,6 +18,15 @@ val find : 'a t -> int -> 'a option
 (** [find t blk] returns the payload if resident and refreshes its LRU
     position. *)
 
+val peek : 'a t -> int -> 'a option
+(** [peek t blk] returns the payload if resident {e without} refreshing its
+    LRU position — a pure probe, for fast-path hit tests that must not
+    commit any state change. *)
+
+val touch : 'a t -> int -> bool
+(** Residency test that refreshes the block's LRU position exactly like
+    {!find}, without allocating. *)
+
 val mem : 'a t -> int -> bool
 (** Residency test without touching LRU state. *)
 

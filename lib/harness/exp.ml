@@ -74,11 +74,14 @@ let run_bench ?(quick = false) ?(seed = 0x5EEDF00DL) ?params ?workers ~config
 
 type pair = { mesi : run_result; warden : run_result }
 
-let run_pair ?quick ?seed ?params ?workers ~config spec =
-  {
-    mesi = run_bench ?quick ?seed ?params ?workers ~config ~proto:`Mesi spec;
-    warden = run_bench ?quick ?seed ?params ?workers ~config ~proto:`Warden spec;
-  }
+let run_pair ?quick ?seed ?params ?workers ?jobs ~config spec =
+  match
+    Pool.map ?jobs
+      (fun proto -> run_bench ?quick ?seed ?params ?workers ~config ~proto spec)
+      [ `Mesi; `Warden ]
+  with
+  | [ mesi; warden ] -> { mesi; warden }
+  | _ -> assert false
 
 let speedup p = float_of_int p.mesi.cycles /. float_of_int p.warden.cycles
 

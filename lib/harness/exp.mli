@@ -42,9 +42,13 @@ val run_pair :
   ?seed:int64 ->
   ?params:Warden_runtime.Rtparams.t ->
   ?workers:int ->
+  ?jobs:int ->
   config:Config.t ->
   Warden_pbbs.Spec.t ->
   pair
+(** Run the benchmark under MESI and under WARDen. The two simulations are
+    independent, so with [jobs > 1] (default {!Pool.default_jobs}) they
+    run on separate domains. *)
 
 (* Derived metrics, matching the paper's figures. *)
 

@@ -14,11 +14,24 @@ let specs_of_names = function
           | None -> invalid_arg ("unknown benchmark: " ^ n))
         names
 
-let run_suite ?quick ?names ?params ~config () =
-  List.map
-    (fun (spec : Spec.t) ->
-      (spec.Spec.name, Exp.run_pair ?quick ?params ~config spec))
-    (specs_of_names names)
+(* One pool job per (benchmark, protocol) — the finest independent grain —
+   then reassemble MESI/WARDen pairs in order. *)
+let run_suite ?quick ?names ?params ?jobs ~config () =
+  let specs = specs_of_names names in
+  let runs =
+    Pool.map ?jobs
+      (fun ((spec : Spec.t), proto) ->
+        Exp.run_bench ?quick ?params ~config ~proto spec)
+      (List.concat_map (fun s -> [ (s, `Mesi); (s, `Warden) ]) specs)
+  in
+  let rec pair_up specs runs =
+    match (specs, runs) with
+    | [], [] -> []
+    | (s : Spec.t) :: ss, m :: w :: rest ->
+        (s.Spec.name, { Exp.mesi = m; Exp.warden = w }) :: pair_up ss rest
+    | _ -> assert false
+  in
+  pair_up specs runs
 
 let f2 = Table.fmt_f ~decimals:2
 let f1 = Table.fmt_f ~decimals:1
@@ -118,52 +131,59 @@ let render_fig11 (sr : suite_run) =
            (fun (name, p) -> [ name; f1 (Exp.ipc_improvement_pct p) ])
            sr)
 
+(* [~jobs:1] below: the cell itself is the unit of pool parallelism, so
+   the pair inside must not spawn a nested pool. *)
 let speedup_cell ?quick ?workers ~config name =
   match Suite.find name with
   | None -> invalid_arg ("unknown benchmark: " ^ name)
   | Some spec ->
-      let pair = Exp.run_pair ?quick ?workers ~config spec in
+      let pair = Exp.run_pair ?quick ?workers ~jobs:1 ~config spec in
       f2 (Exp.speedup pair)
 
-let render_worker_scaling ?(quick = false) ~names () =
+(* Fan a whole scaling grid (rows x columns of independent simulations)
+   across the pool, then cut the flat result list back into rows. *)
+let grid_rows ?jobs ~names ~cols cell =
+  let flat =
+    Pool.map ?jobs
+      (fun (name, c) -> cell name c)
+      (List.concat_map (fun name -> List.map (fun c -> (name, c)) cols) names)
+  in
+  let rec rows names flat =
+    match names with
+    | [] -> []
+    | name :: rest ->
+        let n = List.length cols in
+        let mine = List.filteri (fun i _ -> i < n) flat in
+        let others = List.filteri (fun i _ -> i >= n) flat in
+        (name :: mine) :: rows rest others
+  in
+  rows names flat
+
+let render_worker_scaling ?(quick = false) ?jobs ~names () =
   let workers = [ 2; 4; 8; 16; 24 ] in
   let header =
     "Benchmark" :: List.map (fun w -> Printf.sprintf "%d workers" w) workers
   in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun w ->
-               speedup_cell ~quick ~workers:w ~config:(Config.dual_socket ())
-                 name)
-             workers)
-      names
+    grid_rows ?jobs ~names ~cols:workers (fun name w ->
+        speedup_cell ~quick ~workers:w ~config:(Config.dual_socket ()) name)
   in
   "WARDen speedup vs active workers (dual socket)\n"
   ^ Table.render ~header ~rows
 
-let render_socket_scaling ?(quick = false) ~names () =
+let render_socket_scaling ?(quick = false) ?jobs ~names () =
   let sockets = [ 1; 2; 4; 8 ] in
   let header =
     "Benchmark" :: List.map (fun s -> Printf.sprintf "%d socket(s)" s) sockets
   in
   let rows =
-    List.map
-      (fun name ->
-        name
-        :: List.map
-             (fun s ->
-               speedup_cell ~quick ~config:(Config.many_socket ~sockets:s ())
-                 name)
-             sockets)
-      names
+    grid_rows ?jobs ~names ~cols:sockets (fun name s ->
+        speedup_cell ~quick ~config:(Config.many_socket ~sockets:s ()) name)
   in
   "WARDen speedup vs machine size (full workers per machine)\n"
   ^ Table.render ~header ~rows
 
-let run_all ?(quick = false) ?(out = stdout) () =
+let run_all ?(quick = false) ?jobs ?(out = stdout) () =
   let p s =
     output_string out s;
     output_string out "\n";
@@ -172,12 +192,12 @@ let run_all ?(quick = false) ?(out = stdout) () =
   p (render_table2 ());
   p (render_table1 ());
   p "Running the PBBS suite on the single-socket machine (Figure 7)...";
-  let fig7 = run_suite ~quick ~config:(Config.single_socket ()) () in
+  let fig7 = run_suite ~quick ?jobs ~config:(Config.single_socket ()) () in
   p
     (render_perf_energy
        ~title:"Figure 7: performance and energy gains, single socket" fig7);
   p "Running the PBBS suite on the dual-socket machine (Figures 8-11)...";
-  let fig8 = run_suite ~quick ~config:(Config.dual_socket ()) () in
+  let fig8 = run_suite ~quick ?jobs ~config:(Config.dual_socket ()) () in
   p
     (render_perf_energy
        ~title:"Figure 8: performance and energy gains, dual socket" fig8);
@@ -186,7 +206,7 @@ let run_all ?(quick = false) ?(out = stdout) () =
   p (render_fig11 fig8);
   p "Running the disaggregated subset (Figure 12)...";
   let fig12 =
-    run_suite ~quick ~names:Suite.disaggregated_subset
+    run_suite ~quick ?jobs ~names:Suite.disaggregated_subset
       ~config:(Config.disaggregated ()) ()
   in
   p

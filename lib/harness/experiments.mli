@@ -12,11 +12,14 @@ val run_suite :
   ?quick:bool ->
   ?names:string list ->
   ?params:Warden_runtime.Rtparams.t ->
+  ?jobs:int ->
   config:Config.t ->
   unit ->
   suite_run
 (** Run (benchmark x {MESI, WARDen}) for the named benchmarks (default:
-    all 14). *)
+    all 14). Each (benchmark, protocol) simulation is an independent pool
+    job fanned across up to [jobs] domains (default
+    {!Pool.default_jobs}). *)
 
 val render_table1 : ?iters:int -> unit -> string
 val render_table2 : unit -> string
@@ -28,14 +31,17 @@ val render_fig9 : suite_run -> string
 val render_fig10 : suite_run -> string
 val render_fig11 : suite_run -> string
 
-val render_worker_scaling : ?quick:bool -> names:string list -> unit -> string
+val render_worker_scaling :
+  ?quick:bool -> ?jobs:int -> names:string list -> unit -> string
 (** §7.3 "many sockets" forward-looking study, part 1: WARDen speedup as a
-    function of active worker threads on the dual-socket machine. *)
+    function of active worker threads on the dual-socket machine. Grid
+    cells are independent simulations fanned across the pool. *)
 
-val render_socket_scaling : ?quick:bool -> names:string list -> unit -> string
+val render_socket_scaling :
+  ?quick:bool -> ?jobs:int -> names:string list -> unit -> string
 (** Part 2: WARDen speedup across 1/2/4/8-socket machines (full workers),
     the "benefits of WARDen scale with machine size" claim. *)
 
-val run_all : ?quick:bool -> ?out:out_channel -> unit -> bool
+val run_all : ?quick:bool -> ?jobs:int -> ?out:out_channel -> unit -> bool
 (** Regenerate Table 1-2 and Figures 7-12, printing to [out] (default
     stdout). Returns whether every benchmark run verified. *)

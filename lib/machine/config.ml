@@ -24,6 +24,7 @@ type t = {
   reconcile_per_block : int;
   recon_inplace_sole : bool;
   store_buffer_entries : int;
+  sched_quantum : int;
 }
 
 let num_cores t = t.sockets * t.cores_per_socket
@@ -72,6 +73,7 @@ let base ~name ~sockets ~threads_per_core =
     reconcile_per_block = 6;
     recon_inplace_sole = false;
     store_buffer_entries = 56;
+    sched_quantum = 4096;
   }
 
 let single_socket ?(threads_per_core = 1) () =
@@ -108,10 +110,11 @@ let pp fmt t =
     "@[<v>%s: %d socket(s) x %d cores x %d thread(s)@,\
      L1 %s/%d-way  L2 %s/%d-way  L3 %s-per-core/%d-way@,\
      latencies L1/L2/L3 %d-%d-%d cycles, DRAM +%d, hop %d, socket link %d%s@,\
-     %.1f GHz, %d WARD regions, reconcile %d cyc/block, store buffer %d@]"
+     %.1f GHz, %d WARD regions, reconcile %d cyc/block, store buffer %d@,\
+     scheduler quantum %d@]"
     t.name t.sockets t.cores_per_socket t.threads_per_core (kb t.l1_bytes)
     t.l1_ways (kb t.l2_bytes) t.l2_ways (kb t.l3_bytes_per_core) t.l3_ways
     t.l1_lat t.l2_lat t.l3_lat t.dram_lat t.intra_hop_lat t.inter_socket_lat
     (if t.dram_remote then " (remote memory)" else "")
     t.freq_ghz t.ward_region_capacity t.reconcile_per_block
-    t.store_buffer_entries
+    t.store_buffer_entries t.sched_quantum

@@ -5,17 +5,23 @@ let page_size = 1 lsl page_bits
 
 type t = {
   pages : (int, Bytes.t) Hashtbl.t;
-  written_blocks : (int, unit) Hashtbl.t;
+  written_blocks : Warden_util.Bitset.t;
 }
 
-let create () = { pages = Hashtbl.create 64; written_blocks = Hashtbl.create 4096 }
+let create () =
+  { pages = Hashtbl.create 64; written_blocks = Warden_util.Bitset.create () }
 
+(* Hot path (once per simulated store): no list, and accesses almost never
+   straddle a block boundary. *)
 let mark_written t addr len =
-  List.iter
-    (fun blk -> Hashtbl.replace t.written_blocks blk ())
-    (Addr.blocks_spanning addr len)
+  let first = Addr.block_of addr in
+  let last = Addr.block_of (addr + len - 1) in
+  Warden_util.Bitset.add t.written_blocks first;
+  for blk = first + 1 to last do
+    Warden_util.Bitset.add t.written_blocks blk
+  done
 
-let materialized t blk = Hashtbl.mem t.written_blocks blk
+let materialized t blk = Warden_util.Bitset.mem t.written_blocks blk
 
 let page t addr =
   let id = addr lsr page_bits in
@@ -63,7 +69,7 @@ let read_block t blk =
   Bytes.sub p off Addr.block_size
 
 let write_block_masked t blk data ~mask =
-  if mask <> 0L then Hashtbl.replace t.written_blocks blk ();
+  if mask <> 0L then Warden_util.Bitset.add t.written_blocks blk;
   let base = Addr.base_of_block blk in
   let p = page t base in
   let off = base land (page_size - 1) in

@@ -18,25 +18,38 @@ and t = {
 }
 
 (* Page registry: maps page-size-aligned chunks of the simulated address
-   space to the heap page occupying them. One simulation at a time. *)
+   space to the heap page occupying them. One simulation at a time {e per
+   domain} — the state is domain-local so the harness can run independent
+   simulations on parallel domains. *)
 let chunk_bits = 12
-let registry : (int, page) Hashtbl.t = Hashtbl.create 4096
-let next_id = ref 0
 
-let region_hook : ([ `Add | `Remove ] -> lo:int -> hi:int -> unit) option ref =
-  ref None
+type dstate = {
+  registry : (int, page) Hashtbl.t;
+  mutable next_id : int;
+  mutable region_hook : ([ `Add | `Remove ] -> lo:int -> hi:int -> unit) option;
+}
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { registry = Hashtbl.create 4096; next_id = 0; region_hook = None })
+
+let ds () = Domain.DLS.get dls
+
+let set_region_hook f = (ds ()).region_hook <- f
 
 let notify_region which ~lo ~hi =
-  match !region_hook with None -> () | Some f -> f which ~lo ~hi
+  match (ds ()).region_hook with None -> () | Some f -> f which ~lo ~hi
 
 let reset_registry () =
-  Hashtbl.reset registry;
-  next_id := 0
+  let d = ds () in
+  Hashtbl.reset d.registry;
+  d.next_id <- 0
 
 let fresh _ms _params ~parent =
-  incr next_id;
+  let d = ds () in
+  d.next_id <- d.next_id + 1;
   {
-    heap_id = !next_id;
+    heap_id = d.next_id;
     parent;
     depth = (match parent with None -> 0 | Some p -> p.depth + 1);
     pages = [];
@@ -46,10 +59,11 @@ let fresh _ms _params ~parent =
   }
 
 let register_page page =
+  let d = ds () in
   let lo = page.base lsr chunk_bits in
   let hi = (page.base + page.bytes - 1) lsr chunk_bits in
   for c = lo to hi do
-    Hashtbl.replace registry c page
+    Hashtbl.replace d.registry c page
   done
 
 let round_up n align = (n + align - 1) land lnot (align - 1)
@@ -129,7 +143,7 @@ let merge_into ~child ~parent =
   child.cur <- None
 
 let owner_of addr =
-  match Hashtbl.find_opt registry (addr lsr chunk_bits) with
+  match Hashtbl.find_opt (ds ()).registry (addr lsr chunk_bits) with
   | Some page when addr >= page.base && addr < page.base + page.bytes ->
       Some page.owner
   | _ -> None

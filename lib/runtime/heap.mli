@@ -52,8 +52,12 @@ val is_ancestor_or_self : t -> of_:t -> bool
 (** [is_ancestor_or_self h ~of_:leaf]: is [h] on [leaf]'s root path? *)
 
 val reset_registry : unit -> unit
-(** Clear the global page registry (between runs). *)
+(** Clear this domain's page registry (between runs). The registry, heap id
+    counter and region hook are all domain-local, so simulations on
+    parallel harness domains do not interfere. *)
 
-val region_hook : ([ `Add | `Remove ] -> lo:int -> hi:int -> unit) option ref
-(** Observer of the runtime's region marking/unmarking (even when the
-    hardware rejects a mark); used by the trace oracles. *)
+val set_region_hook :
+  ([ `Add | `Remove ] -> lo:int -> hi:int -> unit) option -> unit
+(** Install (or with [None] remove) this domain's observer of the runtime's
+    region marking/unmarking (fires even when the hardware rejects a mark);
+    used by the trace oracles. *)

@@ -31,24 +31,29 @@ type sched = {
   mutable finished : bool;
 }
 
-let cur_sched : sched option ref = ref None
+(* Both the active scheduler and the trace hook are domain-local, so the
+   harness can run independent simulations on parallel domains. *)
+let cur_sched : sched option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let sched () =
-  match !cur_sched with
+  match Domain.DLS.get cur_sched with
   | Some s -> s
   | None -> failwith "Par: no active run"
 
 type access_kind = R | W | RMW
 
 let access_hook :
-    (access_kind -> addr:int -> size:int -> value:int64 -> unit) option ref =
-  ref None
+    (access_kind -> addr:int -> size:int -> value:int64 -> unit) option
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let set_access_hook f = access_hook := Some f
-let clear_access_hook () = access_hook := None
+let set_access_hook f = Domain.DLS.set access_hook (Some f)
+let clear_access_hook () = Domain.DLS.set access_hook None
 
 let hook kind ~addr ~size ~value =
-  match !access_hook with None -> () | Some f -> f kind ~addr ~size ~value
+  match Domain.DLS.get access_hook with
+  | None -> ()
+  | Some f -> f kind ~addr ~size ~value
 
 (* --- user-facing memory operations ------------------------------------ *)
 
@@ -71,7 +76,9 @@ let fetch_add addr ~size delta =
 let tick = Ops.tick
 
 let current_tcb () =
-  match !cur_sched with None -> None | Some s -> s.ctx.(Ops.tid ())
+  match Domain.DLS.get cur_sched with
+  | None -> None
+  | Some s -> s.ctx.(Ops.tid ())
 
 let current_heap () = Option.map (fun t -> t.heap) (current_tcb ())
 
@@ -313,7 +320,7 @@ let rec parreduce ?grain lo hi ~map ~combine ~init =
 (* --- top level ----------------------------------------------------------- *)
 
 let run ?(params = Rtparams.default) ?workers eng main =
-  if !cur_sched <> None then failwith "Par.run: already running";
+  if Domain.DLS.get cur_sched <> None then failwith "Par.run: already running";
   let cfg = Engine.config eng in
   let nthreads = Warden_machine.Config.num_threads cfg in
   let nworkers =
@@ -353,7 +360,7 @@ let run ?(params = Rtparams.default) ?workers eng main =
       finished = false;
     }
   in
-  cur_sched := Some s;
+  Domain.DLS.set cur_sched (Some s);
   let result = ref None in
   let root =
     {
@@ -372,7 +379,7 @@ let run ?(params = Rtparams.default) ?workers eng main =
   Deque.push_bottom s.deques.(0) root;
   let bodies = Array.init nworkers (fun tid -> worker s tid) in
   Fun.protect
-    ~finally:(fun () -> cur_sched := None)
+    ~finally:(fun () -> Domain.DLS.set cur_sched None)
     (fun () -> ignore (Engine.run eng bodies));
   match !result with
   | Some v -> (v, s.stats)

@@ -17,26 +17,43 @@ type _ Effect.t +=
 type tstate = {
   tid : int;
   mutable time : int;
+  mutable qlimit : int; (* inline fast path allowed while time < qlimit *)
   sb : int Queue.t; (* completion times of buffered stores, oldest first *)
 }
 
 type t = {
   ms : Memsys.t;
   cfg : Config.t;
+  quantum : int;
   runq : (unit -> unit) Pqueue.t;
   threads : tstate array;
+  mutable cur_st : tstate; (* thread currently executing, for Ops *)
   mutable used_threads : int;
   mutable ran : bool;
 }
 
+(* The engine currently executing on this domain, so that [Ops] can reach
+   simulator state without performing an effect. One engine runs at a time
+   per domain; [run] saves and restores the slot, and domain-local storage
+   keeps engines on parallel harness workers independent. *)
+let cur_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
 let create cfg ~proto =
+  let threads =
+    Array.init (Config.num_threads cfg) (fun tid ->
+        { tid; time = 0; qlimit = 0; sb = Queue.create () })
+  in
+  let cur0 =
+    if Array.length threads > 0 then threads.(0)
+    else { tid = -1; time = 0; qlimit = 0; sb = Queue.create () }
+  in
   {
     ms = Memsys.create cfg ~proto;
     cfg;
+    quantum = cfg.Config.sched_quantum;
     runq = Pqueue.create ();
-    threads =
-      Array.init (Config.num_threads cfg) (fun tid ->
-          { tid; time = 0; sb = Queue.create () });
+    threads;
+    cur_st = cur0;
     used_threads = 0;
     ran = false;
   }
@@ -61,11 +78,40 @@ let drain_all st =
     st.time <- max st.time (Queue.pop st.sb)
   done
 
+(* Store-buffer bookkeeping shared by the scheduled and inline store
+   paths: free ready slots, stall on a full buffer, enqueue the new
+   store's completion, retire in one cycle. *)
+let commit_store t st lat =
+  drain_ready st;
+  if Queue.length st.sb >= t.cfg.Config.store_buffer_entries then begin
+    (Memsys.sstats t.ms).Sstats.sb_stalls <-
+      (Memsys.sstats t.ms).Sstats.sb_stalls + 1;
+    st.time <- max st.time (Queue.pop st.sb)
+  end;
+  Queue.push (st.time + lat) st.sb;
+  st.time <- st.time + 1;
+  retire t st 1
+
+(* Every closure entering the run queue re-establishes the ambient thread
+   and opens a fresh inline quantum; with [sched_quantum = 0] the budget
+   is empty and every access goes through the queue (legacy behavior). *)
+let resume t (st : tstate) =
+  t.cur_st <- st;
+  st.qlimit <- st.time + t.quantum
+
+(* An access may run inline — without suspending into the run queue — iff
+   it is provably the event the scheduled path would pop next: the
+   thread's clock must be strictly below every queued priority (a tie
+   loses, since the queued entry was inserted earlier and FIFO order puts
+   it first). The quantum bounds how long one thread may monopolize the
+   host before taking the queue path anyway. Under this gate the fast
+   path replays exactly the legacy pop order, so simulated cycles, stats
+   and memory images are bit-identical for every quantum value. *)
+let can_inline t (st : tstate) =
+  st.time < st.qlimit && st.time < Pqueue.min_prio_or t.runq ~default:max_int
+
 let handler t st =
   let open Effect.Deep in
-  let schedule k work =
-    Pqueue.add t.runq ~prio:st.time (fun () -> continue k (work ()))
-  in
   {
     retc = (fun () -> ());
     exnc = (fun e -> raise e);
@@ -85,53 +131,56 @@ let handler t st =
                 continue k ())
         | E_now -> Some (fun k -> continue k st.time)
         | E_tid -> Some (fun k -> continue k st.tid)
-        | E_yield -> Some (fun k -> schedule k (fun () -> ()))
+        | E_yield ->
+            Some
+              (fun k ->
+                Pqueue.add t.runq ~prio:st.time (fun () ->
+                    resume t st;
+                    continue k ()))
         | E_load (addr, size) ->
             Some
               (fun k ->
-                schedule k (fun () ->
+                Pqueue.add t.runq ~prio:st.time (fun () ->
+                    resume t st;
                     let v, lat = Memsys.load t.ms ~thread:st.tid addr ~size in
                     st.time <- st.time + lat;
                     retire t st 1;
-                    v))
+                    continue k v))
         | E_store (addr, size, v) ->
             Some
               (fun k ->
-                schedule k (fun () ->
-                    drain_ready st;
-                    if Queue.length st.sb >= t.cfg.Config.store_buffer_entries
-                    then begin
-                      (Memsys.sstats t.ms).Sstats.sb_stalls <-
-                        (Memsys.sstats t.ms).Sstats.sb_stalls + 1;
-                      st.time <- max st.time (Queue.pop st.sb)
-                    end;
+                Pqueue.add t.runq ~prio:st.time (fun () ->
+                    resume t st;
                     let lat = Memsys.store t.ms ~thread:st.tid addr ~size v in
-                    Queue.push (st.time + lat) st.sb;
-                    st.time <- st.time + 1;
-                    retire t st 1))
+                    commit_store t st lat;
+                    continue k ()))
         | E_rmw (addr, size, f) ->
             Some
               (fun k ->
-                schedule k (fun () ->
+                Pqueue.add t.runq ~prio:st.time (fun () ->
+                    resume t st;
                     drain_all st;
                     let old, lat = Memsys.rmw t.ms ~thread:st.tid addr ~size f in
                     st.time <- st.time + lat + 2;
                     retire t st 1;
-                    old))
+                    continue k old))
         | E_region_add (lo, hi) ->
             Some
               (fun k ->
-                schedule k (fun () ->
+                Pqueue.add t.runq ~prio:st.time (fun () ->
+                    resume t st;
                     st.time <- st.time + 1;
                     retire t st 1;
-                    Memsys.region_add t.ms ~lo ~hi))
+                    continue k (Memsys.region_add t.ms ~lo ~hi)))
         | E_region_remove (lo, hi) ->
             Some
               (fun k ->
-                schedule k (fun () ->
+                Pqueue.add t.runq ~prio:st.time (fun () ->
+                    resume t st;
                     let lat = Memsys.region_remove t.ms ~lo ~hi in
                     st.time <- st.time + 1 + lat;
-                    retire t st 1))
+                    retire t st 1;
+                    continue k ()))
         | _ -> None)
   }
 
@@ -145,16 +194,21 @@ let run t bodies =
     (fun tid body ->
       let st = t.threads.(tid) in
       Pqueue.add t.runq ~prio:0 (fun () ->
+          resume t st;
           Effect.Deep.match_with body () (handler t st)))
     bodies;
-  let rec loop () =
-    match Pqueue.pop t.runq with
-    | None -> ()
-    | Some (_, f) ->
-        f ();
-        loop ()
-  in
-  loop ();
+  let prev = Domain.DLS.get cur_key in
+  Domain.DLS.set cur_key (Some t);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set cur_key prev)
+    (fun () ->
+      let rec loop () =
+        if not (Pqueue.is_empty t.runq) then begin
+          (Pqueue.pop_exn t.runq) ();
+          loop ()
+        end
+      in
+      loop ());
   let makespan = ref 0 in
   for tid = 0 to n - 1 do
     drain_all t.threads.(tid);
@@ -169,9 +223,48 @@ let run t bodies =
   !makespan
 
 module Ops = struct
-  let load addr ~size = Effect.perform (E_load (addr, size))
-  let store addr ~size v = Effect.perform (E_store (addr, size, v))
-  let rmw addr ~size f = Effect.perform (E_rmw (addr, size, f))
+  (* Each operation first tries to run inline on the ambient engine —
+     no effect performed, no continuation captured — and falls back to
+     the effect (and thus the run queue) when the access needs a
+     coherence transition, loses the [can_inline] gate, or no engine is
+     running on this domain (preserving [Effect.Unhandled] semantics). *)
+
+  let load addr ~size =
+    match Domain.DLS.get cur_key with
+    | Some t when can_inline t t.cur_st -> (
+        let st = t.cur_st in
+        match Memsys.try_fast_load t.ms ~thread:st.tid addr ~size with
+        | Some (v, lat) ->
+            st.time <- st.time + lat;
+            retire t st 1;
+            v
+        | None -> Effect.perform (E_load (addr, size)))
+    | _ -> Effect.perform (E_load (addr, size))
+
+  let store addr ~size v =
+    match Domain.DLS.get cur_key with
+    | Some t when can_inline t t.cur_st -> (
+        let st = t.cur_st in
+        match Memsys.try_fast_store t.ms ~thread:st.tid addr ~size v with
+        | Some lat -> commit_store t st lat
+        | None -> Effect.perform (E_store (addr, size, v)))
+    | _ -> Effect.perform (E_store (addr, size, v))
+
+  let rmw addr ~size f =
+    match Domain.DLS.get cur_key with
+    | Some t when can_inline t t.cur_st -> (
+        let st = t.cur_st in
+        (* [f] must be pure (all call sites are arithmetic on the old
+           value), so committing the RMW before the fence drain below is
+           indistinguishable from the scheduled path's order. *)
+        match Memsys.try_fast_rmw t.ms ~thread:st.tid addr ~size f with
+        | Some (old, lat) ->
+            drain_all st;
+            st.time <- st.time + lat + 2;
+            retire t st 1;
+            old
+        | None -> Effect.perform (E_rmw (addr, size, f)))
+    | _ -> Effect.perform (E_rmw (addr, size, f))
 
   let cas addr ~size ~expected ~desired =
     let old = rmw addr ~size (fun v -> if v = expected then desired else v) in
@@ -179,10 +272,29 @@ module Ops = struct
 
   let fetch_add addr ~size delta = rmw addr ~size (Int64.add delta)
 
-  let tick n = Effect.perform (E_tick n)
-  let stall n = Effect.perform (E_stall n)
-  let now () = Effect.perform E_now
-  let tid () = Effect.perform E_tid
+  let tick n =
+    match Domain.DLS.get cur_key with
+    | Some t ->
+        let st = t.cur_st in
+        st.time <- st.time + n;
+        retire t st n
+    | None -> Effect.perform (E_tick n)
+
+  let stall n =
+    match Domain.DLS.get cur_key with
+    | Some t -> t.cur_st.time <- t.cur_st.time + n
+    | None -> Effect.perform (E_stall n)
+
+  let now () =
+    match Domain.DLS.get cur_key with
+    | Some t -> t.cur_st.time
+    | None -> Effect.perform E_now
+
+  let tid () =
+    match Domain.DLS.get cur_key with
+    | Some t -> t.cur_st.tid
+    | None -> Effect.perform E_tid
+
   let region_add ~lo ~hi = Effect.perform (E_region_add (lo, hi))
   let region_remove ~lo ~hi = Effect.perform (E_region_remove (lo, hi))
   let yield () = Effect.perform E_yield

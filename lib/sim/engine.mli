@@ -11,7 +11,16 @@
       (RMWs additionally drain the store buffer, like a TSO fence);
     - stores retire in one cycle through a bounded store buffer and only
       stall when it is full — the asymmetry the paper's Figure 10 analysis
-      relies on. *)
+      relies on.
+
+    Accesses that hit in the private cache without needing a coherence
+    transition can be satisfied inline, without suspending the thread
+    into the run queue, whenever the thread's clock is strictly below
+    every queued timestamp and within the current scheduling quantum
+    ({!Warden_machine.Config.t.sched_quantum}). The gate makes the inline
+    event exactly the event the queue would have popped next, so results
+    are bit-identical to the fully scheduled execution ([sched_quantum =
+    0]); see DESIGN.md §8. *)
 
 type t
 

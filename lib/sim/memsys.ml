@@ -143,6 +143,57 @@ let rmw t ~thread addr ~size f =
   write_line line ~off ~size (f old);
   (old, lat)
 
+(* Fast-path accessors: commit iff the access is a private-cache hit
+   needing no protocol transition, with event/energy accounting identical
+   to the scheduled [load]/[store]/[rmw] paths; return [None] with no
+   state change otherwise. The engine uses these to satisfy accesses
+   inline, without suspending the thread into the run queue. *)
+
+let fast_hit_accounting t (level : [ `L1 | `L2 ]) =
+  Energy.l1_access t.energy;
+  match level with
+  | `L1 -> t.sstats.Sstats.l1_hits <- t.sstats.Sstats.l1_hits + 1
+  | `L2 ->
+      t.sstats.Sstats.l2_hits <- t.sstats.Sstats.l2_hits + 1;
+      Energy.l2_access t.energy
+
+let try_fast_load t ~thread addr ~size =
+  let blk = Addr.block_of addr in
+  let core = Config.core_of_thread t.cfg thread in
+  match Privcache.try_hit t.priv.(core) ~blk ~write:false with
+  | None -> None
+  | Some (line, lat, level) ->
+      t.sstats.Sstats.loads <- t.sstats.Sstats.loads + 1;
+      fast_hit_accounting t level;
+      let v =
+        Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size
+      in
+      Some (v, lat)
+
+let try_fast_store t ~thread addr ~size v =
+  let blk = Addr.block_of addr in
+  let core = Config.core_of_thread t.cfg thread in
+  match Privcache.try_hit t.priv.(core) ~blk ~write:true with
+  | None -> None
+  | Some (line, lat, level) ->
+      t.sstats.Sstats.stores <- t.sstats.Sstats.stores + 1;
+      fast_hit_accounting t level;
+      write_line line ~off:(Addr.offset_in_block addr) ~size v;
+      Some lat
+
+let try_fast_rmw t ~thread addr ~size f =
+  let blk = Addr.block_of addr in
+  let core = Config.core_of_thread t.cfg thread in
+  match Privcache.try_hit t.priv.(core) ~blk ~write:true with
+  | None -> None
+  | Some (line, lat, level) ->
+      t.sstats.Sstats.rmws <- t.sstats.Sstats.rmws + 1;
+      fast_hit_accounting t level;
+      let off = Addr.offset_in_block addr in
+      let old = Linedata.load line.Privcache.data ~off ~size in
+      write_line line ~off ~size (f old);
+      Some (old, lat)
+
 let region_add t ~lo ~hi = Protocol.region_add (the_proto t) ~lo ~hi
 let region_remove t ~lo ~hi = Protocol.region_remove (the_proto t) ~lo ~hi
 

@@ -35,6 +35,27 @@ val rmw :
 (** Atomic read-modify-write: applies the function to the current value,
     stores the result, and returns the {e old} value and the latency. *)
 
+val try_fast_load :
+  t -> thread:int -> Warden_mem.Addr.t -> size:int -> (int64 * int) option
+(** Fast-path load: [Some (value, lat)] iff the access is a private-cache
+    hit needing no protocol transition, with accounting identical to
+    {!load}; [None] — having changed nothing — otherwise, so the caller
+    can fall back to the scheduled {!load} without double-counting. *)
+
+val try_fast_store :
+  t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 -> int option
+(** Fast-path store (needs E/M permission); same contract as
+    {!try_fast_load}. *)
+
+val try_fast_rmw :
+  t ->
+  thread:int ->
+  Warden_mem.Addr.t ->
+  size:int ->
+  (int64 -> int64) ->
+  (int64 * int) option
+(** Fast-path read-modify-write; same contract as {!try_fast_load}. *)
+
 val region_add : t -> lo:int -> hi:int -> bool
 val region_remove : t -> lo:int -> hi:int -> int
 

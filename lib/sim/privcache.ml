@@ -52,6 +52,27 @@ let lookup t ~blk ~write =
             }
       | other -> other)
 
+(* Fast-path split of [lookup]: succeed only when the access is a plain
+   permission-sufficient hit, committing exactly the state changes
+   [lookup]'s [Hit] branch would make (LRU refresh in both levels plus L1
+   promotion). On an upgrade or miss, return [None] having mutated
+   nothing — the caller falls back to the scheduled [lookup] path, which
+   then performs those mutations at the same point of the run. *)
+let try_hit t ~blk ~write =
+  match Sa.peek t.l2 blk with
+  | None -> None
+  | Some line ->
+      if write && line.state = States.P_S then None
+      else begin
+        let in_l1 = Sa.touch t.l1 blk in
+        ignore (Sa.touch t.l2 blk);
+        if in_l1 then Some (line, t.l1_lat, `L1)
+        else begin
+          ignore (Sa.insert t.l1 blk ());
+          Some (line, t.l2_lat, `L2)
+        end
+      end
+
 let fill t ~blk pstate bytes =
   let line = { state = pstate; data = Linedata.create () } in
   Linedata.fill_from line.data bytes;

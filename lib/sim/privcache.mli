@@ -30,6 +30,14 @@ type lookup =
 val lookup : t -> blk:int -> write:bool -> lookup
 (** Probe the hierarchy, promoting L2 hits into L1 and refreshing LRU. *)
 
+val try_hit : t -> blk:int -> write:bool -> (line * int * [ `L1 | `L2 ]) option
+(** Fast-path split of {!lookup}: [Some (line, lat, level)] iff the access
+    is a plain hit with sufficient permission, committing exactly the
+    mutations {!lookup}'s [Hit] branch would (LRU refresh, L1 promotion).
+    Returns [None] — having mutated {e nothing} — when the access would
+    miss or needs an S→M upgrade, so the caller can fall back to the
+    scheduled {!lookup} path without double-counting. *)
+
 val fill : t -> blk:int -> Warden_proto.States.pstate -> Bytes.t -> line
 (** Install a granted line into L2 and L1, evicting victims as needed. *)
 

@@ -126,10 +126,10 @@ let with_oracle f =
   in
   Par.set_access_hook (fun kind ~addr ~size ~value ->
       on_access st kind ~addr ~size ~value);
-  Heap.region_hook := Some (fun which ~lo ~hi -> on_region st which ~lo ~hi);
+  Heap.set_region_hook (Some (fun which ~lo ~hi -> on_region st which ~lo ~hi));
   let finish () =
     Par.clear_access_hook ();
-    Heap.region_hook := None
+    Heap.set_region_hook None
   in
   let v = Fun.protect ~finally:finish f in
   ( v,

@@ -106,10 +106,10 @@ let record ?(capacity = 200_000) f =
   in
   Par.set_access_hook (fun kind ~addr ~size ~value ->
       on_access st kind ~addr ~size ~value);
-  Heap.region_hook := Some (fun which ~lo ~hi -> on_region st which ~lo ~hi);
+  Heap.set_region_hook (Some (fun which ~lo ~hi -> on_region st which ~lo ~hi));
   let finish () =
     Par.clear_access_hook ();
-    Heap.region_hook := None
+    Heap.set_region_hook None
   in
   let v = Fun.protect ~finally:finish f in
   (* Classify epochs still live at the end (e.g., the root heap). *)

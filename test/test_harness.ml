@@ -102,9 +102,36 @@ let test_renderers_do_not_raise () =
   Alcotest.(check bool) "table2 nonempty" true
     (String.length (Experiments.render_table2 ()) > 0)
 
+let test_pool_map () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * x) + 1 in
+  let expect = List.map f xs in
+  Alcotest.(check (list int)) "jobs=1 is List.map" expect (Pool.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "jobs=4 same order" expect (Pool.map ~jobs:4 f xs);
+  Alcotest.(check (list int))
+    "more jobs than items" expect
+    (Pool.map ~jobs:64 f xs);
+  Alcotest.check_raises "exceptions propagate" Exit (fun () ->
+      ignore (Pool.map ~jobs:4 (fun x -> if x = 20 then raise Exit else x) xs))
+
+let test_pool_runs_simulations () =
+  (* Two full engine runs on separate domains agree with a serial run —
+     the domain-local simulator state really is isolated. *)
+  let spec = Option.get (Warden_pbbs.Suite.find "fib") in
+  let serial = Exp.run_pair ~quick:true ~jobs:1 ~config:(Config.single_socket ()) spec in
+  let pooled = Exp.run_pair ~quick:true ~jobs:2 ~config:(Config.single_socket ()) spec in
+  Alcotest.(check bool) "pooled verified" true
+    (pooled.Exp.mesi.Exp.verified && pooled.Exp.warden.Exp.verified);
+  Alcotest.(check int) "mesi cycles agree" serial.Exp.mesi.Exp.cycles
+    pooled.Exp.mesi.Exp.cycles;
+  Alcotest.(check int) "warden cycles agree" serial.Exp.warden.Exp.cycles
+    pooled.Exp.warden.Exp.cycles
+
 let suite =
   [
     Alcotest.test_case "derived metrics math" `Quick test_metrics_math;
+    Alcotest.test_case "pool map" `Quick test_pool_map;
+    Alcotest.test_case "pool runs simulations" `Quick test_pool_runs_simulations;
     Alcotest.test_case "quick scales" `Quick test_scale_of;
     Alcotest.test_case "table1 ordering and band" `Quick test_microbench_ordering;
     Alcotest.test_case "run_pair on fib" `Quick test_run_pair_on_real_bench;

@@ -140,6 +140,21 @@ let test_pqueue_fifo_ties () =
   Alcotest.(check (option (pair int string)))
     "fifo 3" (Some (7, "third")) (Pqueue.pop q)
 
+let test_pqueue_clear_reuse () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.add q ~prio:p p) [ 9; 2; 5 ];
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q);
+  Alcotest.(check int) "min_prio_or default" 42 (Pqueue.min_prio_or q ~default:42);
+  (* FIFO sequencing restarts cleanly after a clear. *)
+  List.iter (fun v -> Pqueue.add q ~prio:1 v) [ 10; 20 ];
+  Alcotest.(check int) "min_prio_or" 1 (Pqueue.min_prio_or q ~default:42);
+  Alcotest.(check int) "pop_exn fifo 1" 10 (Pqueue.pop_exn q);
+  Alcotest.(check int) "pop_exn fifo 2" 20 (Pqueue.pop_exn q);
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Pqueue.pop_exn: empty") (fun () ->
+      ignore (Pqueue.pop_exn q))
+
 let pqueue_sorted =
   qtest ~count:200 "pqueue drains in priority order"
     QCheck2.Gen.(list (int_range 0 1000))
@@ -239,6 +254,7 @@ let suite =
     deque_model;
     Alcotest.test_case "pqueue orders" `Quick test_pqueue_orders;
     Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+    Alcotest.test_case "pqueue clear and reuse" `Quick test_pqueue_clear_reuse;
     pqueue_sorted;
     Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
     bitset_model;
