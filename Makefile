@@ -9,8 +9,8 @@ BENCH ?= fib
 MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
-.PHONY: all build test bench bench-quick bench-json all_pbbs single_pbbs \
-        activate_one_socket activate_two_socket examples clean
+.PHONY: all build test check bench bench-quick bench-json all_pbbs \
+        single_pbbs activate_one_socket activate_two_socket examples clean
 
 all: build
 
@@ -19,6 +19,13 @@ build:
 
 test:
 	dune runtest
+
+# Deep model-checking sweep: close the full reachable state space of the
+# MESI, WARDen, and MESI=WARDen lockstep small models (depth 64 far
+# exceeds the closure diameter), then fuzz each with a long random walk.
+# ~2 minutes; `dune runtest` already runs a bounded configuration.
+check: build
+	dune exec bin/warden_cli.exe -- check --depth 64 --fuzz-steps 20000
 
 bench:
 	dune exec bench/main.exe

@@ -238,7 +238,25 @@ let trace_cmd =
     Format.printf "%s (scale %d) under WARDen: %s@.%a@." name scale
       (if ok then "verified" else "FAILED VERIFICATION")
       Warden_trace.Recorder.pp_summary summary;
-    exit_of_bool ok
+    (* The recorder and the live oracle share the runtime's hook slots, so
+       the oracle gets its own pass; its verdict gates the exit code. *)
+    let oracle_ok, oreport =
+      let eng = Engine.create config ~proto:`Warden in
+      let ok, report =
+        Warden_trace.Oracle.with_oracle (fun () ->
+            spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL eng)
+      in
+      match Warden_trace.Oracle.check_clean report with
+      | Ok () -> (ok, report)
+      | Error msg ->
+          Format.printf "oracle: %s@." msg;
+          (false, report)
+    in
+    Format.printf "oracle: %d accesses, %.1f%% under WARD, %s@."
+      oreport.Warden_trace.Oracle.accesses
+      (100. *. Warden_trace.Oracle.ward_fraction oreport)
+      (if oracle_ok then "clean" else "VIOLATIONS");
+    exit_of_bool (ok && oracle_ok)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -246,6 +264,102 @@ let trace_cmd =
          "Record a benchmark's access trace and report WARD coverage and \
           the offline region classification.")
     Term.(const run $ name_arg $ machine_arg $ scale_arg)
+
+(* --- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let cores_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cores" ] ~docv:"N" ~doc:"Cores in the small model (1-8).")
+  in
+  let blocks_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "blocks" ] ~docv:"K" ~doc:"Cache blocks in the small model.")
+  in
+  let regions_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "regions" ] ~docv:"R" ~doc:"Predefined WARD region menu size.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Exhaustive-exploration depth bound (operations).")
+  in
+  let store_cap_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "store-cap" ] ~docv:"C"
+          ~doc:
+            "Stores per (core, block) during exploration; keeps the state \
+             space finite.")
+  in
+  let fuzz_steps_arg =
+    Arg.(
+      value & opt int 3000
+      & info [ "fuzz-steps" ] ~docv:"S"
+          ~doc:"Length of the random walk (0 disables fuzzing).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 0x5EEDF00DL
+      & info [ "seed" ] ~docv:"X" ~doc:"Random-walk seed (deterministic).")
+  in
+  let proto_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "proto"; "p" ]
+          ~doc:"Configuration: mesi, warden, equiv, or all.")
+  in
+  let run cores blocks regions depth store_cap fuzz_steps seed proto =
+    let open Warden_check in
+    let cfgs =
+      let mk (f :
+               ?cores:int ->
+               ?blks:int ->
+               ?regions:int ->
+               ?store_cap:int ->
+               unit ->
+               Check.cfg) =
+        f ~cores ~blks:blocks ~regions ~store_cap ()
+      in
+      match proto with
+      | "mesi" -> [ mk Check.mesi ]
+      | "warden" -> [ mk Check.warden ]
+      | "equiv" | "equivalence" -> [ mk Check.equivalence ]
+      | "all" -> [ mk Check.mesi; mk Check.warden; mk Check.equivalence ]
+      | p -> failwith ("unknown check configuration " ^ p)
+    in
+    let one (cfg : Check.cfg) =
+      let report engine outcome =
+        Format.printf "%-12s %-6s %a@." cfg.Check.name engine Check.pp_outcome
+          outcome;
+        match outcome with Check.Pass _ -> true | Check.Fail _ -> false
+      in
+      let ok_bfs = report "explore" (Check.explore cfg ~depth) in
+      let ok_fuzz =
+        fuzz_steps <= 0
+        || report "fuzz"
+             (Check.fuzz { cfg with Check.store_cap = 0 } ~steps:fuzz_steps
+                ~seed)
+      in
+      ok_bfs && ok_fuzz
+    in
+    exit_of_bool (List.for_all one cfgs)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check the coherence protocols: exhaustively explore a small \
+          model (and a MESI/WARDen lockstep equivalence mode), then fuzz it \
+          with a deterministic random walk. Exits non-zero on any invariant \
+          violation, printing a shrunk counterexample trace.")
+    Term.(
+      const run $ cores_arg $ blocks_arg $ regions_arg $ depth_arg
+      $ store_cap_arg $ fuzz_steps_arg $ seed_arg $ proto_arg)
 
 let all_cmd =
   let run quick jobs = exit_of_bool (Experiments.run_all ~quick ?jobs ()) in
@@ -270,6 +384,7 @@ let main =
       fig12_cmd;
       scaling_cmd;
       trace_cmd;
+      check_cmd;
       all_cmd;
     ]
 

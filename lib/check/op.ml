@@ -1,0 +1,41 @@
+type t =
+  | Load of { core : int; blk : int }
+  | Store of { core : int; blk : int }
+  | Evict of { core : int; blk : int }
+  | Region_add of int
+  | Region_remove of int
+
+let to_string = function
+  | Load { core; blk } -> Printf.sprintf "load c%d b%d" core blk
+  | Store { core; blk } -> Printf.sprintf "store c%d b%d" core blk
+  | Evict { core; blk } -> Printf.sprintf "evict c%d b%d" core blk
+  | Region_add r -> Printf.sprintf "region-add r%d" r
+  | Region_remove r -> Printf.sprintf "region-remove r%d" r
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+
+(* Region 0 covers the whole checked space; 1 and 2 the two halves, made to
+   overlap on one block when [blks] is odd so that a block can sit inside
+   two live regions (it must stay W until the last one is removed). Higher
+   indices slide a half-width window across the space. *)
+let region_blocks ~blks r =
+  match r with
+  | 0 -> (0, blks)
+  | 1 -> (0, (blks + 1) / 2)
+  | 2 -> (blks / 2, blks)
+  | _ ->
+      let w = max 1 (blks / 2) in
+      let lo = (r - 3) mod (max 1 (blks - w + 1)) in
+      (lo, min blks (lo + w))
+
+let all ~cores ~blks ~regions =
+  let acc = ref [] in
+  for r = regions - 1 downto 0 do
+    acc := Region_add r :: Region_remove r :: !acc
+  done;
+  for core = cores - 1 downto 0 do
+    for blk = blks - 1 downto 0 do
+      acc := Load { core; blk } :: Store { core; blk } :: Evict { core; blk } :: !acc
+    done
+  done;
+  !acc

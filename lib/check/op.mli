@@ -1,0 +1,28 @@
+(** The model checker's operation alphabet.
+
+    A checking run drives a protocol with sequences of these operations
+    over a small model: [cores] cores issuing loads and stores to [blks]
+    cache blocks, spontaneous evictions, and WARD region add/remove
+    "instructions" over a fixed menu of [regions] predefined block ranges.
+    Stores carry no value — the world assigns a deterministic,
+    interleaving-independent value (see {!World}), which keeps the
+    canonical state space small. *)
+
+type t =
+  | Load of { core : int; blk : int }
+  | Store of { core : int; blk : int }
+  | Evict of { core : int; blk : int }
+  | Region_add of int  (** add predefined region range [r] *)
+  | Region_remove of int  (** remove predefined region range [r] *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val region_blocks : blks:int -> int -> int * int
+(** [region_blocks ~blks r] is the block range [\[lo, hi)] of predefined
+    region [r]: region 0 spans all [blks] blocks, regions 1 and 2 the two
+    halves (overlapping on an odd block count, which exercises a block
+    belonging to several live regions at once). *)
+
+val all : cores:int -> blks:int -> regions:int -> t list
+(** Every operation of the alphabet, in a fixed enumeration order. *)

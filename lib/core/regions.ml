@@ -19,6 +19,9 @@ let create ~capacity = { by_lo = Imap.empty; n = 0; max_len = 0; capacity }
 let capacity t = t.capacity
 let count t = t.n
 
+let copy t =
+  { by_lo = t.by_lo; n = t.n; max_len = t.max_len; capacity = t.capacity }
+
 let add t ~lo ~hi =
   if hi <= lo || t.n >= t.capacity then false
   else begin

@@ -19,6 +19,9 @@ val create : capacity:int -> t
 val capacity : t -> int
 val count : t -> int
 
+val copy : t -> t
+(** Independent copy (the interval map is persistent, so this is cheap). *)
+
 val add : t -> lo:int -> hi:int -> bool
 (** Register [\[lo, hi)]. Returns false (and stores nothing) when the table
     is full or the interval is empty. *)

@@ -230,6 +230,23 @@ module P = struct
         end
         else Mesi.flush_block f t.dir ~blk)
       !pending
+
+  let observe t ~blk = Protocol.view_of_dir t.dir ~blk
+
+  let dump t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "protocol warden\n";
+    Buffer.add_string b (Protocol.dump_dir t.dir);
+    let ranges = ref [] in
+    Regions.iter t.regions (fun ~lo ~hi -> ranges := (lo, hi) :: !ranges);
+    List.iter
+      (fun (lo, hi) ->
+        Buffer.add_string b (Printf.sprintf "  region [0x%x,0x%x)\n" lo hi))
+      (List.sort compare !ranges);
+    Buffer.contents b
+
+  let copy t ~fabric =
+    { fabric; dir = Dirstate.copy t.dir; regions = Regions.copy t.regions }
 end
 
 let protocol fabric = Protocol.Packed ((module P), P.create fabric)

@@ -23,6 +23,20 @@ let entry t blk =
 
 let find t blk = Hashtbl.find_opt t blk
 
+let copy (t : t) : t =
+  let fresh = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter
+    (fun blk e ->
+      Hashtbl.add fresh blk
+        {
+          state = e.state;
+          owner = e.owner;
+          sharers = Bitset.copy e.sharers;
+          w_multi = e.w_multi;
+        })
+    t;
+  fresh
+
 let iter t f = Hashtbl.iter f t
 
 let set_invalid e =

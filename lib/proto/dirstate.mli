@@ -33,6 +33,10 @@ val find : t -> int -> entry option
 
 val iter : t -> (int -> entry -> unit) -> unit
 
+val copy : t -> t
+(** Deep copy (fresh entries and sharer sets); the model checker forks
+    directory state when exploring alternative interleavings. *)
+
 val set_invalid : entry -> unit
 (** Reset to [D_I] with no owner and no sharers. *)
 

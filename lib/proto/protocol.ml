@@ -1,3 +1,41 @@
+type block_view = {
+  bv_state : States.dstate;
+  bv_owner : int;
+  bv_sharers : int list;
+  bv_wmulti : bool;
+}
+
+let invalid_view =
+  { bv_state = States.D_I; bv_owner = -1; bv_sharers = []; bv_wmulti = false }
+
+let view_of_dir dir ~blk =
+  match Dirstate.find dir blk with
+  | None -> invalid_view
+  | Some e ->
+      {
+        bv_state = e.Dirstate.state;
+        bv_owner = e.Dirstate.owner;
+        bv_sharers = Warden_util.Bitset.elements e.Dirstate.sharers;
+        bv_wmulti = e.Dirstate.w_multi;
+      }
+
+let pp_block_view fmt v =
+  Format.fprintf fmt "%a owner=%d sharers=[%s]%s" States.pp_dstate v.bv_state
+    v.bv_owner
+    (String.concat "," (List.map string_of_int v.bv_sharers))
+    (if v.bv_wmulti then " multi" else "")
+
+let dump_dir dir =
+  let rows = ref [] in
+  Dirstate.iter dir (fun blk e ->
+      if e.Dirstate.state <> States.D_I then
+        rows := (blk, view_of_dir dir ~blk) :: !rows);
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  String.concat ""
+    (List.map
+       (fun (blk, v) -> Format.asprintf "  blk %d: %a@." blk pp_block_view v)
+       rows)
+
 module type S = sig
   type t
 
@@ -20,6 +58,9 @@ module type S = sig
   val is_ward : t -> blk:int -> bool
   val region_remove : t -> lo:int -> hi:int -> int
   val flush_all : t -> unit
+  val observe : t -> blk:int -> block_view
+  val dump : t -> string
+  val copy : t -> fabric:Fabric.t -> t
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -38,6 +79,9 @@ let region_add (Packed ((module P), p)) ~lo ~hi = P.region_add p ~lo ~hi
 let region_remove (Packed ((module P), p)) ~lo ~hi = P.region_remove p ~lo ~hi
 let is_ward (Packed ((module P), p)) ~blk = P.is_ward p ~blk
 let flush_all (Packed ((module P), p)) = P.flush_all p
+let observe (Packed ((module P), p)) ~blk = P.observe p ~blk
+let dump (Packed ((module P), p)) = P.dump p
+let copy (Packed ((module P), p)) ~fabric = Packed ((module P), P.copy p ~fabric)
 
 module Mesi_protocol = struct
   type t = { fabric : Fabric.t; dir : Dirstate.t }
@@ -73,6 +117,10 @@ module Mesi_protocol = struct
     let blocks = ref [] in
     Dirstate.iter t.dir (fun blk _ -> blocks := blk :: !blocks);
     List.iter (fun blk -> Mesi.flush_block t.fabric t.dir ~blk) !blocks
+
+  let observe t ~blk = view_of_dir t.dir ~blk
+  let dump t = "protocol mesi\n" ^ dump_dir t.dir
+  let copy t ~fabric = { fabric; dir = Dirstate.copy t.dir }
 end
 
 let mesi fabric = Packed ((module Mesi_protocol), Mesi_protocol.create fabric)

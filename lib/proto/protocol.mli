@@ -7,6 +7,29 @@
     implements them as cheap no-ops so that the same runtime binary runs on
     both protocols, exactly as WARDen supports unmodified legacy code. *)
 
+type block_view = {
+  bv_state : States.dstate;  (** directory state (I/S/E/M/W) *)
+  bv_owner : int;  (** owning core for E/M, [-1] otherwise *)
+  bv_sharers : int list;  (** sharer set, ascending core id *)
+  bv_wmulti : bool;  (** block ever held by >1 core within a W epoch *)
+}
+(** A structured snapshot of one block's directory entry, for invariant
+    checkers and debuggers. Implementations must report their *actual*
+    bookkeeping, not a reconstruction — the model checker cross-validates
+    these views against the private caches. *)
+
+val invalid_view : block_view
+(** The view of an untracked (invalid) block. *)
+
+val view_of_dir : Dirstate.t -> blk:int -> block_view
+(** Snapshot a directory entry (helper for implementations that keep their
+    state in a {!Dirstate.t}, as MESI and WARDen both do). *)
+
+val pp_block_view : Format.formatter -> block_view -> unit
+
+val dump_dir : Dirstate.t -> string
+(** Render every non-invalid entry, sorted by block, one per line. *)
+
 module type S = sig
   type t
 
@@ -42,6 +65,20 @@ module type S = sig
 
   val flush_all : t -> unit
   (** Drain every cached copy to memory (end-of-run, uncounted). *)
+
+  val observe : t -> blk:int -> block_view
+  (** Snapshot the directory's bookkeeping for one block. *)
+
+  val dump : t -> string
+  (** Human-readable dump of all protocol state (directory entries plus
+      any protocol-specific tables such as the WARD region CAM); used by
+      the model checker's counterexample printer. *)
+
+  val copy : t -> fabric:Fabric.t -> t
+  (** Fork the protocol state, rebinding it to [fabric]. The model checker
+      forks whole memory systems when exploring alternative interleavings;
+      since a protocol reaches its caches only through fabric callbacks,
+      the copy must be given the fabric of the forked world. *)
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -60,6 +97,9 @@ val region_add : t -> lo:int -> hi:int -> bool
 val region_remove : t -> lo:int -> hi:int -> int
 val is_ward : t -> blk:int -> bool
 val flush_all : t -> unit
+val observe : t -> blk:int -> block_view
+val dump : t -> string
+val copy : t -> fabric:Fabric.t -> t
 
 val mesi : Fabric.t -> t
 (** Package the baseline MESI protocol. *)

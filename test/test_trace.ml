@@ -42,6 +42,36 @@ let test_raw_after_apathetic_waw () =
   | Wardprop.Raw_dependence { reader = 2; _ } -> ()
   | _ -> Alcotest.fail "expected RAW by the third thread"
 
+let test_empty_trace_is_ward () =
+  Alcotest.(check bool) "no events, no dependences" true (Wardprop.is_ward [])
+
+let test_single_event_is_ward () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "one event cannot depend on anything" true
+        (Wardprop.is_ward [ e ]))
+    [ ev 0 true 0 1L; ev 3 false 17 0L ]
+
+let test_first_dependence_wins () =
+  (* Two cross-thread RAW dependences; the classifier reports the one that
+     appears first in stream order (thread 1 reading thread 0's write to
+     address 10), not the later one at address 20. *)
+  let trace =
+    [ ev 0 true 10 1L; ev 1 true 20 2L; ev 1 false 10 0L; ev 0 false 20 0L ]
+  in
+  match Wardprop.classify trace with
+  | Wardprop.Raw_dependence { addr = 10; writer = 0; reader = 1 } -> ()
+  | _ -> Alcotest.fail "expected the stream-order-first RAW at addr 10"
+
+let test_same_value_waw_stream () =
+  (* An apathetic (same-value) WAW does not end the scan: the write is
+     absorbed and a later genuine dependence is still found. *)
+  match
+    Wardprop.classify [ ev 0 true 0 5L; ev 1 true 0 5L; ev 2 true 0 9L ]
+  with
+  | Wardprop.Waw_ordered { addr = 0; first = 1; second = 2 } -> ()
+  | _ -> Alcotest.fail "expected ordered WAW against the absorbed writer"
+
 let wardprop_single_thread_always_ward =
   qtest ~count:200 "single-threaded traces are always WARD"
     QCheck2.Gen.(list (triple bool (int_range 0 50) (int_range 0 5)))
@@ -155,6 +185,12 @@ let suite =
     Alcotest.test_case "private data is WARD" `Quick test_private_data_is_ward;
     Alcotest.test_case "read-only sharing is WARD" `Quick test_read_only_sharing_is_ward;
     Alcotest.test_case "RAW after apathetic WAW" `Quick test_raw_after_apathetic_waw;
+    Alcotest.test_case "empty trace is WARD" `Quick test_empty_trace_is_ward;
+    Alcotest.test_case "single event is WARD" `Quick test_single_event_is_ward;
+    Alcotest.test_case "first dependence in stream order wins" `Quick
+      test_first_dependence_wins;
+    Alcotest.test_case "apathetic WAW absorbs the writer" `Quick
+      test_same_value_waw_stream;
     wardprop_single_thread_always_ward;
     wardprop_disjoint_threads_always_ward;
     Alcotest.test_case "oracle: clean program" `Quick test_oracle_clean_program;
