@@ -9,8 +9,9 @@ BENCH ?= fib
 MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
-.PHONY: all build test check bench bench-quick bench-json all_pbbs \
-        single_pbbs activate_one_socket activate_two_socket examples clean
+.PHONY: all build test check bench bench-quick bench-json bench-compare \
+        all_pbbs single_pbbs activate_one_socket activate_two_socket \
+        examples clean
 
 all: build
 
@@ -35,9 +36,15 @@ bench-quick:
 	dune exec bench/main.exe -- quick
 
 # Machine-readable simulator-performance snapshot into BENCH_sim.json
-# (host ms/run per kernel plus simulated MIPS).
+# (host ms/run per kernel plus simulated MIPS); every run also appends a
+# one-line record to BENCH_history.jsonl.
 bench-json:
 	dune exec bench/main.exe -- json
+
+# Regression gate: fail if BENCH_sim.json's sim_mips fell more than 10%
+# below the committed BENCH_baseline.json. Run bench-json first.
+bench-compare:
+	dune exec bench/main.exe -- compare
 
 activate_one_socket:
 	echo single > $(MACHINE_FILE)

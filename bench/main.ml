@@ -15,6 +15,7 @@ open Warden_runtime
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
 let json_mode = Array.exists (fun a -> a = "json") Sys.argv
+let compare_mode = Array.exists (fun a -> a = "compare") Sys.argv
 
 let jobs =
   let rec find i =
@@ -277,6 +278,24 @@ let measure_sim_throughput () =
   in
   (wall, instrs, cycles)
 
+(* One line per bench-json run, appended forever: the repo's performance
+   trajectory. Kept separate from BENCH_sim.json (a snapshot that each run
+   overwrites) so regressions are visible across history, not just against
+   the committed baseline. *)
+let append_history ~wall ~instrs ~cycles ~mips =
+  let line =
+    Printf.sprintf
+      "{\"unix_time\": %.0f, \"jobs\": %d, \"quick_suite_wall_s\": %.3f, \
+       \"quick_suite_sim_instructions\": %d, \"quick_suite_sim_cycles\": %d, \
+       \"sim_mips\": %.3f}\n"
+      (Unix.time ()) jobs wall instrs cycles mips
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl"
+  in
+  output_string oc line;
+  close_out oc
+
 let run_json () =
   let kernels = measure_bechamel () in
   let wall, instrs, cycles = measure_sim_throughput () in
@@ -304,11 +323,74 @@ let run_json () =
   let oc = open_out "BENCH_sim.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
+  append_history ~wall ~instrs ~cycles
+    ~mips:(if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.);
   print_string (Buffer.contents buf);
-  Printf.printf "wrote BENCH_sim.json\n%!"
+  Printf.printf "wrote BENCH_sim.json (and appended BENCH_history.jsonl)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* compare mode: regression gate against the committed baseline        *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON number extraction — enough for the flat snapshots this
+   harness writes itself, keeping the gate dependency-free. *)
+let json_number file key =
+  let ic =
+    try open_in file
+    with Sys_error m -> Printf.eprintf "bench compare: %s\n" m; exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let needle = "\"" ^ key ^ "\"" in
+  let nl = String.length needle and sl = String.length s in
+  let rec find i =
+    if i + nl > sl then
+      (Printf.eprintf "bench compare: no %s in %s\n" needle file; exit 2)
+    else if String.sub s i nl = needle then i + nl
+    else find (i + 1)
+  in
+  let i = ref (find 0) in
+  while !i < sl && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
+  let j = ref !i in
+  while
+    !j < sl && (match s.[!j] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+  do incr j done;
+  match float_of_string_opt (String.sub s !i (!j - !i)) with
+  | Some f -> f
+  | None ->
+      Printf.eprintf "bench compare: %s in %s is not a number\n" needle file;
+      exit 2
+
+(* [compare [BASELINE [CURRENT]]]: fail (exit 1) when the current
+   sim_mips drops more than 10%% below the committed baseline. *)
+let run_compare () =
+  let positional =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "compare" && a.[0] <> '-')
+  in
+  let base_file, cur_file =
+    match positional with
+    | [] -> ("BENCH_baseline.json", "BENCH_sim.json")
+    | [ b ] -> (b, "BENCH_sim.json")
+    | b :: c :: _ -> (b, c)
+  in
+  let base = json_number base_file "sim_mips" in
+  let cur = json_number cur_file "sim_mips" in
+  let floor = 0.9 *. base in
+  Printf.printf
+    "bench compare: baseline %.3f sim MIPS (%s), current %.3f (%s), floor %.3f\n"
+    base base_file cur cur_file floor;
+  if cur < floor then begin
+    Printf.printf "REGRESSION: current sim_mips is %.1f%% of baseline\n"
+      (100. *. cur /. base);
+    exit 1
+  end
+  else Printf.printf "ok: within the 10%% regression budget\n"
 
 let () =
-  if json_mode then run_json ()
+  if compare_mode then run_compare ()
+  else if json_mode then run_json ()
   else begin
     Printf.printf
       "WARDen reproduction bench harness (%s scales, %d job(s))\n\

@@ -3,20 +3,53 @@
     Tracks which blocks are resident and carries an arbitrary payload per
     line (coherence state, data, ...). Used for the private L1/L2 tag
     arrays and the shared L3 slices. Block numbers index the simulated
-    physical space ({!Warden_mem.Addr.block_of}). *)
+    physical space ({!Warden_mem.Addr.block_of}).
+
+    Ways live in flat parallel arrays (three [Array.make] calls per
+    cache, no per-way records), so creating even a multi-megabyte LLC
+    slice is cheap. Payloads are stored unboxed; absent ways hold the
+    [dummy] payload supplied at creation. The [way] handle API
+    ({!find_way}, {!peek_way}, {!hit}, {!value}) probes without
+    allocating: misses return the {!hit}-false sentinel rather than
+    [None]. Hits via {!find_way} are rotated to way 0 of their set
+    (MRU-first scan order); LRU ordering itself lives in per-way
+    timestamps and is unaffected. *)
 
 type 'a t
 
-val create : sets:int -> ways:int -> 'a t
-(** [sets] must be a power of two. *)
+type way
+(** Handle to one way of one set (a flat index). Valid until the set is
+    restructured by an {!insert}/{!remove}/{!clear}, or until another
+    {!find_way} on the same set rotates its contents. *)
+
+val create : sets:int -> ways:int -> dummy:'a -> 'a t
+(** [sets] must be a power of two. [dummy] fills absent ways; it is never
+    returned from a hit. *)
 
 val sets : 'a t -> int
 val ways : 'a t -> int
 val capacity_blocks : 'a t -> int
 
+val find_way : 'a t -> int -> way
+(** Allocation-free hit probe: refreshes the block's LRU position and
+    rotates it to way 0. {!hit} is false on the returned way iff absent. *)
+
+val peek_way : 'a t -> int -> way
+(** Pure probe: no LRU refresh, no rotation. *)
+
+val touch_way : 'a t -> way -> unit
+(** Refresh the LRU position of a way obtained from {!find_way} or
+    {!peek_way} (which must have hit). Does not rotate — safe while other
+    way handles into the same set are live. *)
+
+val hit : way -> bool
+
+val value : 'a t -> way -> 'a
+(** Payload of a way that {!hit}. Only valid on a hit. *)
+
 val find : 'a t -> int -> 'a option
 (** [find t blk] returns the payload if resident and refreshes its LRU
-    position. *)
+    position. Allocating wrapper over {!find_way} for cold paths. *)
 
 val peek : 'a t -> int -> 'a option
 (** [peek t blk] returns the payload if resident {e without} refreshing its
@@ -45,7 +78,8 @@ val remove : 'a t -> int -> 'a option
 (** Invalidate a block, returning its payload if it was resident. *)
 
 val iter : 'a t -> (int -> 'a -> unit) -> unit
-(** Visit every resident block. *)
+(** Visit every resident block (no particular order; hit rotation means
+    way order is not insertion order). *)
 
 val iter_range : 'a t -> lo_block:int -> hi_block:int -> (int -> 'a -> unit) -> unit
 (** Visit resident blocks with number in [\[lo_block, hi_block)]. *)

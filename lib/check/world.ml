@@ -165,13 +165,10 @@ let enabled t =
     (Op.all ~cores:t.cfg.cores ~blks:t.cfg.blks ~regions:t.cfg.regions)
 
 let install t ~core ~blk (g : Mesi.grant) =
-  let bytes =
-    match g.Mesi.fill with
-    | Some b -> b
-    | None -> failwith "Check.World: miss grant carried no data"
-  in
+  if not (Mesi.has_fill g) then
+    failwith "Check.World: miss grant carried no data";
   let line = { pstate = g.Mesi.pstate; data = Linedata.create () } in
-  Linedata.fill_from line.data bytes;
+  Linedata.fill_from line.data g.Mesi.fill;
   Hashtbl.replace t.priv.(core) blk line;
   line
 
@@ -206,9 +203,8 @@ let apply t op =
                   Protocol.handle_request t.proto ~core ~blk ~write:true
                     ~holds_s:true
                 in
-                (match g.Mesi.fill with
-                | Some bytes -> Linedata.fill_from line.data bytes
-                | None -> ());
+                if Mesi.has_fill g then
+                  Linedata.fill_from line.data g.Mesi.fill;
                 line.pstate <- g.Mesi.pstate;
                 (line, g.Mesi.latency))
         | None ->

@@ -1,4 +1,3 @@
-open Warden_util
 open Warden_mem
 open Warden_cache
 open Warden_machine
@@ -6,7 +5,12 @@ open Warden_proto
 open States
 
 module P = struct
-  type t = { fabric : Fabric.t; dir : Dirstate.t; regions : Regions.t }
+  type t = {
+    fabric : Fabric.t;
+    dir : Dirstate.t;
+    regions : Regions.t;
+    scratch : Mesi.grant;
+  }
 
   let name = "warden"
 
@@ -17,6 +21,7 @@ module P = struct
       regions =
         Regions.create
           ~capacity:fabric.Fabric.config.Config.ward_region_capacity;
+      scratch = Mesi.fresh_grant ();
     }
 
   let fabric t = t.fabric
@@ -33,51 +38,53 @@ module P = struct
      untouched (Fig. 5's GetM-or-GetS (WARD region) transitions). *)
   let ward_request t ~core ~blk ~write ~holds_s =
     let f = t.fabric in
-    let e = Dirstate.entry t.dir blk in
+    let dir = t.dir in
+    let e = Dirstate.entry dir blk in
     let cs = Fabric.socket_of_core f core in
     Fabric.dir_access f;
     Fabric.dir_msg f ~socket:cs ~blk ~data:false;
     f.Fabric.stats.Pstats.ward_grants <- f.Fabric.stats.Pstats.ward_grants + 1;
     (* A previous E/M owner silently becomes one of the W copies. *)
-    (match e.Dirstate.state with
+    (match Dirstate.state dir e with
     | D_E | D_M ->
-        if e.Dirstate.owner >= 0 then Bitset.add e.Dirstate.sharers e.Dirstate.owner
+        let o = Dirstate.owner dir e in
+        if o >= 0 then Dirstate.sharer_add dir e o
     | D_I | D_S | D_W -> ());
-    e.Dirstate.state <- D_W;
-    e.Dirstate.owner <- -1;
-    Bitset.add e.Dirstate.sharers core;
-    if Bitset.cardinal e.Dirstate.sharers > 1 then e.Dirstate.w_multi <- true;
+    Dirstate.set_state dir e D_W;
+    Dirstate.set_owner dir e (-1);
+    Dirstate.sharer_add dir e core;
+    if Dirstate.sharer_count dir e > 1 then Dirstate.set_w_multi dir e true;
     let to_home = Fabric.dir_leg f ~socket:cs ~blk in
     let from_home = to_home in
+    let g = t.scratch in
     if holds_s then begin
       (* Upgrade of a copy already held: permission only, no data. *)
       Fabric.dir_msg f ~socket:cs ~blk ~data:false;
-      {
-        Mesi.pstate = grant_pstate ~write;
-        fill = None;
-        latency = to_home + f.Fabric.config.Config.l3_lat + from_home;
-      }
+      g.Mesi.pstate <- grant_pstate ~write;
+      g.Mesi.fill <- Mesi.no_fill;
+      g.Mesi.latency <- to_home + f.Fabric.config.Config.l3_lat + from_home
     end
     else begin
       let data, where = f.Fabric.read_shared ~blk in
       let shared_lat = Fabric.shared_read_latency f where in
       Fabric.dir_msg f ~socket:cs ~blk ~data:true;
-      {
-        Mesi.pstate = grant_pstate ~write;
-        fill = Some data;
-        latency = to_home + shared_lat + from_home;
-      }
-    end
+      g.Mesi.pstate <- grant_pstate ~write;
+      g.Mesi.fill <- data;
+      g.Mesi.latency <- to_home + shared_lat + from_home
+    end;
+    g
 
   let handle_request t ~core ~blk ~write ~holds_s =
     Energy.cam_lookup t.fabric.Fabric.energy;
     if Regions.block_in t.regions blk then
       ward_request t ~core ~blk ~write ~holds_s
-    else Mesi.handle_request t.fabric t.dir ~core ~blk ~write ~holds_s
+    else
+      Mesi.handle_request t.fabric t.dir t.scratch ~core ~blk ~write ~holds_s
 
   let handle_evict t ~core ~blk ~pstate ~data =
-    let e = Dirstate.entry t.dir blk in
-    if e.Dirstate.state = D_W then begin
+    let dir = t.dir in
+    let e = Dirstate.entry dir blk in
+    if Dirstate.state dir e = D_W then begin
       (* Sectored writeback: merge this copy's written bytes into the LLC
          ("reconciling blocks on eviction overlaps with computation"). *)
       let f = t.fabric in
@@ -89,7 +96,7 @@ module P = struct
         f.Fabric.llc_merge ~blk data;
         f.Fabric.stats.Pstats.writebacks <- f.Fabric.stats.Pstats.writebacks + 1
       end;
-      Bitset.remove e.Dirstate.sharers core
+      Dirstate.sharer_remove dir e core
     end
     else Mesi.handle_evict t.fabric t.dir ~core ~blk ~pstate ~data
 
@@ -104,13 +111,18 @@ module P = struct
       (* Fold any live MESI copies of these blocks into the LLC so that
          stale data cannot later win a reconciliation merge. With the
          runtime's fresh-address allocation this loop finds nothing. *)
+      let dir = t.dir in
       blocks_of_range ~lo ~hi (fun blk ->
-          match Dirstate.find t.dir blk with
-          | Some e when e.Dirstate.state <> D_I && e.Dirstate.state <> D_W ->
-              let holders = List.length (Dirstate.holders e) in
-              stats.Pstats.recon_flushes <- stats.Pstats.recon_flushes + holders;
-              Mesi.flush_block t.fabric t.dir ~blk
-          | _ -> ());
+          let e = Dirstate.find dir blk in
+          if
+            e <> Dirstate.no_slot
+            && Dirstate.state dir e <> D_I
+            && Dirstate.state dir e <> D_W
+          then begin
+            let holders = List.length (Dirstate.holders dir e) in
+            stats.Pstats.recon_flushes <- stats.Pstats.recon_flushes + holders;
+            Mesi.flush_block t.fabric t.dir ~blk
+          end);
       true
     end
 
@@ -118,31 +130,32 @@ module P = struct
 
   (* Reconciliation of one W block at region removal (§5.2). Returns true
      if the block required a flush (and therefore costs latency). *)
-  let reconcile_block t blk (e : Dirstate.entry) =
+  let reconcile_block t blk (e : Dirstate.slot) =
     let f = t.fabric in
+    let dir = t.dir in
     let stats = f.Fabric.stats in
     stats.Pstats.recon_blocks <- stats.Pstats.recon_blocks + 1;
-    match Dirstate.holders e with
+    match Dirstate.holders dir e with
     | [] ->
-        Dirstate.set_invalid e;
+        Dirstate.set_invalid dir e;
         false
-    | [ s ] when e.Dirstate.w_multi = false
+    | [ s ] when (not (Dirstate.w_multi dir e))
                  && f.Fabric.config.Config.recon_inplace_sole -> (
         (* No sharing, §5.2 literal variant (ablation): convert the sole
            copy to E/M in place. This forfeits the §5.3 proactive flush —
            later remote readers still downgrade the holder. *)
         match f.Fabric.peek_priv ~core:s ~blk with
         | None ->
-            Dirstate.set_invalid e;
+            Dirstate.set_invalid dir e;
             false
         | Some p ->
-            e.Dirstate.state <-
+            Dirstate.set_state dir e
               (if Linedata.is_dirty p.Fabric.data then D_M else D_E);
-            e.Dirstate.owner <- s;
-            e.Dirstate.w_multi <- false;
-            Bitset.clear e.Dirstate.sharers;
+            Dirstate.set_owner dir e s;
+            Dirstate.set_w_multi dir e false;
+            Dirstate.sharers_clear dir e;
             false)
-    | [ s ] when e.Dirstate.w_multi = false -> (
+    | [ s ] when not (Dirstate.w_multi dir e) -> (
         (* No sharing (default): write the copy's dirty sectors back and
            retain it as a clean shared copy. Remote consumers are then
            served by the LLC with no downgrade (the §5.3 benefit), while
@@ -150,7 +163,7 @@ module P = struct
            holder outright would make it refetch its own fresh data. *)
         match f.Fabric.downgrade_priv ~core:s ~blk with
         | None ->
-            Dirstate.set_invalid e;
+            Dirstate.set_invalid dir e;
             false
         | Some p ->
             let dirty = Linedata.is_dirty p.Fabric.data in
@@ -164,11 +177,11 @@ module P = struct
               f.Fabric.llc_merge ~blk p.Fabric.data;
               Linedata.clear_dirty p.Fabric.data
             end;
-            e.Dirstate.state <- D_S;
-            e.Dirstate.owner <- -1;
-            e.Dirstate.w_multi <- false;
-            Bitset.clear e.Dirstate.sharers;
-            Bitset.add e.Dirstate.sharers s;
+            Dirstate.set_state dir e D_S;
+            Dirstate.set_owner dir e (-1);
+            Dirstate.set_w_multi dir e false;
+            Dirstate.sharers_clear dir e;
+            Dirstate.sharer_add dir e s;
             dirty)
     | holders ->
         (* False or true sharing: flush every copy and merge dirty sectors
@@ -188,7 +201,7 @@ module P = struct
                   f.Fabric.llc_merge ~blk p.Fabric.data
                 end)
           holders;
-        Dirstate.set_invalid e;
+        Dirstate.set_invalid dir e;
         true
 
   let region_remove t ~lo ~hi =
@@ -197,24 +210,26 @@ module P = struct
     if not (Regions.remove t.regions ~lo ~hi) then 0
     else begin
       let flushed = ref 0 in
+      let dir = t.dir in
       blocks_of_range ~lo ~hi (fun blk ->
           (* A block of two overlapping regions stays W until the last one
              is removed. *)
-          if not (Regions.block_in t.regions blk) then
-            match Dirstate.find t.dir blk with
-            | Some e when e.Dirstate.state = D_W ->
-                if reconcile_block t blk e then incr flushed
-            | _ -> ());
+          if not (Regions.block_in t.regions blk) then begin
+            let e = Dirstate.find dir blk in
+            if e <> Dirstate.no_slot && Dirstate.state dir e = D_W then
+              if reconcile_block t blk e then incr flushed
+          end);
       !flushed * t.fabric.Fabric.config.Config.reconcile_per_block
     end
 
   let flush_all t =
     let f = t.fabric in
+    let dir = t.dir in
     let pending = ref [] in
-    Dirstate.iter t.dir (fun blk e -> pending := (blk, e) :: !pending);
+    Dirstate.iter dir (fun blk e -> pending := (blk, e) :: !pending);
     List.iter
       (fun (blk, e) ->
-        if e.Dirstate.state = D_W then begin
+        if Dirstate.state dir e = D_W then begin
           List.iter
             (fun s ->
               match f.Fabric.invalidate_priv ~core:s ~blk with
@@ -225,8 +240,8 @@ module P = struct
                     f.Fabric.stats.Pstats.writebacks + 1;
                   f.Fabric.llc_merge ~blk p.Fabric.data
               | _ -> ())
-            (Dirstate.holders e);
-          Dirstate.set_invalid e
+            (Dirstate.holders dir e);
+          Dirstate.set_invalid dir e
         end
         else Mesi.flush_block f t.dir ~blk)
       !pending
@@ -246,7 +261,12 @@ module P = struct
     Buffer.contents b
 
   let copy t ~fabric =
-    { fabric; dir = Dirstate.copy t.dir; regions = Regions.copy t.regions }
+    {
+      fabric;
+      dir = Dirstate.copy t.dir;
+      regions = Regions.copy t.regions;
+      scratch = Mesi.fresh_grant ();
+    }
 end
 
 let protocol fabric = Protocol.Packed ((module P), P.create fabric)

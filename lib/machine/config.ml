@@ -29,7 +29,10 @@ type t = {
 
 let num_cores t = t.sockets * t.cores_per_socket
 let num_threads t = num_cores t * t.threads_per_core
-let core_of_thread t tid = tid / t.threads_per_core
+(* Called on every memory access; dodge the hardware divide for the
+   common one-thread-per-core machines. *)
+let core_of_thread t tid =
+  if t.threads_per_core = 1 then tid else tid / t.threads_per_core
 let socket_of_core t core = core / t.cores_per_socket
 let socket_of_thread t tid = socket_of_core t (core_of_thread t tid)
 let home_socket t blk = blk mod t.sockets

@@ -23,37 +23,39 @@ let default_costs =
     cam_pj = 8.0;
   }
 
-type t = {
-  c : costs;
-  mutable core : float;
-  mutable cache : float;
-  mutable dram : float;
-  mutable network : float;
-}
+(* Accumulators live in a float array: OCaml stores float arrays flat, so
+   a deposit updates in place instead of boxing a fresh float per event
+   (mixed records box their float fields on every assignment, and deposits
+   happen on every simulated memory access). *)
+let core_i = 0
+let cache_i = 1
+let dram_i = 2
+let network_i = 3
 
-let create ?(costs = default_costs) () =
-  { c = costs; core = 0.; cache = 0.; dram = 0.; network = 0. }
+type t = { c : costs; acc : float array }
 
+let create ?(costs = default_costs) () = { c = costs; acc = Array.make 4 0. }
 let costs t = t.c
+let deposit t i x = Array.unsafe_set t.acc i (Array.unsafe_get t.acc i +. x)
 
 let core_cycles t ~cores ~cycles =
-  t.core <- t.core +. (float_of_int cores *. float_of_int cycles *. t.c.core_cycle_pj)
+  deposit t core_i (float_of_int cores *. float_of_int cycles *. t.c.core_cycle_pj)
 
-let l1_access t = t.cache <- t.cache +. t.c.l1_pj
-let l2_access t = t.cache <- t.cache +. t.c.l2_pj
-let l3_access t = t.cache <- t.cache +. t.c.l3_pj
-let dir_access t = t.cache <- t.cache +. t.c.dir_pj
-let dram_access t = t.dram <- t.dram +. t.c.dram_pj
+let l1_access t = deposit t cache_i t.c.l1_pj
+let l2_access t = deposit t cache_i t.c.l2_pj
+let l3_access t = deposit t cache_i t.c.l3_pj
+let dir_access t = deposit t cache_i t.c.dir_pj
+let dram_access t = deposit t dram_i t.c.dram_pj
 
 let message t ~inter_socket ~data =
   let base = if inter_socket then t.c.msg_inter_pj else t.c.msg_intra_pj in
-  t.network <- t.network +. (if data then 5. *. base else base)
+  deposit t network_i (if data then 5. *. base else base)
 
-let cam_lookup t = t.cache <- t.cache +. t.c.cam_pj
+let cam_lookup t = deposit t cache_i t.c.cam_pj
 
-let core_pj t = t.core
-let cache_pj t = t.cache
-let dram_pj t = t.dram
-let network_pj t = t.network
-let processor_pj t = t.core +. t.cache +. t.dram
-let total_pj t = processor_pj t +. t.network
+let core_pj t = t.acc.(core_i)
+let cache_pj t = t.acc.(cache_i)
+let dram_pj t = t.acc.(dram_i)
+let network_pj t = t.acc.(network_i)
+let processor_pj t = core_pj t +. cache_pj t +. dram_pj t
+let total_pj t = processor_pj t +. network_pj t

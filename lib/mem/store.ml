@@ -3,13 +3,25 @@
 let page_bits = 16
 let page_size = 1 lsl page_bits
 
+let no_page = Bytes.create 0
+
 type t = {
-  pages : (int, Bytes.t) Hashtbl.t;
+  pages : Bytes.t Warden_util.Itab.t;
   written_blocks : Warden_util.Bitset.t;
+  (* One-entry cache of the last page touched: simulated accesses are
+     heavily clustered (stacks, sequential arrays), so most lookups skip
+     even the single Itab probe. *)
+  mutable last_id : int;
+  mutable last_page : Bytes.t;
 }
 
 let create () =
-  { pages = Hashtbl.create 64; written_blocks = Warden_util.Bitset.create () }
+  {
+    pages = Warden_util.Itab.create ~dummy:no_page ();
+    written_blocks = Warden_util.Bitset.create ();
+    last_id = -1;
+    last_page = no_page;
+  }
 
 (* Hot path (once per simulated store): no list, and accesses almost never
    straddle a block boundary. *)
@@ -23,14 +35,17 @@ let mark_written t addr len =
 
 let materialized t blk = Warden_util.Bitset.mem t.written_blocks blk
 
+let new_page _ = Bytes.make page_size '\000'
+
 let page t addr =
   let id = addr lsr page_bits in
-  match Hashtbl.find_opt t.pages id with
-  | Some p -> p
-  | None ->
-      let p = Bytes.make page_size '\000' in
-      Hashtbl.add t.pages id p;
-      p
+  if id = t.last_id then t.last_page
+  else begin
+    let p = Warden_util.Itab.find_or_add t.pages id ~make:new_page in
+    t.last_id <- id;
+    t.last_page <- p;
+    p
+  end
 
 let check_access addr size =
   (match size with
@@ -78,4 +93,4 @@ let write_block_masked t blk data ~mask =
       Bytes.set p (off + i) (Bytes.get data i)
   done
 
-let footprint_bytes t = Hashtbl.length t.pages * page_size
+let footprint_bytes t = Warden_util.Itab.length t.pages * page_size

@@ -1,52 +1,222 @@
 open Warden_util
 
-type entry = {
-  mutable state : States.dstate;
-  mutable owner : int;
-  sharers : Bitset.t;
-  mutable w_multi : bool;
+(* Flat open-addressing directory. One probe per request instead of a
+   Hashtbl bucket walk, and an entry is three immediate ints in parallel
+   arrays — no per-entry record, no boxed sharer set on the hot path.
+
+   meta word layout (per slot):
+     bits 0-2   directory state (I=0 S=1 E=2 M=3 W=4)
+     bit  3     w_multi
+     bits 4+    owner + 1 (0 = no owner)
+   A fresh entry is the integer 0: D_I, no owner, not multi.
+
+   Sharers are an int bitmask covering cores 0..62 (every Table-2 topology
+   fits: the largest is 8 sockets x 12 cores = 96 only in the scaling
+   study, so cores >= 63 spill into a side table of Bitsets keyed by
+   BLOCK, which keeps spill entries valid across rehashes).
+
+   The directory is ideal (never evicts), so there is no deletion and no
+   tombstones: linear probing terminates at the first empty slot. *)
+
+type t = {
+  mutable keys : int array; (* block id per slot; -1 = empty *)
+  mutable meta : int array;
+  mutable mask : int array; (* sharer bits for cores 0..62 *)
+  mutable used : int;
+  mutable shift : int; (* 63 - log2 capacity *)
+  spill : (int, Bitset.t) Hashtbl.t; (* blk -> sharers >= spill_base *)
 }
 
-type t = (int, entry) Hashtbl.t
+type slot = int
 
-let create () : t = Hashtbl.create 4096
+let no_slot = -1
+let spill_base = 63
+let initial_lg = 12
 
-let entry t blk =
-  match Hashtbl.find_opt t blk with
-  | Some e -> e
-  | None ->
-      let e =
-        { state = States.D_I; owner = -1; sharers = Bitset.create (); w_multi = false }
-      in
-      Hashtbl.add t blk e;
-      e
+(* Odd 63-bit multiplier (SplitMix finalizer constant); the top bits of
+   blk * factor index the table. *)
+let factor = 0x2545F4914F6CDD1D
 
-let find t blk = Hashtbl.find_opt t blk
+let create () : t =
+  {
+    keys = Array.make (1 lsl initial_lg) (-1);
+    meta = Array.make (1 lsl initial_lg) 0;
+    mask = Array.make (1 lsl initial_lg) 0;
+    used = 0;
+    shift = 63 - initial_lg;
+    spill = Hashtbl.create 4;
+  }
+
+(* First slot holding [blk] or empty, scanning the probe sequence. *)
+let probe t blk =
+  let keys = t.keys in
+  let m = Array.length keys - 1 in
+  let i = ref ((blk * factor) lsr t.shift) in
+  while
+    let k = Array.unsafe_get keys !i in
+    k <> blk && k <> -1
+  do
+    i := (!i + 1) land m
+  done;
+  !i
+
+let grow t =
+  let old_keys = t.keys and old_meta = t.meta and old_mask = t.mask in
+  let cap = Array.length old_keys * 2 in
+  t.keys <- Array.make cap (-1);
+  t.meta <- Array.make cap 0;
+  t.mask <- Array.make cap 0;
+  t.shift <- t.shift - 1;
+  for i = 0 to Array.length old_keys - 1 do
+    let blk = old_keys.(i) in
+    if blk >= 0 then begin
+      let j = probe t blk in
+      t.keys.(j) <- blk;
+      t.meta.(j) <- old_meta.(i);
+      t.mask.(j) <- old_mask.(i)
+    end
+  done
+
+let rec entry t blk : slot =
+  let i = probe t blk in
+  if Array.unsafe_get t.keys i = blk then i
+  else if 2 * (t.used + 1) > Array.length t.keys then begin
+    grow t;
+    entry t blk
+  end
+  else begin
+    t.keys.(i) <- blk;
+    (* meta and mask are already 0 = invalid: never mutated since create
+       or grow, because set_invalid resets them. *)
+    t.used <- t.used + 1;
+    i
+  end
+
+let find t blk : slot =
+  let i = probe t blk in
+  if Array.unsafe_get t.keys i = blk then i else no_slot
+
+let block t (s : slot) = t.keys.(s)
+
+(* --- packed fields --------------------------------------------------------- *)
+
+let state t (s : slot) : States.dstate =
+  match t.meta.(s) land 7 with
+  | 0 -> States.D_I
+  | 1 -> States.D_S
+  | 2 -> States.D_E
+  | 3 -> States.D_M
+  | _ -> States.D_W
+
+let state_code = function
+  | States.D_I -> 0
+  | States.D_S -> 1
+  | States.D_E -> 2
+  | States.D_M -> 3
+  | States.D_W -> 4
+
+let set_state t (s : slot) st =
+  t.meta.(s) <- t.meta.(s) land lnot 7 lor state_code st
+
+let owner t (s : slot) = (t.meta.(s) lsr 4) - 1
+let set_owner t (s : slot) o = t.meta.(s) <- t.meta.(s) land 15 lor ((o + 1) lsl 4)
+let w_multi t (s : slot) = t.meta.(s) land 8 <> 0
+
+let set_w_multi t (s : slot) b =
+  t.meta.(s) <- (if b then t.meta.(s) lor 8 else t.meta.(s) land lnot 8)
+
+(* --- sharer set ------------------------------------------------------------ *)
+
+let spill_of t (s : slot) =
+  if Hashtbl.length t.spill = 0 then None
+  else Hashtbl.find_opt t.spill t.keys.(s)
+
+let sharer_add t (s : slot) core =
+  if core < spill_base then t.mask.(s) <- t.mask.(s) lor (1 lsl core)
+  else
+    let bs =
+      match spill_of t s with
+      | Some bs -> bs
+      | None ->
+          let bs = Bitset.create () in
+          Hashtbl.add t.spill t.keys.(s) bs;
+          bs
+    in
+    Bitset.add bs core
+
+let sharer_remove t (s : slot) core =
+  if core < spill_base then t.mask.(s) <- t.mask.(s) land lnot (1 lsl core)
+  else match spill_of t s with Some bs -> Bitset.remove bs core | None -> ()
+
+let sharer_mem t (s : slot) core =
+  if core < spill_base then t.mask.(s) land (1 lsl core) <> 0
+  else match spill_of t s with Some bs -> Bitset.mem bs core | None -> false
+
+let sharers_clear t (s : slot) =
+  t.mask.(s) <- 0;
+  if Hashtbl.length t.spill > 0 then Hashtbl.remove t.spill t.keys.(s)
+
+let sharers_empty t (s : slot) =
+  t.mask.(s) = 0
+  && match spill_of t s with Some bs -> Bitset.is_empty bs | None -> true
+
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr c
+  done;
+  !c
+
+let sharer_count t (s : slot) =
+  popcount t.mask.(s)
+  + match spill_of t s with Some bs -> Bitset.cardinal bs | None -> 0
+
+(* Ascending core id: mask bits first (cores 0..62), then the spill set
+   (cores >= 63, itself ascending). *)
+let sharer_iter t (s : slot) f =
+  let m = ref t.mask.(s) and c = ref 0 in
+  while !m <> 0 do
+    if !m land 1 = 1 then f !c;
+    m := !m lsr 1;
+    incr c
+  done;
+  match spill_of t s with Some bs -> Bitset.iter bs f | None -> ()
+
+let sharers t (s : slot) =
+  let acc = ref [] in
+  sharer_iter t s (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+(* --- whole-entry operations ------------------------------------------------ *)
+
+let set_invalid t (s : slot) =
+  t.meta.(s) <- 0;
+  sharers_clear t s
+
+let holders t (s : slot) =
+  match state t s with
+  | States.D_I -> []
+  | States.D_E | States.D_M ->
+      let o = owner t s in
+      if o >= 0 then [ o ] else []
+  | States.D_S | States.D_W -> sharers t s
+
+let iter t f =
+  let keys = t.keys in
+  for i = 0 to Array.length keys - 1 do
+    let blk = Array.unsafe_get keys i in
+    if blk >= 0 then f blk i
+  done
 
 let copy (t : t) : t =
-  let fresh = Hashtbl.create (Hashtbl.length t) in
-  Hashtbl.iter
-    (fun blk e ->
-      Hashtbl.add fresh blk
-        {
-          state = e.state;
-          owner = e.owner;
-          sharers = Bitset.copy e.sharers;
-          w_multi = e.w_multi;
-        })
-    t;
-  fresh
-
-let iter t f = Hashtbl.iter f t
-
-let set_invalid e =
-  e.state <- States.D_I;
-  e.owner <- -1;
-  e.w_multi <- false;
-  Bitset.clear e.sharers
-
-let holders e =
-  match e.state with
-  | States.D_I -> []
-  | States.D_E | States.D_M -> if e.owner >= 0 then [ e.owner ] else []
-  | States.D_S | States.D_W -> Bitset.elements e.sharers
+  let spill = Hashtbl.create (Hashtbl.length t.spill) in
+  Hashtbl.iter (fun blk bs -> Hashtbl.add spill blk (Bitset.copy bs)) t.spill;
+  {
+    keys = Array.copy t.keys;
+    meta = Array.copy t.meta;
+    mask = Array.copy t.mask;
+    used = t.used;
+    shift = t.shift;
+    spill;
+  }

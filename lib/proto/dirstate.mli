@@ -2,44 +2,82 @@
 
     Modeled as an "ideal" (unbounded) directory: entries are never evicted,
     mirroring full-map directory studies. The paper's protocol is described
-    against such a directory FSA (Fig. 5). *)
+    against such a directory FSA (Fig. 5).
 
-type entry = {
-  mutable state : States.dstate;
-  mutable owner : int;  (** Core id for E/M; [-1] otherwise. *)
-  sharers : Warden_util.Bitset.t;
-      (** Cores holding a copy: used in S, and in W to remember every core
-          granted a copy for later reconciliation. *)
-  mutable w_multi : bool;
-      (** While in W: true once the block has ever had a second concurrent
-          copy or absorbed an eviction merge. Reconciliation may only
-          convert a sole holder in place ("no sharing" case, §5.2) when
-          this is false; otherwise the LLC may hold merged bytes newer than
-          the holder's fill base and the copy must be flushed and merged by
-          its dirty mask. *)
-}
+    Stored as a flat open-addressing table (no deletion, so linear probing
+    never meets a tombstone). An entry is immediate ints in parallel arrays:
+    a packed state/owner/w_multi word and a sharer bitmask covering cores
+    0..62, with a per-block [Bitset] spill for larger machines (only the
+    8-socket scaling study exceeds 63 cores). Entries are addressed by
+    {!slot} handles; a slot stays valid until the next {!entry} call that
+    inserts a new block (which may rehash), and no protocol path inserts
+    between obtaining a slot and using it. *)
 
 type t
 
+type slot = int
+(** Handle to one directory entry. Do not store across insertions. *)
+
+val no_slot : slot
+(** Returned by {!find} when the block has no entry ([-1]). *)
+
 val create : unit -> t
 
-val entry : t -> int -> entry
-(** [entry t blk] returns the entry for block [blk], creating it in [D_I]
-    if absent. *)
+val entry : t -> int -> slot
+(** [entry t blk] returns the slot for block [blk], creating it in [D_I]
+    if absent — a single probe either way. *)
 
-val find : t -> int -> entry option
+val find : t -> int -> slot
 (** Like {!entry} but without materializing absent (hence invalid)
-    blocks. *)
+    blocks: {!no_slot} if untracked. *)
 
-val iter : t -> (int -> entry -> unit) -> unit
+val block : t -> slot -> int
+(** The block id a slot tracks. *)
 
-val copy : t -> t
-(** Deep copy (fresh entries and sharer sets); the model checker forks
-    directory state when exploring alternative interleavings. *)
+val state : t -> slot -> States.dstate
+val set_state : t -> slot -> States.dstate -> unit
 
-val set_invalid : entry -> unit
+val owner : t -> slot -> int
+(** Core id for E/M; [-1] otherwise. *)
+
+val set_owner : t -> slot -> int -> unit
+
+val w_multi : t -> slot -> bool
+(** While in W: true once the block has ever had a second concurrent copy
+    or absorbed an eviction merge. Reconciliation may only convert a sole
+    holder in place ("no sharing" case, §5.2) when this is false;
+    otherwise the LLC may hold merged bytes newer than the holder's fill
+    base and the copy must be flushed and merged by its dirty mask. *)
+
+val set_w_multi : t -> slot -> bool -> unit
+
+(** Sharer set: cores holding a copy — used in S, and in W to remember
+    every core granted a copy for later reconciliation. *)
+
+val sharer_add : t -> slot -> int -> unit
+val sharer_remove : t -> slot -> int -> unit
+val sharer_mem : t -> slot -> int -> bool
+val sharers_clear : t -> slot -> unit
+val sharers_empty : t -> slot -> bool
+val sharer_count : t -> slot -> int
+
+val sharer_iter : t -> slot -> (int -> unit) -> unit
+(** Ascending core id. *)
+
+val sharers : t -> slot -> int list
+(** Ascending core id. *)
+
+val set_invalid : t -> slot -> unit
 (** Reset to [D_I] with no owner and no sharers. *)
 
-val holders : entry -> int list
+val holders : t -> slot -> int list
 (** All cores with a copy according to the directory: the owner in E/M, the
     sharer set in S/W, ascending. *)
+
+val iter : t -> (int -> slot -> unit) -> unit
+(** Visit every entry (including [D_I] ones) as [(blk, slot)]. Must not
+    insert entries during iteration. *)
+
+val copy : t -> t
+(** Deep copy (fresh arrays and spill sets); the model checker forks
+    directory state when exploring alternative interleavings. *)

@@ -1,8 +1,22 @@
-open Warden_util
 open Warden_cache
 open States
 
-type grant = { pstate : States.pstate; fill : Bytes.t option; latency : int }
+(* Grants are written into a reusable per-protocol scratch record: the hot
+   path allocates neither the grant nor a [Some bytes] box. [fill] either
+   aliases the source line's bytes (LLC line or transferring owner's copy)
+   or is the [no_fill] sentinel; every consumer copies the bytes into its
+   own Linedata before triggering further protocol activity, so the alias
+   is never live across a mutation (the same discipline Llc.read already
+   relies on). *)
+type grant = {
+  mutable pstate : States.pstate;
+  mutable fill : Bytes.t;
+  mutable latency : int;
+}
+
+let no_fill = Bytes.create 0
+let has_fill g = Bytes.length g.fill > 0
+let fresh_grant () = { pstate = P_S; fill = no_fill; latency = 0 }
 
 (* Invalidate [target]'s copy, counting one invalidation per cache level
    holding the line (the paper counts coherence events per cache). Returns
@@ -24,7 +38,7 @@ let downgrade_counted (f : Fabric.t) probe_result =
         f.Fabric.stats.Pstats.downgrades + p.Fabric.levels;
       Some p
 
-let handle_request (f : Fabric.t) dir ~core ~blk ~write ~holds_s =
+let handle_request (f : Fabric.t) dir (g : grant) ~core ~blk ~write ~holds_s =
   let e = Dirstate.entry dir blk in
   let cs = Fabric.socket_of_core f core in
   Fabric.dir_access f;
@@ -37,27 +51,27 @@ let handle_request (f : Fabric.t) dir ~core ~blk ~write ~holds_s =
     Fabric.dir_msg f ~socket:cs ~blk ~data:true;
     (data, lat)
   in
-  match (e.Dirstate.state, write) with
+  (match (Dirstate.state dir e, write) with
   | D_W, _ -> assert false (* peeled off by the WARDen front end *)
   | D_I, _ ->
       let data, shared_lat = fetch_shared () in
-      e.Dirstate.state <- (if write then D_M else D_E);
-      e.Dirstate.owner <- core;
-      {
-        pstate = grant_pstate ~write;
-        fill = Some data;
-        latency = to_home + shared_lat + from_home;
-      }
+      Dirstate.set_state dir e (if write then D_M else D_E);
+      Dirstate.set_owner dir e core;
+      g.pstate <- grant_pstate ~write;
+      g.fill <- data;
+      g.latency <- to_home + shared_lat + from_home
   | D_S, false ->
-      assert (not (Bitset.mem e.Dirstate.sharers core));
+      assert (not (Dirstate.sharer_mem dir e core));
       let data, shared_lat = fetch_shared () in
-      Bitset.add e.Dirstate.sharers core;
-      { pstate = P_S; fill = Some data; latency = to_home + shared_lat + from_home }
+      Dirstate.sharer_add dir e core;
+      g.pstate <- P_S;
+      g.fill <- data;
+      g.latency <- to_home + shared_lat + from_home
   | D_S, true ->
       (* Upgrade (or write miss to a shared block): invalidate every other
          sharer; acks flow to the requestor. *)
       let inv_lat = ref 0 in
-      Bitset.iter e.Dirstate.sharers (fun s ->
+      Dirstate.sharer_iter dir e (fun s ->
           if s <> core then begin
             let ss = Fabric.socket_of_core f s in
             Fabric.dir_msg f ~socket:ss ~blk ~data:false;
@@ -70,27 +84,23 @@ let handle_request (f : Fabric.t) dir ~core ~blk ~write ~holds_s =
                 + Fabric.hop f ~from_socket:ss ~to_socket:cs)
           end);
       let data, shared_lat =
-        if holds_s then (None, f.Fabric.config.Warden_machine.Config.l3_lat)
-        else
-          let d, l = fetch_shared () in
-          (Some d, l)
+        if holds_s then (no_fill, f.Fabric.config.Warden_machine.Config.l3_lat)
+        else fetch_shared ()
       in
       if not holds_s then
         (* grant message already counted by fetch_shared *)
         ()
       else Fabric.dir_msg f ~socket:cs ~blk ~data:false;
-      e.Dirstate.state <- D_M;
-      e.Dirstate.owner <- core;
-      Bitset.clear e.Dirstate.sharers;
-      {
-        pstate = P_M;
-        fill = data;
-        latency = to_home + max shared_lat !inv_lat + from_home;
-      }
+      Dirstate.set_state dir e D_M;
+      Dirstate.set_owner dir e core;
+      Dirstate.sharers_clear dir e;
+      g.pstate <- P_M;
+      g.fill <- data;
+      g.latency <- to_home + max shared_lat !inv_lat + from_home
   | (D_E | D_M), _ ->
       (* Fwd-GetS / Fwd-GetM to the owner. The owner may have silently
          upgraded E to M, so its data is fetched either way. *)
-      let o = e.Dirstate.owner in
+      let o = Dirstate.owner dir e in
       assert (o >= 0 && o <> core);
       let os = Fabric.socket_of_core f o in
       f.Fabric.stats.Pstats.fwds <- f.Fabric.stats.Pstats.fwds + 1;
@@ -117,7 +127,9 @@ let handle_request (f : Fabric.t) dir ~core ~blk ~write ~holds_s =
         f.Fabric.llc_merge ~blk owner_line;
         Linedata.clear_dirty owner_line
       end;
-      let data = Bytes.copy (Linedata.bytes owner_line) in
+      (* Fill straight from the owner's line: the requester copies the
+         bytes into its own Linedata before anything can mutate them. *)
+      let data = Linedata.bytes owner_line in
       let latency =
         to_home
         + f.Fabric.config.Warden_machine.Config.l3_lat
@@ -126,19 +138,22 @@ let handle_request (f : Fabric.t) dir ~core ~blk ~write ~holds_s =
         + Fabric.hop f ~from_socket:os ~to_socket:cs
       in
       if write then begin
-        e.Dirstate.state <- D_M;
-        e.Dirstate.owner <- core;
-        Bitset.clear e.Dirstate.sharers;
-        { pstate = P_M; fill = Some data; latency }
+        Dirstate.set_state dir e D_M;
+        Dirstate.set_owner dir e core;
+        Dirstate.sharers_clear dir e;
+        g.pstate <- P_M
       end
       else begin
-        e.Dirstate.state <- D_S;
-        e.Dirstate.owner <- -1;
-        Bitset.clear e.Dirstate.sharers;
-        Bitset.add e.Dirstate.sharers o;
-        Bitset.add e.Dirstate.sharers core;
-        { pstate = P_S; fill = Some data; latency }
-      end
+        Dirstate.set_state dir e D_S;
+        Dirstate.set_owner dir e (-1);
+        Dirstate.sharers_clear dir e;
+        Dirstate.sharer_add dir e o;
+        Dirstate.sharer_add dir e core;
+        g.pstate <- P_S
+      end;
+      g.fill <- data;
+      g.latency <- latency);
+  g
 
 let handle_evict (f : Fabric.t) dir ~core ~blk ~pstate ~data =
   let e = Dirstate.entry dir blk in
@@ -147,50 +162,49 @@ let handle_evict (f : Fabric.t) dir ~core ~blk ~pstate ~data =
   match pstate with
   | P_M ->
       (* Dir may still believe E after a silent E->M upgrade. *)
-      assert (e.Dirstate.state = D_M || e.Dirstate.state = D_E);
-      assert (e.Dirstate.owner = core);
+      assert (Dirstate.state dir e = D_M || Dirstate.state dir e = D_E);
+      assert (Dirstate.owner dir e = core);
       Fabric.dir_msg f ~socket:cs ~blk ~data:true;
       f.Fabric.stats.Pstats.writebacks <- f.Fabric.stats.Pstats.writebacks + 1;
       f.Fabric.llc_put_full ~blk (Linedata.bytes data);
-      Dirstate.set_invalid e
+      Dirstate.set_invalid dir e
   | P_E ->
-      assert (e.Dirstate.state = D_E && e.Dirstate.owner = core);
+      assert (Dirstate.state dir e = D_E && Dirstate.owner dir e = core);
       Fabric.dir_msg f ~socket:cs ~blk ~data:false;
-      Dirstate.set_invalid e
+      Dirstate.set_invalid dir e
   | P_S ->
-      assert (e.Dirstate.state = D_S);
+      assert (Dirstate.state dir e = D_S);
       Fabric.dir_msg f ~socket:cs ~blk ~data:false;
-      Bitset.remove e.Dirstate.sharers core;
-      if Bitset.is_empty e.Dirstate.sharers then Dirstate.set_invalid e
+      Dirstate.sharer_remove dir e core;
+      if Dirstate.sharers_empty dir e then Dirstate.set_invalid dir e
 
 let flush_block (f : Fabric.t) dir ~blk =
-  match Dirstate.find dir blk with
-  | None -> ()
-  | Some e -> (
-      match e.Dirstate.state with
-      | D_I -> ()
-      | D_W -> assert false
-      | D_S ->
-          List.iter
-            (fun c -> ignore (f.Fabric.invalidate_priv ~core:c ~blk))
-            (Dirstate.holders e);
-          Dirstate.set_invalid e
-      | D_E | D_M -> (
-          let o = e.Dirstate.owner in
-          match f.Fabric.invalidate_priv ~core:o ~blk with
-          | None -> Dirstate.set_invalid e
-          | Some p ->
-              (* A silently-upgraded E line is dirty; a true E line is not.
-                 An M line must be written back whether or not its mask is
-                 set (its fill base may predate memory). The writeback is
-                 traffic the program owes no matter when it drains, so it
-                 is counted. *)
-              if e.Dirstate.state = D_M || Linedata.is_dirty p.Fabric.data
-              then begin
-                Fabric.dir_msg f ~socket:(Fabric.socket_of_core f o) ~blk
-                  ~data:true;
-                f.Fabric.stats.Pstats.writebacks <-
-                  f.Fabric.stats.Pstats.writebacks + 1;
-                f.Fabric.llc_put_full ~blk (Linedata.bytes p.Fabric.data)
-              end;
-              Dirstate.set_invalid e))
+  let e = Dirstate.find dir blk in
+  if e <> Dirstate.no_slot then
+    match Dirstate.state dir e with
+    | D_I -> ()
+    | D_W -> assert false
+    | D_S ->
+        List.iter
+          (fun c -> ignore (f.Fabric.invalidate_priv ~core:c ~blk))
+          (Dirstate.holders dir e);
+        Dirstate.set_invalid dir e
+    | D_E | D_M -> (
+        let o = Dirstate.owner dir e in
+        match f.Fabric.invalidate_priv ~core:o ~blk with
+        | None -> Dirstate.set_invalid dir e
+        | Some p ->
+            (* A silently-upgraded E line is dirty; a true E line is not.
+               An M line must be written back whether or not its mask is
+               set (its fill base may predate memory). The writeback is
+               traffic the program owes no matter when it drains, so it
+               is counted. *)
+            if Dirstate.state dir e = D_M || Linedata.is_dirty p.Fabric.data
+            then begin
+              Fabric.dir_msg f ~socket:(Fabric.socket_of_core f o) ~blk
+                ~data:true;
+              f.Fabric.stats.Pstats.writebacks <-
+                f.Fabric.stats.Pstats.writebacks + 1;
+              f.Fabric.llc_put_full ~blk (Linedata.bytes p.Fabric.data)
+            end;
+            Dirstate.set_invalid dir e)

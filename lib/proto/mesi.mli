@@ -12,25 +12,40 @@
     charge identical costs on the common path. *)
 
 type grant = {
-  pstate : States.pstate;  (** State to install in the requestor's cache. *)
-  fill : Bytes.t option;
-      (** Block data to install; [None] for upgrades, which keep the data
-          already held. *)
-  latency : int;  (** Cycles until the requestor has its answer. *)
+  mutable pstate : States.pstate;
+      (** State to install in the requestor's cache. *)
+  mutable fill : Bytes.t;
+      (** Block data to install; {!no_fill} for upgrades, which keep the
+          data already held. May alias the source line's bytes — consumers
+          must copy before triggering further protocol activity. *)
+  mutable latency : int;  (** Cycles until the requestor has its answer. *)
 }
+(** Grants are delivered through a reusable scratch record owned by the
+    protocol instance: the fields are only valid until the next request on
+    the same protocol. Snapshot them if you need two grants at once. *)
+
+val no_fill : Bytes.t
+(** Zero-length sentinel marking a grant that carries no data. *)
+
+val has_fill : grant -> bool
+
+val fresh_grant : unit -> grant
+(** A new scratch record (initially [P_S] / {!no_fill} / 0). *)
 
 val handle_request :
   Fabric.t ->
   Dirstate.t ->
+  grant ->
   core:int ->
   blk:int ->
   write:bool ->
   holds_s:bool ->
   grant
 (** An L2 miss (or S-upgrade when [holds_s]) arriving at the directory.
-    Precondition: the directory entry is not [D_W] (callers peel that case
-    off first) and the requestor does not already have sufficient
-    permission. *)
+    Fills and returns the scratch [grant] (all three fields are set on
+    every path). Precondition: the directory entry is not [D_W] (callers
+    peel that case off first) and the requestor does not already have
+    sufficient permission. *)
 
 val handle_evict :
   Fabric.t ->

@@ -9,15 +9,15 @@ let invalid_view =
   { bv_state = States.D_I; bv_owner = -1; bv_sharers = []; bv_wmulti = false }
 
 let view_of_dir dir ~blk =
-  match Dirstate.find dir blk with
-  | None -> invalid_view
-  | Some e ->
-      {
-        bv_state = e.Dirstate.state;
-        bv_owner = e.Dirstate.owner;
-        bv_sharers = Warden_util.Bitset.elements e.Dirstate.sharers;
-        bv_wmulti = e.Dirstate.w_multi;
-      }
+  let s = Dirstate.find dir blk in
+  if s = Dirstate.no_slot then invalid_view
+  else
+    {
+      bv_state = Dirstate.state dir s;
+      bv_owner = Dirstate.owner dir s;
+      bv_sharers = Dirstate.sharers dir s;
+      bv_wmulti = Dirstate.w_multi dir s;
+    }
 
 let pp_block_view fmt v =
   Format.fprintf fmt "%a owner=%d sharers=[%s]%s" States.pp_dstate v.bv_state
@@ -27,8 +27,8 @@ let pp_block_view fmt v =
 
 let dump_dir dir =
   let rows = ref [] in
-  Dirstate.iter dir (fun blk e ->
-      if e.Dirstate.state <> States.D_I then
+  Dirstate.iter dir (fun blk s ->
+      if Dirstate.state dir s <> States.D_I then
         rows := (blk, view_of_dir dir ~blk) :: !rows);
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
   String.concat ""
@@ -84,14 +84,17 @@ let dump (Packed ((module P), p)) = P.dump p
 let copy (Packed ((module P), p)) ~fabric = Packed ((module P), P.copy p ~fabric)
 
 module Mesi_protocol = struct
-  type t = { fabric : Fabric.t; dir : Dirstate.t }
+  type t = { fabric : Fabric.t; dir : Dirstate.t; scratch : Mesi.grant }
 
   let name = "mesi"
-  let create fabric = { fabric; dir = Dirstate.create () }
+
+  let create fabric =
+    { fabric; dir = Dirstate.create (); scratch = Mesi.fresh_grant () }
+
   let fabric t = t.fabric
 
   let handle_request t ~core ~blk ~write ~holds_s =
-    Mesi.handle_request t.fabric t.dir ~core ~blk ~write ~holds_s
+    Mesi.handle_request t.fabric t.dir t.scratch ~core ~blk ~write ~holds_s
 
   let handle_evict t ~core ~blk ~pstate ~data =
     Mesi.handle_evict t.fabric t.dir ~core ~blk ~pstate ~data
@@ -120,7 +123,8 @@ module Mesi_protocol = struct
 
   let observe t ~blk = view_of_dir t.dir ~blk
   let dump t = "protocol mesi\n" ^ dump_dir t.dir
-  let copy t ~fabric = { fabric; dir = Dirstate.copy t.dir }
+  let copy t ~fabric =
+    { fabric; dir = Dirstate.copy t.dir; scratch = Mesi.fresh_grant () }
 end
 
 let mesi fabric = Packed ((module Mesi_protocol), Mesi_protocol.create fabric)

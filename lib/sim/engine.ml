@@ -18,7 +18,11 @@ type tstate = {
   tid : int;
   mutable time : int;
   mutable qlimit : int; (* inline fast path allowed while time < qlimit *)
-  sb : int Queue.t; (* completion times of buffered stores, oldest first *)
+  (* Store buffer: a ring of completion times, oldest first. Fixed size
+     (capacity entries + 1), so the per-store path allocates nothing. *)
+  sb : int array;
+  mutable sb_head : int;
+  mutable sb_len : int;
 }
 
 type t = {
@@ -39,13 +43,14 @@ type t = {
 let cur_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create cfg ~proto =
+  let sb_cap = cfg.Config.store_buffer_entries + 1 in
   let threads =
     Array.init (Config.num_threads cfg) (fun tid ->
-        { tid; time = 0; qlimit = 0; sb = Queue.create () })
+        { tid; time = 0; qlimit = 0; sb = Array.make sb_cap 0; sb_head = 0; sb_len = 0 })
   in
   let cur0 =
     if Array.length threads > 0 then threads.(0)
-    else { tid = -1; time = 0; qlimit = 0; sb = Queue.create () }
+    else { tid = -1; time = 0; qlimit = 0; sb = [||]; sb_head = 0; sb_len = 0 }
   in
   {
     ms = Memsys.create cfg ~proto;
@@ -67,15 +72,28 @@ let retire t (st : tstate) n =
   s.Sstats.per_thread_instructions.(st.tid) <-
     s.Sstats.per_thread_instructions.(st.tid) + n
 
+let sb_pop st =
+  let v = Array.unsafe_get st.sb st.sb_head in
+  let h = st.sb_head + 1 in
+  st.sb_head <- (if h >= Array.length st.sb then 0 else h);
+  st.sb_len <- st.sb_len - 1;
+  v
+
+let sb_push st v =
+  let cap = Array.length st.sb in
+  let i = st.sb_head + st.sb_len in
+  Array.unsafe_set st.sb (if i >= cap then i - cap else i) v;
+  st.sb_len <- st.sb_len + 1
+
 let drain_ready st =
-  while (not (Queue.is_empty st.sb)) && Queue.peek st.sb <= st.time do
-    ignore (Queue.pop st.sb)
+  while st.sb_len > 0 && Array.unsafe_get st.sb st.sb_head <= st.time do
+    ignore (sb_pop st)
   done
 
 (* A TSO fence: wait for every buffered store to complete. *)
 let drain_all st =
-  while not (Queue.is_empty st.sb) do
-    st.time <- max st.time (Queue.pop st.sb)
+  while st.sb_len > 0 do
+    st.time <- max st.time (sb_pop st)
   done
 
 (* Store-buffer bookkeeping shared by the scheduled and inline store
@@ -83,12 +101,12 @@ let drain_all st =
    store's completion, retire in one cycle. *)
 let commit_store t st lat =
   drain_ready st;
-  if Queue.length st.sb >= t.cfg.Config.store_buffer_entries then begin
+  if st.sb_len >= t.cfg.Config.store_buffer_entries then begin
     (Memsys.sstats t.ms).Sstats.sb_stalls <-
       (Memsys.sstats t.ms).Sstats.sb_stalls + 1;
-    st.time <- max st.time (Queue.pop st.sb)
+    st.time <- max st.time (sb_pop st)
   end;
-  Queue.push (st.time + lat) st.sb;
+  sb_push st (st.time + lat);
   st.time <- st.time + 1;
   retire t st 1
 
@@ -233,21 +251,22 @@ module Ops = struct
     match Domain.DLS.get cur_key with
     | Some t when can_inline t t.cur_st -> (
         let st = t.cur_st in
-        match Memsys.try_fast_load t.ms ~thread:st.tid addr ~size with
-        | Some (v, lat) ->
-            st.time <- st.time + lat;
-            retire t st 1;
-            v
-        | None -> Effect.perform (E_load (addr, size)))
+        let lat = Memsys.try_fast_load t.ms ~thread:st.tid addr ~size in
+        if lat >= 0 then begin
+          st.time <- st.time + lat;
+          retire t st 1;
+          Memsys.fast_value t.ms
+        end
+        else Effect.perform (E_load (addr, size)))
     | _ -> Effect.perform (E_load (addr, size))
 
   let store addr ~size v =
     match Domain.DLS.get cur_key with
     | Some t when can_inline t t.cur_st -> (
         let st = t.cur_st in
-        match Memsys.try_fast_store t.ms ~thread:st.tid addr ~size v with
-        | Some lat -> commit_store t st lat
-        | None -> Effect.perform (E_store (addr, size, v)))
+        let lat = Memsys.try_fast_store t.ms ~thread:st.tid addr ~size v in
+        if lat >= 0 then commit_store t st lat
+        else Effect.perform (E_store (addr, size, v)))
     | _ -> Effect.perform (E_store (addr, size, v))
 
   let rmw addr ~size f =
@@ -257,13 +276,14 @@ module Ops = struct
         (* [f] must be pure (all call sites are arithmetic on the old
            value), so committing the RMW before the fence drain below is
            indistinguishable from the scheduled path's order. *)
-        match Memsys.try_fast_rmw t.ms ~thread:st.tid addr ~size f with
-        | Some (old, lat) ->
-            drain_all st;
-            st.time <- st.time + lat + 2;
-            retire t st 1;
-            old
-        | None -> Effect.perform (E_rmw (addr, size, f)))
+        let lat = Memsys.try_fast_rmw t.ms ~thread:st.tid addr ~size f in
+        if lat >= 0 then begin
+          drain_all st;
+          st.time <- st.time + lat + 2;
+          retire t st 1;
+          Memsys.fast_value t.ms
+        end
+        else Effect.perform (E_rmw (addr, size, f)))
     | _ -> Effect.perform (E_rmw (addr, size, f))
 
   let cas addr ~size ~expected ~desired =

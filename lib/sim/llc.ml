@@ -8,7 +8,8 @@ let create (cfg : Config.t) store =
   {
     slices =
       Array.init cfg.Config.sockets (fun _ ->
-          Sa.create ~sets:(Config.l3_sets_per_socket cfg) ~ways:cfg.Config.l3_ways);
+          Sa.create ~sets:(Config.l3_sets_per_socket cfg)
+            ~ways:cfg.Config.l3_ways ~dummy:(Linedata.create ()));
     store;
   }
 

@@ -13,6 +13,7 @@ type t = {
   mutable priv : Privcache.t array;
   mutable proto : Protocol.t option;
   mutable bump : int;
+  mutable fast_value : int64; (* value of the last fast load/rmw hit *)
 }
 
 let the_proto t =
@@ -40,6 +41,7 @@ let create cfg ~proto =
       llc;
       priv = [||];
       proto = None;
+      fast_value = 0L;
       (* Leave page zero unmapped so address 0 can act as a null. *)
       bump = 1 lsl 16;
     }
@@ -92,11 +94,9 @@ let access_line t ~thread ~blk ~write =
       let g =
         Protocol.handle_request (the_proto t) ~core ~blk ~write:true ~holds_s:true
       in
-      (match g.Mesi.fill with
-      | None -> ()
-      | Some bytes ->
-          (* A WARD grant may re-fill even on upgrade paths; accept it. *)
-          Linedata.fill_from line.Privcache.data bytes);
+      (* A WARD grant may re-fill even on upgrade paths; accept it. *)
+      if Mesi.has_fill g then
+        Linedata.fill_from line.Privcache.data g.Mesi.fill;
       line.Privcache.state <- g.Mesi.pstate;
       (line, t.cfg.Config.l2_lat + g.Mesi.latency)
   | Privcache.Miss ->
@@ -105,10 +105,8 @@ let access_line t ~thread ~blk ~write =
       let g =
         Protocol.handle_request (the_proto t) ~core ~blk ~write ~holds_s:false
       in
-      let bytes =
-        match g.Mesi.fill with Some b -> b | None -> assert false
-      in
-      let line = Privcache.fill pc ~blk g.Mesi.pstate bytes in
+      assert (Mesi.has_fill g);
+      let line = Privcache.fill pc ~blk g.Mesi.pstate g.Mesi.fill in
       (line, t.cfg.Config.l2_lat + g.Mesi.latency)
 
 let load t ~thread addr ~size =
@@ -145,54 +143,67 @@ let rmw t ~thread addr ~size f =
 
 (* Fast-path accessors: commit iff the access is a private-cache hit
    needing no protocol transition, with event/energy accounting identical
-   to the scheduled [load]/[store]/[rmw] paths; return [None] with no
-   state change otherwise. The engine uses these to satisfy accesses
-   inline, without suspending the thread into the run queue. *)
+   to the scheduled [load]/[store]/[rmw] paths; return the latency on a
+   hit and [-1] — with no state change — otherwise. The engine uses these
+   to satisfy accesses inline, without suspending the thread into the run
+   queue. They allocate nothing: the loaded value of a fast load/rmw is
+   left in [fast_value] rather than returned in a tuple.
 
-let fast_hit_accounting t (level : [ `L1 | `L2 ]) =
+   Returns the serving level's latency and counts its events. *)
+
+let fast_hit_accounting t (l1 : bool) =
   Energy.l1_access t.energy;
-  match level with
-  | `L1 -> t.sstats.Sstats.l1_hits <- t.sstats.Sstats.l1_hits + 1
-  | `L2 ->
-      t.sstats.Sstats.l2_hits <- t.sstats.Sstats.l2_hits + 1;
-      Energy.l2_access t.energy
+  if l1 then begin
+    t.sstats.Sstats.l1_hits <- t.sstats.Sstats.l1_hits + 1;
+    t.cfg.Config.l1_lat
+  end
+  else begin
+    t.sstats.Sstats.l2_hits <- t.sstats.Sstats.l2_hits + 1;
+    Energy.l2_access t.energy;
+    t.cfg.Config.l2_lat
+  end
+
+let fast_value t = t.fast_value
 
 let try_fast_load t ~thread addr ~size =
   let blk = Addr.block_of addr in
   let core = Config.core_of_thread t.cfg thread in
-  match Privcache.try_hit t.priv.(core) ~blk ~write:false with
-  | None -> None
-  | Some (line, lat, level) ->
-      t.sstats.Sstats.loads <- t.sstats.Sstats.loads + 1;
-      fast_hit_accounting t level;
-      let v =
-        Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size
-      in
-      Some (v, lat)
+  let pc = t.priv.(core) in
+  let line = Privcache.fast_hit pc ~blk ~write:false in
+  if line == Privcache.no_line then -1
+  else begin
+    t.sstats.Sstats.loads <- t.sstats.Sstats.loads + 1;
+    t.fast_value <-
+      Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size;
+    fast_hit_accounting t (Privcache.last_l1 pc)
+  end
 
 let try_fast_store t ~thread addr ~size v =
   let blk = Addr.block_of addr in
   let core = Config.core_of_thread t.cfg thread in
-  match Privcache.try_hit t.priv.(core) ~blk ~write:true with
-  | None -> None
-  | Some (line, lat, level) ->
-      t.sstats.Sstats.stores <- t.sstats.Sstats.stores + 1;
-      fast_hit_accounting t level;
-      write_line line ~off:(Addr.offset_in_block addr) ~size v;
-      Some lat
+  let pc = t.priv.(core) in
+  let line = Privcache.fast_hit pc ~blk ~write:true in
+  if line == Privcache.no_line then -1
+  else begin
+    t.sstats.Sstats.stores <- t.sstats.Sstats.stores + 1;
+    write_line line ~off:(Addr.offset_in_block addr) ~size v;
+    fast_hit_accounting t (Privcache.last_l1 pc)
+  end
 
 let try_fast_rmw t ~thread addr ~size f =
   let blk = Addr.block_of addr in
   let core = Config.core_of_thread t.cfg thread in
-  match Privcache.try_hit t.priv.(core) ~blk ~write:true with
-  | None -> None
-  | Some (line, lat, level) ->
-      t.sstats.Sstats.rmws <- t.sstats.Sstats.rmws + 1;
-      fast_hit_accounting t level;
-      let off = Addr.offset_in_block addr in
-      let old = Linedata.load line.Privcache.data ~off ~size in
-      write_line line ~off ~size (f old);
-      Some (old, lat)
+  let pc = t.priv.(core) in
+  let line = Privcache.fast_hit pc ~blk ~write:true in
+  if line == Privcache.no_line then -1
+  else begin
+    t.sstats.Sstats.rmws <- t.sstats.Sstats.rmws + 1;
+    let off = Addr.offset_in_block addr in
+    let old = Linedata.load line.Privcache.data ~off ~size in
+    write_line line ~off ~size (f old);
+    t.fast_value <- old;
+    fast_hit_accounting t (Privcache.last_l1 pc)
+  end
 
 let region_add t ~lo ~hi = Protocol.region_add (the_proto t) ~lo ~hi
 let region_remove t ~lo ~hi = Protocol.region_remove (the_proto t) ~lo ~hi
@@ -253,3 +264,4 @@ let check_invariants t =
   match !errors with
   | [] -> Ok ()
   | es -> Error (String.concat "\n" (List.rev es))
+

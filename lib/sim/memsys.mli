@@ -36,14 +36,15 @@ val rmw :
     stores the result, and returns the {e old} value and the latency. *)
 
 val try_fast_load :
-  t -> thread:int -> Warden_mem.Addr.t -> size:int -> (int64 * int) option
-(** Fast-path load: [Some (value, lat)] iff the access is a private-cache
+  t -> thread:int -> Warden_mem.Addr.t -> size:int -> int
+(** Fast-path load: the latency (>= 0) iff the access is a private-cache
     hit needing no protocol transition, with accounting identical to
-    {!load}; [None] — having changed nothing — otherwise, so the caller
-    can fall back to the scheduled {!load} without double-counting. *)
+    {!load} and the loaded value left in {!fast_value}; [-1] — having
+    changed nothing — otherwise, so the caller can fall back to the
+    scheduled {!load} without double-counting. Allocation-free. *)
 
 val try_fast_store :
-  t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 -> int option
+  t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 -> int
 (** Fast-path store (needs E/M permission); same contract as
     {!try_fast_load}. *)
 
@@ -53,8 +54,13 @@ val try_fast_rmw :
   Warden_mem.Addr.t ->
   size:int ->
   (int64 -> int64) ->
-  (int64 * int) option
-(** Fast-path read-modify-write; same contract as {!try_fast_load}. *)
+  int
+(** Fast-path read-modify-write; same contract as {!try_fast_load}. The
+    {e old} value is left in {!fast_value}. *)
+
+val fast_value : t -> int64
+(** Value delivered by the last successful {!try_fast_load} or
+    {!try_fast_rmw}. *)
 
 val region_add : t -> lo:int -> hi:int -> bool
 val region_remove : t -> lo:int -> hi:int -> int
@@ -87,3 +93,4 @@ val check_invariants : t -> (unit, string) result
 
     O(total cache capacity); meant for tests and debugging, not for the
     simulation fast path. *)
+

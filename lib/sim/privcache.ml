@@ -4,20 +4,28 @@ open Warden_machine
 
 type line = { mutable state : States.pstate; data : Linedata.t }
 
+(* Miss sentinel for the allocation-free fast path (and the Sa dummy
+   payload). Never installed in a cache; compare with (==). *)
+let no_line = { state = States.P_S; data = Linedata.create () }
+
 type t = {
   l1 : unit Sa.t;
   l2 : line Sa.t;
   l1_lat : int;
   l2_lat : int;
+  mutable last_l1 : bool; (* level of the last fast_hit: true = L1 *)
   evict : blk:int -> States.pstate -> Linedata.t -> unit;
 }
 
 let create (cfg : Config.t) ~evict =
   {
-    l1 = Sa.create ~sets:(Config.l1_sets cfg) ~ways:cfg.Config.l1_ways;
-    l2 = Sa.create ~sets:(Config.l2_sets cfg) ~ways:cfg.Config.l2_ways;
+    l1 = Sa.create ~sets:(Config.l1_sets cfg) ~ways:cfg.Config.l1_ways ~dummy:();
+    l2 =
+      Sa.create ~sets:(Config.l2_sets cfg) ~ways:cfg.Config.l2_ways
+        ~dummy:no_line;
     l1_lat = cfg.Config.l1_lat;
     l2_lat = cfg.Config.l2_lat;
+    last_l1 = false;
     evict;
   }
 
@@ -26,52 +34,54 @@ type lookup =
   | Upgrade of line
   | Miss
 
-let classify line ~write =
-  match (line.state, write) with
-  | States.P_S, true -> Upgrade line
-  | _, _ -> Hit { line; lat = 0; level = `L2 }
-
 let lookup t ~blk ~write =
-  let in_l1 = Sa.find t.l1 blk <> None in
-  match Sa.find t.l2 blk with
-  | None ->
-      (* Inclusion: nothing in L1 without L2. *)
-      assert (not in_l1);
-      Miss
-  | Some line -> (
-      if not in_l1 then
-        (* Promote into L1; the displaced L1 line stays valid in L2. *)
-        ignore (Sa.insert t.l1 blk ());
-      match classify line ~write with
-      | Hit h ->
-          Hit
-            {
-              h with
-              lat = (if in_l1 then t.l1_lat else t.l2_lat);
-              level = (if in_l1 then `L1 else `L2);
-            }
-      | other -> other)
+  let in_l1 = Sa.touch t.l1 blk in
+  let w2 = Sa.find_way t.l2 blk in
+  if not (Sa.hit w2) then begin
+    (* Inclusion: nothing in L1 without L2. *)
+    assert (not in_l1);
+    Miss
+  end
+  else begin
+    let line = Sa.value t.l2 w2 in
+    if not in_l1 then
+      (* Promote into L1; the displaced L1 line stays valid in L2. *)
+      ignore (Sa.insert t.l1 blk ());
+    match (line.state, write) with
+    | States.P_S, true -> Upgrade line
+    | _ ->
+        Hit
+          {
+            line;
+            lat = (if in_l1 then t.l1_lat else t.l2_lat);
+            level = (if in_l1 then `L1 else `L2);
+          }
+  end
 
 (* Fast-path split of [lookup]: succeed only when the access is a plain
    permission-sufficient hit, committing exactly the state changes
    [lookup]'s [Hit] branch would make (LRU refresh in both levels plus L1
-   promotion). On an upgrade or miss, return [None] having mutated
+   promotion). On an upgrade or miss, return [no_line] having mutated
    nothing — the caller falls back to the scheduled [lookup] path, which
    then performs those mutations at the same point of the run. *)
-let try_hit t ~blk ~write =
-  match Sa.peek t.l2 blk with
-  | None -> None
-  | Some line ->
-      if write && line.state = States.P_S then None
-      else begin
-        let in_l1 = Sa.touch t.l1 blk in
-        ignore (Sa.touch t.l2 blk);
-        if in_l1 then Some (line, t.l1_lat, `L1)
-        else begin
-          ignore (Sa.insert t.l1 blk ());
-          Some (line, t.l2_lat, `L2)
-        end
-      end
+let fast_hit t ~blk ~write =
+  let w2 = Sa.peek_way t.l2 blk in
+  if not (Sa.hit w2) then no_line
+  else
+    let line = Sa.value t.l2 w2 in
+    (* [match] rather than [=]: pstate equality would go through the
+       polymorphic comparator on every access. *)
+    if write && (match line.state with States.P_S -> true | _ -> false) then
+      no_line
+    else begin
+      let in_l1 = Sa.touch t.l1 blk in
+      Sa.touch_way t.l2 w2;
+      if not in_l1 then ignore (Sa.insert t.l1 blk ());
+      t.last_l1 <- in_l1;
+      line
+    end
+
+let last_l1 t = t.last_l1
 
 let fill t ~blk pstate bytes =
   let line = { state = pstate; data = Linedata.create () } in
@@ -98,23 +108,25 @@ let probe_of t blk line =
   { Fabric.levels; data = line.data }
 
 let peek t ~blk =
-  match Sa.find t.l2 blk with
-  | None -> None
-  | Some line -> Some (probe_of t blk line)
+  let w = Sa.find_way t.l2 blk in
+  if not (Sa.hit w) then None else Some (probe_of t blk (Sa.value t.l2 w))
 
 let invalidate t ~blk =
-  match Sa.find t.l2 blk with
-  | None -> None
-  | Some line ->
-      let p = probe_of t blk line in
-      ignore (Sa.remove t.l1 blk);
-      ignore (Sa.remove t.l2 blk);
-      Some p
+  let w = Sa.find_way t.l2 blk in
+  if not (Sa.hit w) then None
+  else begin
+    let p = probe_of t blk (Sa.value t.l2 w) in
+    ignore (Sa.remove t.l1 blk);
+    ignore (Sa.remove t.l2 blk);
+    Some p
+  end
 
 let downgrade t ~blk =
-  match Sa.find t.l2 blk with
-  | None -> None
-  | Some line ->
-      let p = probe_of t blk line in
-      line.state <- States.P_S;
-      Some p
+  let w = Sa.find_way t.l2 blk in
+  if not (Sa.hit w) then None
+  else begin
+    let line = Sa.value t.l2 w in
+    let p = probe_of t blk line in
+    line.state <- States.P_S;
+    Some p
+  end

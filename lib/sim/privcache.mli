@@ -11,6 +11,10 @@ type line = {
   data : Warden_cache.Linedata.t;
 }
 
+val no_line : line
+(** Miss sentinel returned by {!fast_hit}; compare with [(==)]. Never
+    resident in any cache. *)
+
 type t
 
 val create :
@@ -30,13 +34,17 @@ type lookup =
 val lookup : t -> blk:int -> write:bool -> lookup
 (** Probe the hierarchy, promoting L2 hits into L1 and refreshing LRU. *)
 
-val try_hit : t -> blk:int -> write:bool -> (line * int * [ `L1 | `L2 ]) option
-(** Fast-path split of {!lookup}: [Some (line, lat, level)] iff the access
-    is a plain hit with sufficient permission, committing exactly the
-    mutations {!lookup}'s [Hit] branch would (LRU refresh, L1 promotion).
-    Returns [None] — having mutated {e nothing} — when the access would
-    miss or needs an S→M upgrade, so the caller can fall back to the
-    scheduled {!lookup} path without double-counting. *)
+val fast_hit : t -> blk:int -> write:bool -> line
+(** Allocation-free fast-path split of {!lookup}: the line iff the access
+    is a plain hit with sufficient permission — committing exactly the
+    mutations {!lookup}'s [Hit] branch would (LRU refresh, L1 promotion)
+    and recording the serving level in {!last_l1}. Returns {!no_line} —
+    having mutated {e nothing} — when the access would miss or needs an
+    S→M upgrade, so the caller can fall back to the scheduled {!lookup}
+    path without double-counting. *)
+
+val last_l1 : t -> bool
+(** Whether the last successful {!fast_hit} was served by the L1. *)
 
 val fill : t -> blk:int -> Warden_proto.States.pstate -> Bytes.t -> line
 (** Install a granted line into L2 and L1, evicting victims as needed. *)

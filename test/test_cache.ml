@@ -146,7 +146,7 @@ let linedata_merge_model =
 (* --- Sa (set-associative array) -------------------------------------------- *)
 
 let test_sa_insert_find () =
-  let c = Sa.create ~sets:4 ~ways:2 in
+  let c = Sa.create ~sets:4 ~ways:2 ~dummy:"?" in
   Alcotest.(check int) "capacity" 8 (Sa.capacity_blocks c);
   Alcotest.(check (option int)) "no eviction" None
     (Option.map fst (Sa.insert c 0 "a"));
@@ -155,7 +155,7 @@ let test_sa_insert_find () =
   Alcotest.(check (option string)) "absent" None (Sa.find c 4)
 
 let test_sa_lru_eviction () =
-  let c = Sa.create ~sets:1 ~ways:2 in
+  let c = Sa.create ~sets:1 ~ways:2 ~dummy:"?" in
   ignore (Sa.insert c 0 "a");
   ignore (Sa.insert c 1 "b");
   ignore (Sa.find c 0);
@@ -167,7 +167,7 @@ let test_sa_lru_eviction () =
   Alcotest.(check bool) "c present" true (Sa.mem c 2)
 
 let test_sa_would_evict () =
-  let c = Sa.create ~sets:1 ~ways:1 in
+  let c = Sa.create ~sets:1 ~ways:1 ~dummy:"?" in
   ignore (Sa.insert c 7 "x");
   Alcotest.(check (option (pair int string))) "predicts victim" (Some (7, "x"))
     (Sa.would_evict c 9);
@@ -175,7 +175,7 @@ let test_sa_would_evict () =
     (Sa.would_evict c 7)
 
 let test_sa_remove_and_iter () =
-  let c = Sa.create ~sets:2 ~ways:2 in
+  let c = Sa.create ~sets:2 ~ways:2 ~dummy:0 in
   List.iter (fun b -> ignore (Sa.insert c b b)) [ 0; 1; 2; 3 ];
   Alcotest.(check int) "population" 4 (Sa.population c);
   ignore (Sa.remove c 2);
@@ -187,13 +187,72 @@ let test_sa_remove_and_iter () =
   Sa.iter_range c ~lo_block:1 ~hi_block:4 (fun blk _ -> ranged := blk :: !ranged);
   Alcotest.(check (list int)) "iter range" [ 1; 3 ] (List.sort compare !ranged)
 
+(* The way-handle API: sentinel misses, MRU way-0 rotation that must not
+   disturb LRU ordering, pure peeks, and handle-based touches. *)
+
+let test_sa_way_sentinel () =
+  let c = Sa.create ~sets:2 ~ways:2 ~dummy:"?" in
+  ignore (Sa.insert c 0 "a");
+  Alcotest.(check bool) "find_way hit" true (Sa.hit (Sa.find_way c 0));
+  Alcotest.(check string) "value" "a" (Sa.value c (Sa.find_way c 0));
+  Alcotest.(check bool) "find_way miss" false (Sa.hit (Sa.find_way c 2));
+  Alcotest.(check bool) "peek_way miss" false (Sa.hit (Sa.peek_way c 2))
+
+let test_sa_lru_correct_after_way_swap () =
+  let c = Sa.create ~sets:1 ~ways:3 ~dummy:"?" in
+  ignore (Sa.insert c 0 "a");
+  ignore (Sa.insert c 1 "b");
+  ignore (Sa.insert c 2 "c");
+  (* Hitting block 2 rotates it into way 0; block 0 stays LRU. *)
+  ignore (Sa.find_way c 2);
+  (match Sa.insert c 3 "d" with
+  | Some (0, "a") -> ()
+  | _ -> Alcotest.fail "expected block 0 evicted after way swap");
+  Alcotest.(check bool) "b kept" true (Sa.mem c 1);
+  Alcotest.(check bool) "c kept" true (Sa.mem c 2)
+
+let test_sa_peek_does_not_refresh () =
+  let c = Sa.create ~sets:1 ~ways:2 ~dummy:"?" in
+  ignore (Sa.insert c 0 "a");
+  ignore (Sa.insert c 1 "b");
+  ignore (Sa.peek_way c 0);
+  ignore (Sa.peek c 0);
+  (* Peeks left block 0 least-recently used. *)
+  match Sa.insert c 2 "c" with
+  | Some (0, "a") -> ()
+  | _ -> Alcotest.fail "peek must not refresh recency"
+
+let test_sa_touch_way_refreshes () =
+  let c = Sa.create ~sets:1 ~ways:2 ~dummy:"?" in
+  ignore (Sa.insert c 0 "a");
+  ignore (Sa.insert c 1 "b");
+  let w = Sa.peek_way c 0 in
+  Sa.touch_way c w;
+  match Sa.insert c 2 "c" with
+  | Some (1, "b") -> ()
+  | _ -> Alcotest.fail "touch_way must refresh recency"
+
+let test_sa_conflict_roundtrip () =
+  let c = Sa.create ~sets:1 ~ways:1 ~dummy:"?" in
+  ignore (Sa.insert c 5 "x");
+  (match Sa.insert c 9 "y" with
+  | Some (5, "x") -> ()
+  | _ -> Alcotest.fail "expected conflict eviction of 5");
+  Alcotest.(check (option string)) "remove returns payload" (Some "y")
+    (Sa.remove c 9);
+  Alcotest.(check bool) "gone" false (Sa.mem c 9);
+  Alcotest.(check (option int)) "reinsert into empty way" None
+    (Option.map fst (Sa.insert c 5 "x2"));
+  Alcotest.(check (option string)) "find after round trip" (Some "x2")
+    (Sa.find c 5)
+
 (* The cache never exceeds capacity and never loses a resident block
    without an eviction report. *)
 let sa_accounting =
   qtest ~count:200 "insertions are fully accounted"
     QCheck2.Gen.(list (int_range 0 63))
     (fun blocks ->
-      let c = Sa.create ~sets:4 ~ways:2 in
+      let c = Sa.create ~sets:4 ~ways:2 ~dummy:() in
       let resident = Hashtbl.create 16 in
       List.iter
         (fun blk ->
@@ -222,6 +281,14 @@ let suite =
     Alcotest.test_case "sa lru" `Quick test_sa_lru_eviction;
     Alcotest.test_case "sa would_evict" `Quick test_sa_would_evict;
     Alcotest.test_case "sa remove/iter" `Quick test_sa_remove_and_iter;
+    Alcotest.test_case "sa way sentinel" `Quick test_sa_way_sentinel;
+    Alcotest.test_case "sa lru after way swap" `Quick
+      test_sa_lru_correct_after_way_swap;
+    Alcotest.test_case "sa peek is pure" `Quick test_sa_peek_does_not_refresh;
+    Alcotest.test_case "sa touch_way refreshes" `Quick
+      test_sa_touch_way_refreshes;
+    Alcotest.test_case "sa conflict round trip" `Quick
+      test_sa_conflict_roundtrip;
     sa_accounting;
   ]
 

@@ -131,14 +131,18 @@ module Mutant_mesi (M : sig
   val wrap : Fabric.t -> Fabric.t
 end) =
 struct
-  type t = { fabric : Fabric.t; dir : Dirstate.t }
+  type t = { fabric : Fabric.t; dir : Dirstate.t; scratch : Mesi.grant }
 
   let name = M.name
-  let create fabric = { fabric; dir = Dirstate.create () }
+
+  let create fabric =
+    { fabric; dir = Dirstate.create (); scratch = Mesi.fresh_grant () }
+
   let fabric t = t.fabric
 
   let handle_request t ~core ~blk ~write ~holds_s =
-    Mesi.handle_request (M.wrap t.fabric) t.dir ~core ~blk ~write ~holds_s
+    Mesi.handle_request (M.wrap t.fabric) t.dir t.scratch ~core ~blk ~write
+      ~holds_s
 
   let handle_evict t ~core ~blk ~pstate ~data =
     Mesi.handle_evict (M.wrap t.fabric) t.dir ~core ~blk ~pstate ~data
@@ -154,7 +158,8 @@ struct
 
   let observe t ~blk = Protocol.view_of_dir t.dir ~blk
   let dump t = "protocol " ^ M.name ^ "\n" ^ Protocol.dump_dir t.dir
-  let copy t ~fabric = { fabric; dir = Dirstate.copy t.dir }
+  let copy t ~fabric =
+    { fabric; dir = Dirstate.copy t.dir; scratch = Mesi.fresh_grant () }
 end
 
 (* MESI whose invalidations only read the victim's copy (a peek) instead

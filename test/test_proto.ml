@@ -70,18 +70,21 @@ let mk_mini ?(cfg = Config.dual_socket ()) () =
   in
   { fabric; priv; llc; store }
 
-(* Install a grant into the mini private cache, as the memory system would. *)
+(* Install a grant into the mini private cache, as the memory system
+   would, and snapshot it: protocol grants arrive in a reusable scratch
+   record whose fields the next request overwrites. *)
 let accept m ~core ~blk (g : Mesi.grant) =
-  (match g.Mesi.fill with
-  | Some bytes ->
-      let line = Linedata.create () in
-      Linedata.fill_from line bytes;
-      Hashtbl.replace m.priv (core, blk) line
-  | None -> ());
-  g
+  if Mesi.has_fill g then begin
+    let line = Linedata.create () in
+    Linedata.fill_from line g.Mesi.fill;
+    Hashtbl.replace m.priv (core, blk) line
+  end;
+  { Mesi.pstate = g.Mesi.pstate; fill = g.Mesi.fill; latency = g.Mesi.latency }
 
 let request m dir ~core ~blk ~write ~holds_s =
-  accept m ~core ~blk (Mesi.handle_request m.fabric dir ~core ~blk ~write ~holds_s)
+  accept m ~core ~blk
+    (Mesi.handle_request m.fabric dir (Mesi.fresh_grant ()) ~core ~blk ~write
+       ~holds_s)
 
 (* ---- MESI ------------------------------------------------------------------ *)
 
@@ -91,8 +94,8 @@ let test_mesi_read_grants_e () =
   let g = request m dir ~core:0 ~blk:5 ~write:false ~holds_s:false in
   Alcotest.(check bool) "granted E" true (g.Mesi.pstate = P_E);
   let e = Dirstate.entry dir 5 in
-  Alcotest.(check bool) "dir E" true (e.Dirstate.state = D_E);
-  Alcotest.(check int) "owner" 0 e.Dirstate.owner;
+  Alcotest.(check bool) "dir E" true (Dirstate.state dir e = D_E);
+  Alcotest.(check int) "owner" 0 (Dirstate.owner dir e);
   Alcotest.(check int) "no invalidations" 0 m.fabric.Fabric.stats.Pstats.invalidations
 
 let test_mesi_write_grants_m () =
@@ -100,7 +103,8 @@ let test_mesi_write_grants_m () =
   let dir = Dirstate.create () in
   let g = request m dir ~core:3 ~blk:9 ~write:true ~holds_s:false in
   Alcotest.(check bool) "granted M" true (g.Mesi.pstate = P_M);
-  Alcotest.(check bool) "dir M" true ((Dirstate.entry dir 9).Dirstate.state = D_M)
+  Alcotest.(check bool) "dir M" true
+    (Dirstate.state dir (Dirstate.entry dir 9) = D_M)
 
 let test_mesi_read_after_write_downgrades () =
   let m = mk_mini () in
@@ -117,9 +121,9 @@ let test_mesi_read_after_write_downgrades () =
   Alcotest.(check int64) "forwarded value" 77L
     (Linedata.load (Hashtbl.find m.priv (1, 1)) ~off:0 ~size:8);
   let e = Dirstate.entry dir 1 in
-  Alcotest.(check bool) "dir S" true (e.Dirstate.state = D_S);
+  Alcotest.(check bool) "dir S" true (Dirstate.state dir e = D_S);
   Alcotest.(check (list int)) "both sharers" [ 0; 1 ]
-    (Dirstate.holders e)
+    (Dirstate.holders dir e)
 
 let test_mesi_write_invalidates_sharers () =
   let m = mk_mini () in
@@ -129,14 +133,17 @@ let test_mesi_write_invalidates_sharers () =
   ignore (request m dir ~core:2 ~blk:2 ~write:false ~holds_s:false);
   let before = m.fabric.Fabric.stats.Pstats.invalidations in
   (* Core 1 upgrades: cores 0 and 2 must lose their S copies. *)
-  let g = Mesi.handle_request m.fabric dir ~core:1 ~blk:2 ~write:true ~holds_s:true in
-  Alcotest.(check bool) "upgrade has no fill" true (g.Mesi.fill = None);
+  let g =
+    Mesi.handle_request m.fabric dir (Mesi.fresh_grant ()) ~core:1 ~blk:2
+      ~write:true ~holds_s:true
+  in
+  Alcotest.(check bool) "upgrade has no fill" false (Mesi.has_fill g);
   Alcotest.(check int) "two sharers invalidated (2 levels each)" 4
     (m.fabric.Fabric.stats.Pstats.invalidations - before);
   Alcotest.(check bool) "copy 0 gone" false (Hashtbl.mem m.priv (0, 2));
   Alcotest.(check bool) "dir M, owner 1" true
     (let e = Dirstate.entry dir 2 in
-     e.Dirstate.state = D_M && e.Dirstate.owner = 1)
+     Dirstate.state dir e = D_M && Dirstate.owner dir e = 1)
 
 let test_mesi_write_write_transfer () =
   let m = mk_mini () in
@@ -176,13 +183,43 @@ let test_mesi_eviction_updates_directory () =
   Hashtbl.remove m.priv (0, 7);
   Mesi.handle_evict m.fabric dir ~core:0 ~blk:7 ~pstate:P_M ~data:line;
   Alcotest.(check bool) "dir invalid" true
-    ((Dirstate.entry dir 7).Dirstate.state = D_I);
+    (Dirstate.state dir (Dirstate.entry dir 7) = D_I);
   Alcotest.(check int) "writeback counted" 1 m.fabric.Fabric.stats.Pstats.writebacks;
   (* Data reached the LLC: a fresh read returns it. *)
   let g = request m dir ~core:2 ~blk:7 ~write:false ~holds_s:false in
   ignore g;
   Alcotest.(check int64) "llc serves evicted data" 55L
     (Linedata.load (Hashtbl.find m.priv (2, 7)) ~off:0 ~size:8)
+
+(* The sharer mask covers cores 0..62; larger core ids (the 8-socket
+   scaling study reaches 96) spill into a per-block side table that must
+   survive rehashes and copies. *)
+let test_dirstate_sharer_spill () =
+  let dir = Dirstate.create () in
+  let e = Dirstate.entry dir 11 in
+  Dirstate.set_state dir e States.D_S;
+  List.iter (Dirstate.sharer_add dir e) [ 3; 62; 63; 95 ];
+  Alcotest.(check (list int)) "ascending across the spill boundary"
+    [ 3; 62; 63; 95 ] (Dirstate.sharers dir e);
+  Alcotest.(check int) "count" 4 (Dirstate.sharer_count dir e);
+  Alcotest.(check bool) "mem spilled" true (Dirstate.sharer_mem dir e 95);
+  (* Force a rehash: spill entries are keyed by block, not slot. *)
+  for b = 1000 to 1000 + 5000 do
+    ignore (Dirstate.entry dir b)
+  done;
+  let e = Dirstate.entry dir 11 in
+  Alcotest.(check (list int)) "sharers survive rehash" [ 3; 62; 63; 95 ]
+    (Dirstate.sharers dir e);
+  (* Copies must not share spill state with the original. *)
+  let snap = Dirstate.copy dir in
+  Dirstate.sharer_remove dir e 95;
+  Dirstate.sharer_remove dir e 62;
+  Alcotest.(check (list int)) "removal crosses the boundary" [ 3; 63 ]
+    (Dirstate.sharers dir e);
+  Alcotest.(check (list int)) "copy unaffected" [ 3; 62; 63; 95 ]
+    (Dirstate.sharers snap (Dirstate.entry snap 11));
+  Dirstate.sharers_clear dir e;
+  Alcotest.(check bool) "empty after clear" true (Dirstate.sharers_empty dir e)
 
 (* ---- WARDen ----------------------------------------------------------------- *)
 
@@ -350,6 +387,8 @@ let suite =
     Alcotest.test_case "mesi cross-socket latency" `Quick
       test_mesi_cross_socket_latency_higher;
     Alcotest.test_case "mesi eviction" `Quick test_mesi_eviction_updates_directory;
+    Alcotest.test_case "dirstate sharer spill past 62 cores" `Quick
+      test_dirstate_sharer_spill;
     Alcotest.test_case "warden region add/remove" `Quick test_warden_region_add_remove;
     Alcotest.test_case "warden disables coherence in regions" `Quick
       test_warden_no_invalidation_inside_region;
