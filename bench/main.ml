@@ -17,19 +17,36 @@ let quick = Array.exists (fun a -> a = "quick") Sys.argv
 let json_mode = Array.exists (fun a -> a = "json") Sys.argv
 let compare_mode = Array.exists (fun a -> a = "compare") Sys.argv
 
-let jobs =
+let flag_value name =
   let rec find i =
-    if i >= Array.length Sys.argv then Pool.default_jobs ()
-    else if Sys.argv.(i) = "--jobs" || Sys.argv.(i) = "-j" then
+    if i >= Array.length Sys.argv then None
+    else if List.mem Sys.argv.(i) name then
       if i + 1 >= Array.length Sys.argv then
-        invalid_arg "--jobs: missing value"
+        invalid_arg (List.hd name ^ ": missing value")
       else
         match int_of_string_opt Sys.argv.(i + 1) with
-        | Some n when n >= 1 -> n
-        | _ -> invalid_arg "--jobs: expected a positive integer"
+        | Some n when n >= 1 -> Some n
+        | _ -> invalid_arg (List.hd name ^ ": expected a positive integer")
     else find (i + 1)
   in
   find 1
+
+(* [--sim-domains D] (or WARDEN_SIM_DOMAINS) shards every engine across D
+   domains; results are bit-identical for every D (DESIGN.md §11). *)
+let sim_domains =
+  (match flag_value [ "--sim-domains" ] with
+  | Some n -> Config.set_default_sim_domains n
+  | None -> ());
+  (Config.dual_socket ()).Config.sim_domains
+
+(* Each pool job spawns sim_domains - 1 helper domains of its own; cap the
+   product at what the host can schedule. *)
+let jobs =
+  Pool.effective_jobs
+    ~jobs:(match flag_value [ "--jobs"; "-j" ] with
+          | Some n -> n
+          | None -> Pool.default_jobs ())
+    ~sim_domains
 
 let section title =
   Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
@@ -285,10 +302,10 @@ let measure_sim_throughput () =
 let append_history ~wall ~instrs ~cycles ~mips =
   let line =
     Printf.sprintf
-      "{\"unix_time\": %.0f, \"jobs\": %d, \"quick_suite_wall_s\": %.3f, \
-       \"quick_suite_sim_instructions\": %d, \"quick_suite_sim_cycles\": %d, \
-       \"sim_mips\": %.3f}\n"
-      (Unix.time ()) jobs wall instrs cycles mips
+      "{\"unix_time\": %.0f, \"jobs\": %d, \"sim_domains\": %d, \
+       \"quick_suite_wall_s\": %.3f, \"quick_suite_sim_instructions\": %d, \
+       \"quick_suite_sim_cycles\": %d, \"sim_mips\": %.3f}\n"
+      (Unix.time ()) jobs sim_domains wall instrs cycles mips
   in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl"
@@ -302,6 +319,7 @@ let run_json () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"sim_domains\": %d,\n" sim_domains);
   Buffer.add_string buf "  \"kernels_ms_per_run\": {\n";
   List.iteri
     (fun i (name, ms) ->
@@ -362,12 +380,89 @@ let json_number file key =
       Printf.eprintf "bench compare: %s in %s is not a number\n" needle file;
       exit 2
 
+(* Like {!json_number} but [default] when the key is absent (older
+   snapshots predate some fields). *)
+let json_number_or file key ~default =
+  let ic =
+    try open_in file
+    with Sys_error m -> Printf.eprintf "bench compare: %s\n" m; exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let needle = "\"" ^ key ^ "\"" in
+  let nl = String.length needle and sl = String.length s in
+  let rec find i =
+    if i + nl > sl then None
+    else if String.sub s i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with None -> default | Some _ -> json_number file key
+
+(* The ("kernel", ms) pairs of a snapshot's kernels_ms_per_run object.
+   Same minimal-scanner spirit as {!json_number}: the harness wrote the
+   file itself, names never contain quotes. *)
+let json_kernels file =
+  let ic =
+    try open_in file
+    with Sys_error m -> Printf.eprintf "bench compare: %s\n" m; exit 2
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let needle = "\"kernels_ms_per_run\"" in
+  let nl = String.length needle and sl = String.length s in
+  let rec find i =
+    if i + nl > sl then
+      (Printf.eprintf "bench compare: no %s in %s\n" needle file; exit 2)
+    else if String.sub s i nl = needle then i + nl
+    else find (i + 1)
+  in
+  let i = ref (find 0) in
+  while !i < sl && s.[!i] <> '{' do incr i done;
+  incr i;
+  let pairs = ref [] in
+  let stop = ref false in
+  while not !stop do
+    while !i < sl && (match s.[!i] with ' ' | '\n' | ',' -> true | _ -> false) do
+      incr i
+    done;
+    if !i >= sl || s.[!i] = '}' then stop := true
+    else begin
+      assert (s.[!i] = '"');
+      incr i;
+      let k0 = !i in
+      while !i < sl && s.[!i] <> '"' do incr i done;
+      let key = String.sub s k0 (!i - k0) in
+      incr i;
+      while !i < sl && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
+      let v0 = !i in
+      while
+        !i < sl
+        && (match s.[!i] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true | _ -> false)
+      do incr i done;
+      match float_of_string_opt (String.sub s v0 (!i - v0)) with
+      | Some v -> pairs := (key, v) :: !pairs
+      | None ->
+          Printf.eprintf "bench compare: bad value for %s in %s\n" key file;
+          exit 2
+    end
+  done;
+  List.rev !pairs
+
 (* [compare [BASELINE [CURRENT]]]: fail (exit 1) when the current
-   sim_mips drops more than 10%% below the committed baseline. *)
+   sim_mips drops more than 10%% below the committed baseline, or when any
+   kernel's host ms/run regresses more than 15%% over its baseline. *)
 let run_compare () =
   let positional =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "compare" && a.[0] <> '-')
+    (* Skip flag values so "compare --sim-domains 2" has no positionals. *)
+    let rec walk = function
+      | [] -> []
+      | ("--jobs" | "-j" | "--sim-domains") :: _ :: rest -> walk rest
+      | a :: rest when a = "compare" || (a <> "" && a.[0] = '-') -> walk rest
+      | a :: rest -> a :: walk rest
+    in
+    walk (List.tl (Array.to_list Sys.argv))
   in
   let base_file, cur_file =
     match positional with
@@ -381,12 +476,51 @@ let run_compare () =
   Printf.printf
     "bench compare: baseline %.3f sim MIPS (%s), current %.3f (%s), floor %.3f\n"
     base base_file cur cur_file floor;
+  (* Host-time budgets are only meaningful like for like: a snapshot taken
+     with a different sim_domains (e.g. the CI 2-domain determinism job on
+     a sequential baseline) reports but does not gate. *)
+  let base_d = json_number_or base_file "sim_domains" ~default:1. in
+  let cur_d = json_number_or cur_file "sim_domains" ~default:1. in
+  let advisory = base_d <> cur_d in
+  if advisory then
+    Printf.printf
+      "note: sim_domains differ (baseline %.0f, current %.0f); host-time \
+       regressions reported but not gated\n"
+      base_d cur_d;
+  let failed = ref false in
   if cur < floor then begin
     Printf.printf "REGRESSION: current sim_mips is %.1f%% of baseline\n"
       (100. *. cur /. base);
-    exit 1
-  end
-  else Printf.printf "ok: within the 10%% regression budget\n"
+    failed := true
+  end;
+  (* Per-kernel gate: aggregate throughput can hide one kernel regressing
+     behind another improving. *)
+  let base_kernels = json_kernels base_file in
+  let cur_kernels = json_kernels cur_file in
+  List.iter
+    (fun (name, bms) ->
+      match List.assoc_opt name cur_kernels with
+      | None ->
+          Printf.printf "warning: kernel %s in %s but not in %s\n" name
+            base_file cur_file
+      | Some cms ->
+          let budget = 1.15 *. bms in
+          if cms > budget then begin
+            Printf.printf
+              "REGRESSION: kernel %s: %.3f ms/run vs baseline %.3f (budget \
+               %.3f, +%.1f%%)\n"
+              name cms bms budget
+              (100. *. (cms -. bms) /. bms);
+            failed := true
+          end
+          else
+            Printf.printf "ok: kernel %-45s %8.3f ms/run (baseline %8.3f)\n"
+              name cms bms)
+    base_kernels;
+  if !failed && not advisory then exit 1
+  else if !failed then
+    Printf.printf "advisory only (sim_domains mismatch): not failing\n"
+  else Printf.printf "ok: within the 10%% MIPS / 15%% per-kernel budgets\n"
 
 let () =
   if compare_mode then run_compare ()

@@ -33,6 +33,32 @@ let machine_arg =
     & info [ "machine"; "m" ] ~docv:"MACHINE"
         ~doc:"Machine: single, dual, disagg, or a socket count.")
 
+let sim_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sim-domains" ] ~docv:"D"
+        ~doc:
+          "Shard each simulation across $(docv) domains: one commit lane \
+           plus $(docv)-1 cache-warming helpers (default: \
+           $(b,WARDEN_SIM_DOMAINS) or 1). Statistics are bit-identical for \
+           every value.")
+
+(* The flag retargets the config default, so every Config.* constructor
+   called afterwards — including inside Experiments — picks it up. *)
+let apply_sim_domains = function
+  | Some d -> Config.set_default_sim_domains d
+  | None -> ()
+
+(* Each simulation spawns sim_domains - 1 helper domains, so cap the pool
+   width at what the host can schedule. *)
+let cap_jobs jobs =
+  Option.map
+    (fun j ->
+      Pool.effective_jobs ~jobs:j
+        ~sim_domains:(Config.dual_socket ()).Config.sim_domains)
+    jobs
+
 let exit_of_bool ok = if ok then 0 else 1
 
 (* --- list ---------------------------------------------------------------- *)
@@ -76,7 +102,8 @@ let bench_cmd =
       & opt (some int) None
       & info [ "workers"; "w" ] ~doc:"Worker threads (default: all).")
   in
-  let run name proto machine scale workers quick =
+  let run name proto machine scale workers quick sim_domains =
+    apply_sim_domains sim_domains;
     let spec =
       match Warden_pbbs.Suite.find name with
       | Some s -> s
@@ -128,7 +155,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one benchmark and print its statistics.")
     Term.(
       const run $ name_arg $ proto_arg $ machine_arg $ scale_arg $ workers_arg
-      $ quick_arg)
+      $ quick_arg $ sim_domains_arg)
 
 (* --- experiments --------------------------------------------------------- *)
 
@@ -146,12 +173,16 @@ let table2_cmd =
       0)
 
 let fig_cmd name doc config title =
-  let run quick jobs =
-    let sr = Experiments.run_suite ~quick ?jobs ~config:(config ()) () in
+  let run quick jobs sim_domains =
+    apply_sim_domains sim_domains;
+    let sr =
+      Experiments.run_suite ~quick ?jobs:(cap_jobs jobs) ~config:(config ()) ()
+    in
     print_string (Experiments.render_perf_energy ~title sr);
     0
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ quick_arg $ jobs_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ quick_arg $ jobs_arg $ sim_domains_arg)
 
 let fig7_cmd =
   fig_cmd "fig7" "Reproduce Figure 7 (single socket)." Config.single_socket
@@ -162,9 +193,11 @@ let fig8_cmd =
     "Figure 8: performance and energy gains, dual socket"
 
 let analysis_cmd =
-  let run quick jobs =
+  let run quick jobs sim_domains =
+    apply_sim_domains sim_domains;
     let sr =
-      Experiments.run_suite ~quick ?jobs ~config:(Config.dual_socket ()) ()
+      Experiments.run_suite ~quick ?jobs:(cap_jobs jobs)
+        ~config:(Config.dual_socket ()) ()
     in
     print_string (Experiments.render_fig9 sr);
     print_newline ();
@@ -176,12 +209,13 @@ let analysis_cmd =
   Cmd.v
     (Cmd.info "analysis"
        ~doc:"Reproduce Figures 9-11 (dual-socket coherence-event analysis).")
-    Term.(const run $ quick_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ sim_domains_arg)
 
 let fig12_cmd =
-  let run quick jobs =
+  let run quick jobs sim_domains =
+    apply_sim_domains sim_domains;
     let sr =
-      Experiments.run_suite ~quick ?jobs
+      Experiments.run_suite ~quick ?jobs:(cap_jobs jobs)
         ~names:Warden_pbbs.Suite.disaggregated_subset
         ~config:(Config.disaggregated ()) ()
     in
@@ -192,10 +226,12 @@ let fig12_cmd =
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"Reproduce Figure 12 (disaggregated system).")
-    Term.(const run $ quick_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ sim_domains_arg)
 
 let scaling_cmd =
-  let run quick jobs =
+  let run quick jobs sim_domains =
+    apply_sim_domains sim_domains;
+    let jobs = cap_jobs jobs in
     let names = [ "dmm"; "msort"; "palindrome"; "quickhull" ] in
     print_string (Experiments.render_worker_scaling ~quick ?jobs ~names ());
     print_newline ();
@@ -205,7 +241,7 @@ let scaling_cmd =
   Cmd.v
     (Cmd.info "scaling"
        ~doc:"Worker-count and socket-count scaling studies (7.3).")
-    Term.(const run $ quick_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ sim_domains_arg)
 
 let trace_cmd =
   let name_arg =
@@ -362,10 +398,13 @@ let check_cmd =
       $ store_cap_arg $ fuzz_steps_arg $ seed_arg $ proto_arg)
 
 let all_cmd =
-  let run quick jobs = exit_of_bool (Experiments.run_all ~quick ?jobs ()) in
+  let run quick jobs sim_domains =
+    apply_sim_domains sim_domains;
+    exit_of_bool (Experiments.run_all ~quick ?jobs:(cap_jobs jobs) ())
+  in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the evaluation.")
-    Term.(const run $ quick_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ sim_domains_arg)
 
 let main =
   Cmd.group

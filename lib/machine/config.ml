@@ -25,7 +25,26 @@ type t = {
   recon_inplace_sole : bool;
   store_buffer_entries : int;
   sched_quantum : int;
+  sim_domains : int;
+  sim_quantum : int;
 }
+
+(* Default shard count for newly built configs. Initialized from
+   WARDEN_SIM_DOMAINS so a whole test or bench run can be switched into
+   parallel mode from the environment (the CI 2-domain job relies on
+   this); [set_default_sim_domains] backs the --sim-domains flags. *)
+let default_sim_domains =
+  ref
+    (match Sys.getenv_opt "WARDEN_SIM_DOMAINS" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> invalid_arg "WARDEN_SIM_DOMAINS: expected a positive integer"))
+
+let set_default_sim_domains n =
+  if n < 1 then invalid_arg "Config.set_default_sim_domains: nonpositive";
+  default_sim_domains := n
 
 let num_cores t = t.sockets * t.cores_per_socket
 let num_threads t = num_cores t * t.threads_per_core
@@ -36,6 +55,19 @@ let core_of_thread t tid =
 let socket_of_core t core = core / t.cores_per_socket
 let socket_of_thread t tid = socket_of_core t (core_of_thread t tid)
 let home_socket t blk = blk mod t.sockets
+
+(* Shards partition the cores into [sim_domains] contiguous groups (so
+   same-socket cores tend to share a shard). The count is clamped to the
+   core count, never rounded up: every shard owns at least one core. *)
+let num_shards t = min (max 1 t.sim_domains) (num_cores t)
+
+let shard_of_core t core = core * num_shards t / num_cores t
+
+let shard_cores t shard =
+  let d = num_shards t and n = num_cores t in
+  let lo = (shard * n + d - 1) / d in
+  let hi = ((shard + 1) * n + d - 1) / d in
+  (lo, hi)
 
 let sets_of ~bytes ~ways =
   let lines = bytes / Addr.block_size in
@@ -77,6 +109,8 @@ let base ~name ~sockets ~threads_per_core =
     recon_inplace_sole = false;
     store_buffer_entries = 56;
     sched_quantum = 4096;
+    sim_domains = !default_sim_domains;
+    sim_quantum = 8192;
   }
 
 let single_socket ?(threads_per_core = 1) () =
@@ -114,10 +148,10 @@ let pp fmt t =
      L1 %s/%d-way  L2 %s/%d-way  L3 %s-per-core/%d-way@,\
      latencies L1/L2/L3 %d-%d-%d cycles, DRAM +%d, hop %d, socket link %d%s@,\
      %.1f GHz, %d WARD regions, reconcile %d cyc/block, store buffer %d@,\
-     scheduler quantum %d@]"
+     scheduler quantum %d, %d sim domain(s), commit quantum %d@]"
     t.name t.sockets t.cores_per_socket t.threads_per_core (kb t.l1_bytes)
     t.l1_ways (kb t.l2_bytes) t.l2_ways (kb t.l3_bytes_per_core) t.l3_ways
     t.l1_lat t.l2_lat t.l3_lat t.dram_lat t.intra_hop_lat t.inter_socket_lat
     (if t.dram_remote then " (remote memory)" else "")
     t.freq_ghz t.ward_region_capacity t.reconcile_per_block
-    t.store_buffer_entries t.sched_quantum
+    t.store_buffer_entries t.sched_quantum t.sim_domains t.sim_quantum

@@ -56,6 +56,22 @@ type t = {
           are bit-identical for every value. [0] disables the fast path
           entirely (every access schedules through the run queue, the
           legacy behavior); see DESIGN.md §8. *)
+  sim_domains : int;
+      (** Host domains driving one simulation: the simulated cores are
+          partitioned into this many shards, each with its own run queue
+          and statistics accumulators; shards above the first get a helper
+          domain that prefetches the tag/data/store structures of its
+          shard's pending accesses while the commit lane drains events in
+          global order. Results are bit-identical for every value (the
+          commit lane preserves the sequential event order exactly); see
+          DESIGN.md §11. Clamped to the core count. Default [1], or
+          [WARDEN_SIM_DOMAINS] when set. *)
+  sim_quantum : int;
+      (** Commit-lane quantum, in simulated cycles: the lane folds every
+          shard's statistics deltas into its accumulators and publishes a
+          new window to the helper domains each time committed time
+          crosses a quantum boundary. Purely a cadence knob — results are
+          bit-identical for every positive value. *)
 }
 
 val num_cores : t -> int
@@ -67,6 +83,22 @@ val socket_of_thread : t -> int -> int
 val home_socket : t -> int -> int
 (** Home socket of a block: directory entries and L3 slices are interleaved
     across sockets by block number. *)
+
+val set_default_sim_domains : int -> unit
+(** Default [sim_domains] for configs built after this call (the
+    [--sim-domains] flags route here). Initialized from
+    [WARDEN_SIM_DOMAINS], else [1]. *)
+
+val num_shards : t -> int
+(** [sim_domains] clamped to the core count: every shard owns a core. *)
+
+val shard_of_core : t -> int -> int
+(** Which shard a core belongs to (contiguous partition, so same-socket
+    cores tend to share a shard). *)
+
+val shard_cores : t -> int -> int * int
+(** [(lo, hi)] half-open core range of a shard; inverse of
+    {!shard_of_core}. *)
 
 val l1_sets : t -> int
 val l2_sets : t -> int

@@ -37,3 +37,10 @@ val materialized : t -> int -> bool
 
 val footprint_bytes : t -> int
 (** Number of bytes of simulated memory materialized so far. *)
+
+val prefetch : t -> Addr.t -> int
+(** Hint probe for the sharded engine's helper domains: pull the byte
+    backing [addr] toward the calling core's host cache without mutating
+    the page table or the one-entry page cache (both owned by the commit
+    lane). Safe to call from another domain while the owner runs; the
+    result (0 for unmaterialized pages) is advisory only. *)

@@ -25,14 +25,40 @@ type tstate = {
   mutable sb_len : int;
 }
 
+(* Sharded scheduler. Cores are partitioned into [Config.num_shards]
+   shards; each shard owns a run queue, and enqueues draw sequence numbers
+   from one global counter, so popping the minimum (priority, sequence)
+   across all queues replays the single-queue FIFO order exactly. The
+   commit lane — the domain that called [run] — executes every program
+   segment in that order: program state is host-shared (the fork-join
+   runtime's deques and counters live in OCaml heap words), so segments
+   cannot run concurrently without changing observable interleavings, and
+   OCaml's one-shot continuations rule out speculate-and-roll-back. What
+   the extra domains buy instead is the memory wall: helper domains
+   continuously replay each shard's pending access as a {e pure} probe
+   ({!Memsys.prefetch}), pulling simulator metadata (tag sets, line
+   payloads, store pages) into the host cache ahead of the lane. Stats are
+   banked per shard inside [Memsys] and folded at quantum barriers; all
+   deferred quantities are integer counts, so totals are bit-identical for
+   every [sim_domains]. See DESIGN.md §11. *)
 type t = {
   ms : Memsys.t;
   cfg : Config.t;
-  quantum : int;
-  runq : (unit -> unit) Pqueue.t;
+  stats : Sstats.t; (* cached: lane-owned fields, untouched by folds *)
+  quantum : int; (* inline quantum, Config.sched_quantum *)
+  cquantum : int; (* commit quantum (cycles), Config.sim_quantum *)
+  shards : int;
+  runqs : (unit -> unit) Pqueue.t array; (* one per shard *)
+  thread_shard : int array; (* shard of each hardware thread *)
+  pend_core : int array; (* per shard: core of the last queued access *)
+  pend_blk : int array; (* per shard: its block; -1 = none. Hints only. *)
+  window : int Atomic.t; (* quantum barriers crossed, published to helpers *)
   threads : tstate array;
+  mutable next_seq : int; (* global enqueue sequence across all shards *)
+  mutable next_window : int; (* first cycle of the next commit quantum *)
   mutable cur_st : tstate; (* thread currently executing, for Ops *)
   mutable used_threads : int;
+  mutable hint_sink : int; (* keeps helper probes observable *)
   mutable ran : bool;
 }
 
@@ -52,14 +78,28 @@ let create cfg ~proto =
     if Array.length threads > 0 then threads.(0)
     else { tid = -1; time = 0; qlimit = 0; sb = [||]; sb_head = 0; sb_len = 0 }
   in
+  let shards = Config.num_shards cfg in
+  let ms = Memsys.create cfg ~proto in
   {
-    ms = Memsys.create cfg ~proto;
+    ms;
     cfg;
+    stats = Memsys.sstats ms;
     quantum = cfg.Config.sched_quantum;
-    runq = Pqueue.create ();
+    cquantum = max 1 cfg.Config.sim_quantum;
+    shards;
+    runqs = Array.init shards (fun _ -> Pqueue.create ());
+    thread_shard =
+      Array.init (Config.num_threads cfg) (fun tid ->
+          Config.shard_of_core cfg (Config.core_of_thread cfg tid));
+    pend_core = Array.make shards 0;
+    pend_blk = Array.make shards (-1);
+    window = Atomic.make 0;
     threads;
+    next_seq = 0;
+    next_window = max 1 cfg.Config.sim_quantum;
     cur_st = cur0;
     used_threads = 0;
+    hint_sink = 0;
     ran = false;
   }
 
@@ -67,7 +107,7 @@ let memsys t = t.ms
 let config t = t.cfg
 
 let retire t (st : tstate) n =
-  let s = Memsys.sstats t.ms in
+  let s = t.stats in
   s.Sstats.instructions <- s.Sstats.instructions + n;
   s.Sstats.per_thread_instructions.(st.tid) <-
     s.Sstats.per_thread_instructions.(st.tid) + n
@@ -102,20 +142,53 @@ let drain_all st =
 let commit_store t st lat =
   drain_ready st;
   if st.sb_len >= t.cfg.Config.store_buffer_entries then begin
-    (Memsys.sstats t.ms).Sstats.sb_stalls <-
-      (Memsys.sstats t.ms).Sstats.sb_stalls + 1;
+    t.stats.Sstats.sb_stalls <- t.stats.Sstats.sb_stalls + 1;
     st.time <- max st.time (sb_pop st)
   end;
   sb_push st (st.time + lat);
   st.time <- st.time + 1;
   retire t st 1
 
-(* Every closure entering the run queue re-establishes the ambient thread
+(* Every closure entering a run queue re-establishes the ambient thread
    and opens a fresh inline quantum; with [sched_quantum = 0] the budget
    is empty and every access goes through the queue (legacy behavior). *)
 let resume t (st : tstate) =
   t.cur_st <- st;
   st.qlimit <- st.time + t.quantum
+
+(* Enqueue into the thread's shard queue under the global sequence
+   counter. Assignment order is identical for every shard count — all
+   enqueues happen on the commit lane — so the multi-queue min-merge
+   reproduces the single-queue pop order bit for bit. *)
+let enqueue t (st : tstate) fn =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Pqueue.add_seq
+    (Array.unsafe_get t.runqs (Array.unsafe_get t.thread_shard st.tid))
+    ~prio:st.time ~seq fn
+
+(* Memory accesses additionally publish a (core, block) hint for the
+   helper domains. Plain (racy) int writes: a helper pairing a stale core
+   with a fresh block merely warms the wrong set — hints cannot affect
+   simulated state. *)
+let enqueue_access t (st : tstate) ~blk fn =
+  let sh = Array.unsafe_get t.thread_shard st.tid in
+  Array.unsafe_set t.pend_core sh (Config.core_of_thread t.cfg st.tid);
+  Array.unsafe_set t.pend_blk sh blk;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Pqueue.add_seq (Array.unsafe_get t.runqs sh) ~prio:st.time ~seq fn
+
+let min_prio_all t =
+  if t.shards = 1 then Pqueue.min_prio_or t.runqs.(0) ~default:max_int
+  else begin
+    let m = ref max_int in
+    for s = 0 to t.shards - 1 do
+      let p = Pqueue.min_prio_or t.runqs.(s) ~default:max_int in
+      if p < !m then m := p
+    done;
+    !m
+  end
 
 (* An access may run inline — without suspending into the run queue — iff
    it is provably the event the scheduled path would pop next: the
@@ -126,7 +199,58 @@ let resume t (st : tstate) =
    path replays exactly the legacy pop order, so simulated cycles, stats
    and memory images are bit-identical for every quantum value. *)
 let can_inline t (st : tstate) =
-  st.time < st.qlimit && st.time < Pqueue.min_prio_or t.runq ~default:max_int
+  st.time < st.qlimit && st.time < min_prio_all t
+
+(* The shard whose queue head is the global minimum (priority, sequence),
+   or -1 when every queue is empty. *)
+let select t =
+  if t.shards = 1 then (if Pqueue.is_empty t.runqs.(0) then -1 else 0)
+  else begin
+    let best = ref (-1) and bp = ref max_int and bs = ref max_int in
+    for s = 0 to t.shards - 1 do
+      let q = t.runqs.(s) in
+      if not (Pqueue.is_empty q) then begin
+        let p = Pqueue.min_prio_or q ~default:max_int in
+        let sq = Pqueue.min_seq_or q ~default:max_int in
+        if p < !bp || (p = !bp && sq < !bs) then begin
+          best := s;
+          bp := p;
+          bs := sq
+        end
+      end
+    done;
+    !best
+  end
+
+(* Quantum barrier: fold the per-shard stat banks (deterministic at any
+   point — integer counts, fixed shard order) and publish the window so
+   helpers can observe progress. [p] is the event priority that crossed
+   the boundary. *)
+let barrier t p =
+  ignore (Memsys.sstats t.ms : Sstats.t);
+  ignore (Memsys.energy t.ms : Energy.t);
+  Atomic.incr t.window;
+  t.next_window <- ((p / t.cquantum) + 1) * t.cquantum
+
+(* Helper-domain body: replay each shard's pending access as a pure probe
+   so the metadata behind it (tag sets, payload bytes, store pages) is
+   host-cache-resident when the commit lane gets there. Reads of the hint
+   arrays race with the lane; every observable value is a value some
+   enqueue wrote, and probes mutate nothing, so any interleaving yields
+   the same simulation. The probe sum is returned as a sink. *)
+let helper_loop t stop =
+  let sink = ref 0 in
+  while not (Atomic.get stop) do
+    for sh = 0 to t.shards - 1 do
+      let blk = Array.unsafe_get t.pend_blk sh in
+      if blk >= 0 then
+        sink :=
+          !sink
+          + Memsys.prefetch t.ms ~core:(Array.unsafe_get t.pend_core sh) ~blk
+    done;
+    Domain.cpu_relax ()
+  done;
+  !sink
 
 let handler t st =
   let open Effect.Deep in
@@ -152,13 +276,13 @@ let handler t st =
         | E_yield ->
             Some
               (fun k ->
-                Pqueue.add t.runq ~prio:st.time (fun () ->
+                enqueue t st (fun () ->
                     resume t st;
                     continue k ()))
         | E_load (addr, size) ->
             Some
               (fun k ->
-                Pqueue.add t.runq ~prio:st.time (fun () ->
+                enqueue_access t st ~blk:(Addr.block_of addr) (fun () ->
                     resume t st;
                     let v, lat = Memsys.load t.ms ~thread:st.tid addr ~size in
                     st.time <- st.time + lat;
@@ -167,7 +291,7 @@ let handler t st =
         | E_store (addr, size, v) ->
             Some
               (fun k ->
-                Pqueue.add t.runq ~prio:st.time (fun () ->
+                enqueue_access t st ~blk:(Addr.block_of addr) (fun () ->
                     resume t st;
                     let lat = Memsys.store t.ms ~thread:st.tid addr ~size v in
                     commit_store t st lat;
@@ -175,7 +299,7 @@ let handler t st =
         | E_rmw (addr, size, f) ->
             Some
               (fun k ->
-                Pqueue.add t.runq ~prio:st.time (fun () ->
+                enqueue_access t st ~blk:(Addr.block_of addr) (fun () ->
                     resume t st;
                     drain_all st;
                     let old, lat = Memsys.rmw t.ms ~thread:st.tid addr ~size f in
@@ -185,7 +309,7 @@ let handler t st =
         | E_region_add (lo, hi) ->
             Some
               (fun k ->
-                Pqueue.add t.runq ~prio:st.time (fun () ->
+                enqueue t st (fun () ->
                     resume t st;
                     st.time <- st.time + 1;
                     retire t st 1;
@@ -193,7 +317,7 @@ let handler t st =
         | E_region_remove (lo, hi) ->
             Some
               (fun k ->
-                Pqueue.add t.runq ~prio:st.time (fun () ->
+                enqueue t st (fun () ->
                     resume t st;
                     let lat = Memsys.region_remove t.ms ~lo ~hi in
                     st.time <- st.time + 1 + lat;
@@ -211,18 +335,30 @@ let run t bodies =
   Array.iteri
     (fun tid body ->
       let st = t.threads.(tid) in
-      Pqueue.add t.runq ~prio:0 (fun () ->
+      enqueue t st (fun () ->
           resume t st;
           Effect.Deep.match_with body () (handler t st)))
     bodies;
   let prev = Domain.DLS.get cur_key in
   Domain.DLS.set cur_key (Some t);
+  let stop = Atomic.make false in
+  let helpers =
+    if t.shards <= 1 then [||]
+    else Array.init (t.shards - 1) (fun _ -> Domain.spawn (fun () -> helper_loop t stop))
+  in
   Fun.protect
-    ~finally:(fun () -> Domain.DLS.set cur_key prev)
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Array.iter (fun d -> t.hint_sink <- t.hint_sink + Domain.join d) helpers;
+      Domain.DLS.set cur_key prev)
     (fun () ->
       let rec loop () =
-        if not (Pqueue.is_empty t.runq) then begin
-          (Pqueue.pop_exn t.runq) ();
+        let s = select t in
+        if s >= 0 then begin
+          let q = Array.unsafe_get t.runqs s in
+          if Pqueue.min_prio_or q ~default:0 >= t.next_window then
+            barrier t (Pqueue.min_prio_or q ~default:0);
+          (Pqueue.pop_exn q) ();
           loop ()
         end
       in
@@ -232,7 +368,7 @@ let run t bodies =
     drain_all t.threads.(tid);
     makespan := max !makespan t.threads.(tid).time
   done;
-  (Memsys.sstats t.ms).Sstats.cycles <- !makespan;
+  t.stats.Sstats.cycles <- !makespan;
   let cores_used =
     min (Config.num_cores t.cfg)
       ((n + t.cfg.Config.threads_per_core - 1) / t.cfg.Config.threads_per_core)

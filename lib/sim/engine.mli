@@ -20,7 +20,18 @@
     ({!Warden_machine.Config.t.sched_quantum}). The gate makes the inline
     event exactly the event the queue would have popped next, so results
     are bit-identical to the fully scheduled execution ([sched_quantum =
-    0]); see DESIGN.md §8. *)
+    0]); see DESIGN.md §8.
+
+    With [sim_domains > 1] ({!Warden_machine.Config.t.sim_domains}) the
+    engine runs sharded: simulated cores are partitioned into shards,
+    each with its own run queue; one commit lane pops the global minimum
+    (cycle, sequence) across the queues — replaying the single-queue
+    order exactly — while helper domains warm the host cache behind each
+    shard's pending access with pure probes, and per-shard statistics
+    banks are folded at commit-quantum barriers
+    ({!Warden_machine.Config.t.sim_quantum}). Results — cycles, stats,
+    energy, memory images — are bit-identical for every [sim_domains]
+    value; see DESIGN.md §11. *)
 
 type t
 

@@ -3,11 +3,43 @@ open Warden_cache
 open Warden_machine
 open Warden_proto
 
+(* Per-shard accounting accumulator. Access-path counters (and the L1/L2
+   energy events they imply) are banked per shard so the commit lane can
+   bump a shard-local record with no cross-shard traffic; the banks are
+   folded into the global [Sstats.t]/[Energy.t] — in shard order, so the
+   result is independent of when folds happen — by [fold_accts]. All
+   counters are integers (and energy costs integer-valued floats), so any
+   fold grouping yields bit-identical totals for every [sim_domains]. *)
+type acct = {
+  mutable a_loads : int;
+  mutable a_stores : int;
+  mutable a_rmws : int;
+  mutable a_l1_hits : int;
+  mutable a_l2_hits : int;
+  mutable a_priv_misses : int;
+  mutable a_l1_evts : int; (* pending Energy.l1_access deposits *)
+  mutable a_l2_evts : int; (* pending Energy.l2_access deposits *)
+}
+
+let acct_create () =
+  {
+    a_loads = 0;
+    a_stores = 0;
+    a_rmws = 0;
+    a_l1_hits = 0;
+    a_l2_hits = 0;
+    a_priv_misses = 0;
+    a_l1_evts = 0;
+    a_l2_evts = 0;
+  }
+
 type t = {
   cfg : Config.t;
   energy : Energy.t;
   pstats : Pstats.t;
   sstats : Sstats.t;
+  accts : acct array; (* one per shard, Config.num_shards *)
+  core_shard : int array; (* shard of each core, precomputed *)
   store : Store.t;
   llc : Llc.t;
   mutable priv : Privcache.t array;
@@ -22,8 +54,46 @@ let the_proto t =
 let config t = t.cfg
 let protocol t = the_proto t
 let pstats t = t.pstats
-let sstats t = t.sstats
-let energy t = t.energy
+
+(* Drain every shard bank into the global records. Shard order is fixed
+   and all deferred quantities are counts, so folding at any moment — a
+   commit-lane quantum barrier, a stats getter, end of run — produces the
+   same totals for every [sim_domains]. *)
+let fold_accts t =
+  for s = 0 to Array.length t.accts - 1 do
+    let a = t.accts.(s) in
+    let ss = t.sstats in
+    ss.Sstats.loads <- ss.Sstats.loads + a.a_loads;
+    ss.Sstats.stores <- ss.Sstats.stores + a.a_stores;
+    ss.Sstats.rmws <- ss.Sstats.rmws + a.a_rmws;
+    ss.Sstats.l1_hits <- ss.Sstats.l1_hits + a.a_l1_hits;
+    ss.Sstats.l2_hits <- ss.Sstats.l2_hits + a.a_l2_hits;
+    ss.Sstats.priv_misses <- ss.Sstats.priv_misses + a.a_priv_misses;
+    Energy.l1_accesses t.energy a.a_l1_evts;
+    Energy.l2_accesses t.energy a.a_l2_evts;
+    a.a_loads <- 0;
+    a.a_stores <- 0;
+    a.a_rmws <- 0;
+    a.a_l1_hits <- 0;
+    a.a_l2_hits <- 0;
+    a.a_priv_misses <- 0;
+    a.a_l1_evts <- 0;
+    a.a_l2_evts <- 0
+  done
+
+(* The getters fold first so external readers always see merged totals.
+   The engine caches the returned records once at creation for its own
+   lane-owned counters (instructions, cycles, sb_stalls), which no fold
+   touches. *)
+let sstats t =
+  fold_accts t;
+  t.sstats
+
+let energy t =
+  fold_accts t;
+  t.energy
+
+let acct_of_core t core = t.accts.(Array.unsafe_get t.core_shard core)
 
 let create cfg ~proto =
   let energy = Energy.create () in
@@ -37,6 +107,9 @@ let create cfg ~proto =
       energy;
       pstats;
       sstats;
+      accts = Array.init (Config.num_shards cfg) (fun _ -> acct_create ());
+      core_shard =
+        Array.init (Config.num_cores cfg) (Config.shard_of_core cfg);
       store;
       llc;
       priv = [||];
@@ -79,18 +152,19 @@ let create cfg ~proto =
 let access_line t ~thread ~blk ~write =
   let core = Config.core_of_thread t.cfg thread in
   let pc = t.priv.(core) in
-  Energy.l1_access t.energy;
+  let a = acct_of_core t core in
+  a.a_l1_evts <- a.a_l1_evts + 1;
   match Privcache.lookup pc ~blk ~write with
   | Privcache.Hit { line; lat; level } ->
       (match level with
-      | `L1 -> t.sstats.Sstats.l1_hits <- t.sstats.Sstats.l1_hits + 1
+      | `L1 -> a.a_l1_hits <- a.a_l1_hits + 1
       | `L2 ->
-          t.sstats.Sstats.l2_hits <- t.sstats.Sstats.l2_hits + 1;
-          Energy.l2_access t.energy);
+          a.a_l2_hits <- a.a_l2_hits + 1;
+          a.a_l2_evts <- a.a_l2_evts + 1);
       (line, lat)
   | Privcache.Upgrade line ->
-      t.sstats.Sstats.priv_misses <- t.sstats.Sstats.priv_misses + 1;
-      Energy.l2_access t.energy;
+      a.a_priv_misses <- a.a_priv_misses + 1;
+      a.a_l2_evts <- a.a_l2_evts + 1;
       let g =
         Protocol.handle_request (the_proto t) ~core ~blk ~write:true ~holds_s:true
       in
@@ -100,8 +174,8 @@ let access_line t ~thread ~blk ~write =
       line.Privcache.state <- g.Mesi.pstate;
       (line, t.cfg.Config.l2_lat + g.Mesi.latency)
   | Privcache.Miss ->
-      t.sstats.Sstats.priv_misses <- t.sstats.Sstats.priv_misses + 1;
-      Energy.l2_access t.energy;
+      a.a_priv_misses <- a.a_priv_misses + 1;
+      a.a_l2_evts <- a.a_l2_evts + 1;
       let g =
         Protocol.handle_request (the_proto t) ~core ~blk ~write ~holds_s:false
       in
@@ -110,7 +184,8 @@ let access_line t ~thread ~blk ~write =
       (line, t.cfg.Config.l2_lat + g.Mesi.latency)
 
 let load t ~thread addr ~size =
-  t.sstats.Sstats.loads <- t.sstats.Sstats.loads + 1;
+  let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
+  a.a_loads <- a.a_loads + 1;
   let blk = Addr.block_of addr in
   let line, lat = access_line t ~thread ~blk ~write:false in
   let v =
@@ -126,14 +201,16 @@ let write_line line ~off ~size v =
   Linedata.store line.Privcache.data ~off ~size v
 
 let store t ~thread addr ~size v =
-  t.sstats.Sstats.stores <- t.sstats.Sstats.stores + 1;
+  let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
+  a.a_stores <- a.a_stores + 1;
   let blk = Addr.block_of addr in
   let line, lat = access_line t ~thread ~blk ~write:true in
   write_line line ~off:(Addr.offset_in_block addr) ~size v;
   lat
 
 let rmw t ~thread addr ~size f =
-  t.sstats.Sstats.rmws <- t.sstats.Sstats.rmws + 1;
+  let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
+  a.a_rmws <- a.a_rmws + 1;
   let blk = Addr.block_of addr in
   let line, lat = access_line t ~thread ~blk ~write:true in
   let off = Addr.offset_in_block addr in
@@ -151,15 +228,15 @@ let rmw t ~thread addr ~size f =
 
    Returns the serving level's latency and counts its events. *)
 
-let fast_hit_accounting t (l1 : bool) =
-  Energy.l1_access t.energy;
+let fast_hit_accounting t (a : acct) (l1 : bool) =
+  a.a_l1_evts <- a.a_l1_evts + 1;
   if l1 then begin
-    t.sstats.Sstats.l1_hits <- t.sstats.Sstats.l1_hits + 1;
+    a.a_l1_hits <- a.a_l1_hits + 1;
     t.cfg.Config.l1_lat
   end
   else begin
-    t.sstats.Sstats.l2_hits <- t.sstats.Sstats.l2_hits + 1;
-    Energy.l2_access t.energy;
+    a.a_l2_hits <- a.a_l2_hits + 1;
+    a.a_l2_evts <- a.a_l2_evts + 1;
     t.cfg.Config.l2_lat
   end
 
@@ -172,10 +249,11 @@ let try_fast_load t ~thread addr ~size =
   let line = Privcache.fast_hit pc ~blk ~write:false in
   if line == Privcache.no_line then -1
   else begin
-    t.sstats.Sstats.loads <- t.sstats.Sstats.loads + 1;
+    let a = acct_of_core t core in
+    a.a_loads <- a.a_loads + 1;
     t.fast_value <-
       Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size;
-    fast_hit_accounting t (Privcache.last_l1 pc)
+    fast_hit_accounting t a (Privcache.last_l1 pc)
   end
 
 let try_fast_store t ~thread addr ~size v =
@@ -185,9 +263,10 @@ let try_fast_store t ~thread addr ~size v =
   let line = Privcache.fast_hit pc ~blk ~write:true in
   if line == Privcache.no_line then -1
   else begin
-    t.sstats.Sstats.stores <- t.sstats.Sstats.stores + 1;
+    let a = acct_of_core t core in
+    a.a_stores <- a.a_stores + 1;
     write_line line ~off:(Addr.offset_in_block addr) ~size v;
-    fast_hit_accounting t (Privcache.last_l1 pc)
+    fast_hit_accounting t a (Privcache.last_l1 pc)
   end
 
 let try_fast_rmw t ~thread addr ~size f =
@@ -197,13 +276,23 @@ let try_fast_rmw t ~thread addr ~size f =
   let line = Privcache.fast_hit pc ~blk ~write:true in
   if line == Privcache.no_line then -1
   else begin
-    t.sstats.Sstats.rmws <- t.sstats.Sstats.rmws + 1;
+    let a = acct_of_core t core in
+    a.a_rmws <- a.a_rmws + 1;
     let off = Addr.offset_in_block addr in
     let old = Linedata.load line.Privcache.data ~off ~size in
     write_line line ~off ~size (f old);
     t.fast_value <- old;
-    fast_hit_accounting t (Privcache.last_l1 pc)
+    fast_hit_accounting t a (Privcache.last_l1 pc)
   end
+
+(* Pure hint probe for the sharded engine's helper domains: touch the
+   host memory behind a pending access — the core's private tag set, the
+   resident payload if any, and the backing-store page — without mutating
+   any simulator state. Races with the commit lane only make the hint
+   stale, never wrong. *)
+let prefetch t ~core ~blk =
+  Privcache.prefetch t.priv.(core) ~blk
+  + Store.prefetch t.store (Addr.base_of_block blk)
 
 let region_add t ~lo ~hi = Protocol.region_add (the_proto t) ~lo ~hi
 let region_remove t ~lo ~hi = Protocol.region_remove (the_proto t) ~lo ~hi

@@ -15,8 +15,16 @@ val create :
 val config : t -> Warden_machine.Config.t
 val protocol : t -> Warden_proto.Protocol.t
 val pstats : t -> Warden_proto.Pstats.t
+
 val sstats : t -> Sstats.t
+(** Merged access statistics. Access-path counters are banked per shard
+    (see {!Warden_machine.Config.num_shards}); this getter folds the banks
+    into the returned record first, so callers always observe totals. The
+    fold is deterministic for every [sim_domains] value: shard order is
+    fixed and all deferred quantities are integer counts. *)
+
 val energy : t -> Warden_machine.Energy.t
+(** Merged energy model; folds shard banks like {!sstats}. *)
 
 val load : t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 * int
 (** Value and latency (cycles). *)
@@ -61,6 +69,13 @@ val try_fast_rmw :
 val fast_value : t -> int64
 (** Value delivered by the last successful {!try_fast_load} or
     {!try_fast_rmw}. *)
+
+val prefetch : t -> core:int -> blk:int -> int
+(** Pure hint probe for the sharded engine's helper domains: warm the host
+    cache behind a pending access ([core]'s private tag set, the resident
+    payload if any, and the backing-store page) without mutating any
+    simulator state. Safe to call from a helper domain while the commit
+    lane runs; the returned value is advisory and must only feed a sink. *)
 
 val region_add : t -> lo:int -> hi:int -> bool
 val region_remove : t -> lo:int -> hi:int -> int

@@ -83,6 +83,17 @@ let fast_hit t ~blk ~write =
 
 let last_l1 t = t.last_l1
 
+(* Hint probe for the sharded engine's helper domains: warm the host
+   cache behind a pending access — the L2 tag set and, when resident, the
+   line's payload bytes — without mutating LRU state or anything else the
+   commit lane owns ([peek_way] is pure). Cross-domain reads may observe
+   a stale snapshot; the return value feeds a sink only. *)
+let prefetch t ~blk =
+  let w = Sa.peek_way t.l2 blk in
+  if not (Sa.hit w) then 0
+  else
+    Char.code (Bytes.unsafe_get (Linedata.bytes (Sa.value t.l2 w).data) 0)
+
 let fill t ~blk pstate bytes =
   let line = { state = pstate; data = Linedata.create () } in
   Linedata.fill_from line.data bytes;

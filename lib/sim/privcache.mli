@@ -46,6 +46,13 @@ val fast_hit : t -> blk:int -> write:bool -> line
 val last_l1 : t -> bool
 (** Whether the last successful {!fast_hit} was served by the L1. *)
 
+val prefetch : t -> blk:int -> int
+(** Hint probe for the sharded engine's helper domains: warm the host
+    cache behind a pending access (L2 tag set, resident payload bytes)
+    without mutating LRU or any other simulator state. Safe to call from
+    a helper domain while the commit lane runs; the result is advisory
+    and must only feed a sink. *)
+
 val fill : t -> blk:int -> Warden_proto.States.pstate -> Bytes.t -> line
 (** Install a granted line into L2 and L1, evicting victims as needed. *)
 

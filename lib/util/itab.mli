@@ -11,6 +11,13 @@ val find_or_add : 'a t -> int -> make:(int -> 'a) -> 'a
 (** [find_or_add t id ~make] returns the value bound to [id], binding
     [make id] first if absent. [id] must be non-negative. *)
 
+val find_or : 'a t -> int -> default:'a -> 'a
+(** Pure, allocation-free probe: the value bound to [id], or [default] if
+    absent. Mutates nothing, so it is safe as a cross-domain hint probe
+    (the caller must treat a possibly stale result as advisory). *)
+
+val mem : 'a t -> int -> bool
+
 val length : 'a t -> int
 
 val iter : 'a t -> (int -> 'a -> unit) -> unit

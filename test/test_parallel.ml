@@ -1,0 +1,95 @@
+(* Sharded-engine determinism sweep.
+
+   The sharded scheduler (Config.sim_domains > 1) claims the commit lane
+   replays the single-queue execution exactly: the helper domains only
+   warm host caches with pure probes, the per-shard run queues merge back
+   into the global (cycle, sequence) order, and the per-shard statistics
+   banks fold to the same integer totals. These tests hold every
+   observable — cycles, stats, protocol counters, energy, verification —
+   to bit-identity across sim_domains ∈ {1, 2, 4}, and across commit
+   quantum (sim_quantum) values, on real benchmarks under both protocols.
+   They also pin Pool.effective_jobs' capping arithmetic. *)
+
+open Warden_machine
+open Warden_harness
+
+let cfg_d ?(quantum = 8192) d =
+  { (Config.dual_socket ()) with Config.sim_domains = d; sim_quantum = quantum }
+
+let protos = [ (`Mesi, "mesi"); (`Warden, "warden") ]
+let domain_sweep = [ 1; 2; 4 ]
+
+let check_result label (a : Exp.run_result) (b : Exp.run_result) =
+  (* Headline fields first for a readable failure, then the whole record
+     (which includes derived floats and the verified bit). *)
+  Alcotest.(check bool) (label ^ ": verified") true b.Exp.verified;
+  Alcotest.(check int) (label ^ ": cycles") a.Exp.cycles b.Exp.cycles;
+  Alcotest.(check int)
+    (label ^ ": instructions") a.Exp.instructions b.Exp.instructions;
+  Alcotest.(check int) (label ^ ": loads") a.Exp.loads b.Exp.loads;
+  Alcotest.(check int)
+    (label ^ ": invalidations") a.Exp.invalidations b.Exp.invalidations;
+  Alcotest.(check int) (label ^ ": messages") a.Exp.messages b.Exp.messages;
+  Alcotest.(check (float 0.))
+    (label ^ ": energy") a.Exp.energy_total_pj b.Exp.energy_total_pj;
+  Alcotest.(check bool) (label ^ ": full result") true (a = b)
+
+(* 1. Domain sweep: every benchmark/protocol pair is bit-identical for
+   sim_domains 1, 2 and 4. *)
+let domain_sweep_test name =
+  Alcotest.test_case ("sim-domains sweep: " ^ name) `Quick (fun () ->
+      let spec = Option.get (Warden_pbbs.Suite.find name) in
+      List.iter
+        (fun (proto, pname) ->
+          let run d = Exp.run_bench ~quick:true ~config:(cfg_d d) ~proto spec in
+          let sequential = run 1 in
+          List.iter
+            (fun d ->
+              check_result
+                (Printf.sprintf "%s/%s D=%d" name pname d)
+                sequential (run d))
+            (List.tl domain_sweep))
+        protos)
+
+(* 2. Commit-quantum sweep: barrier frequency must not be observable. *)
+let quantum_sweep_test name =
+  Alcotest.test_case ("sim-quantum sweep: " ^ name) `Quick (fun () ->
+      let spec = Option.get (Warden_pbbs.Suite.find name) in
+      List.iter
+        (fun (proto, pname) ->
+          let run q =
+            Exp.run_bench ~quick:true ~config:(cfg_d ~quantum:q 2) ~proto spec
+          in
+          let base = run 8192 in
+          List.iter
+            (fun q ->
+              check_result
+                (Printf.sprintf "%s/%s quantum=%d" name pname q)
+                base (run q))
+            [ 1; 64 ])
+        protos)
+
+(* 3. Pool.effective_jobs: the cap formula, and its invariants. *)
+let effective_jobs_test () =
+  let budget = Domain.recommended_domain_count () in
+  List.iter
+    (fun (jobs, sd) ->
+      let r = Pool.effective_jobs ~jobs ~sim_domains:sd in
+      let label = Printf.sprintf "jobs=%d sim_domains=%d" jobs sd in
+      Alcotest.(check bool) (label ^ ": at least one") true (r >= 1);
+      Alcotest.(check bool) (label ^ ": never widens") true (r <= max 1 jobs);
+      if jobs >= 1 && jobs * sd <= budget then
+        Alcotest.(check int) (label ^ ": under budget unchanged") jobs r
+      else if jobs >= 1 then
+        Alcotest.(check int)
+          (label ^ ": capped to budget/sim_domains")
+          (max 1 (budget / max 1 sd))
+          r)
+    [ (1, 1); (1, 4); (2, 2); (4, 4); (16, 2); (64, 64); (0, 0); (3, 1) ]
+
+let suite =
+  List.map domain_sweep_test [ "fib"; "msort"; "palindrome" ]
+  @ [ quantum_sweep_test "fib" ]
+  @ [ Alcotest.test_case "Pool.effective_jobs cap" `Quick effective_jobs_test ]
+
+let () = Alcotest.run "warden-parallel" [ ("parallel", suite) ]

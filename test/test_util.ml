@@ -168,6 +168,76 @@ let pqueue_sorted =
       in
       drain [] = List.sort compare prios)
 
+(* The sharded engine's invariant: several queues fed under one global
+   sequence counter, popped by minimum (priority, sequence), replay a
+   single [add]-driven queue's order exactly. *)
+let test_pqueue_seq_merge () =
+  let single = Pqueue.create () in
+  let qa = Pqueue.create () and qb = Pqueue.create () in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    let prio = i * 7919 mod 32 in
+    Pqueue.add single ~prio i;
+    let q = if i * 104729 mod 3 < 2 then qa else qb in
+    Pqueue.add_seq q ~prio ~seq:i i
+  done;
+  for _ = 1 to n do
+    let expect = Pqueue.pop_exn single in
+    let pa = Pqueue.min_prio_or qa ~default:max_int
+    and sa = Pqueue.min_seq_or qa ~default:max_int
+    and pb = Pqueue.min_prio_or qb ~default:max_int
+    and sb = Pqueue.min_seq_or qb ~default:max_int in
+    let got =
+      if pa < pb || (pa = pb && sa < sb) then Pqueue.pop_exn qa
+      else Pqueue.pop_exn qb
+    in
+    Alcotest.(check int) "merge replays single-queue order" expect got
+  done;
+  Alcotest.(check bool) "both drained" true
+    (Pqueue.is_empty qa && Pqueue.is_empty qb)
+
+(* --- Itab ----------------------------------------------------------------- *)
+
+(* Differential test against a Hashtbl model: a random script of
+   find_or_add / find_or / mem calls must agree on every result (and on
+   the final size), including across growth/rehash. *)
+let itab_model =
+  qtest ~count:300 "itab matches hashtbl model"
+    QCheck2.Gen.(
+      list_size (int_range 1 400) (pair (int_range 0 2) (int_range 0 997)))
+    (fun script ->
+      let tab = Itab.create ~dummy:(-1) () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, key) ->
+          match op with
+          | 0 ->
+              let v = Itab.find_or_add tab key ~make:(fun k -> (k * 7) + 1) in
+              let mv =
+                match Hashtbl.find_opt model key with
+                | Some mv -> mv
+                | None ->
+                    let mv = (key * 7) + 1 in
+                    Hashtbl.add model key mv;
+                    mv
+              in
+              v = mv
+          | 1 ->
+              Itab.find_or tab key ~default:(-1)
+              = Option.value (Hashtbl.find_opt model key) ~default:(-1)
+          | _ -> Itab.mem tab key = Hashtbl.mem model key)
+        script
+      && Itab.length tab = Hashtbl.length model
+      && begin
+           (* iter yields exactly the model's bindings. *)
+           let seen = ref 0 in
+           let ok = ref true in
+           Itab.iter tab (fun k v ->
+               incr seen;
+               ok := !ok && Hashtbl.find_opt model k = Some v);
+           !ok && !seen = Hashtbl.length model
+         end)
+
 (* --- Bitset ---------------------------------------------------------------- *)
 
 let test_bitset_basic () =
@@ -256,6 +326,8 @@ let suite =
     Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
     Alcotest.test_case "pqueue clear and reuse" `Quick test_pqueue_clear_reuse;
     pqueue_sorted;
+    Alcotest.test_case "pqueue seq merge" `Quick test_pqueue_seq_merge;
+    itab_model;
     Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
     bitset_model;
     Alcotest.test_case "stats means" `Quick test_stats_means;
