@@ -9,9 +9,9 @@ BENCH ?= fib
 MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
-.PHONY: all build test check bench bench-quick bench-json bench-compare \
-        all_pbbs single_pbbs activate_one_socket activate_two_socket \
-        examples clean
+.PHONY: all build test check fmt bench bench-quick bench-json bench-compare \
+        bench-overhead profile all_pbbs single_pbbs activate_one_socket \
+        activate_two_socket examples clean
 
 all: build
 
@@ -45,6 +45,26 @@ bench-json:
 # below the committed BENCH_baseline.json. Run bench-json first.
 bench-compare:
 	dune exec bench/main.exe -- compare
+
+# Observability overhead gate: snapshot the suite with the event recorder
+# off and again at counters level, then fail if counters cost more than
+# 3% of simulator throughput (DESIGN.md §12).
+bench-overhead:
+	dune exec bench/main.exe -- json --obs off
+	cp BENCH_sim.json BENCH_obs_off.json
+	dune exec bench/main.exe -- json --obs counters
+	dune exec bench/main.exe -- compare --overhead BENCH_obs_off.json BENCH_sim.json
+
+# Coherence-event profile of one benchmark (see README "Profiling a
+# benchmark"): counts, latency histograms, hottest blocks, WARD regions,
+# plus a Chrome trace_event dump.
+profile: build
+	dune exec bin/warden_cli.exe -- profile $(BENCH) -m $(MACHINE) \
+	  --trace-out $(BENCH).trace.json
+
+# Enforce the committed .ocamlformat (requires ocamlformat; CI installs it).
+fmt:
+	dune build @fmt
 
 activate_one_socket:
 	echo single > $(MACHINE_FILE)

@@ -13,37 +13,53 @@ open Warden_machine
 open Warden_harness
 open Warden_runtime
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
-let json_mode = Array.exists (fun a -> a = "json") Sys.argv
-let compare_mode = Array.exists (fun a -> a = "compare") Sys.argv
+module Cliscan = Warden_util.Cliscan
 
-let flag_value name =
-  let rec find i =
-    if i >= Array.length Sys.argv then None
-    else if List.mem Sys.argv.(i) name then
-      if i + 1 >= Array.length Sys.argv then
-        invalid_arg (List.hd name ^ ": missing value")
-      else
-        match int_of_string_opt Sys.argv.(i + 1) with
-        | Some n when n >= 1 -> Some n
-        | _ -> invalid_arg (List.hd name ^ ": expected a positive integer")
-    else find (i + 1)
-  in
-  find 1
+(* All modes share one scanner, so a flag's value can never leak into the
+   positionals (the old hand-rolled walker swallowed a following flag as a
+   value — "compare --jobs --sim-domains 2" treated "2" as a snapshot
+   path). Mode words are positionals; the rest are flags. *)
+let cli =
+  Cliscan.create
+    ~value_flags:[ [ "--jobs"; "-j" ]; [ "--sim-domains" ]; [ "--obs" ] ]
+    Sys.argv
+
+let mode_words = [ "quick"; "json"; "compare" ]
+let has_mode w = List.mem w (Cliscan.positionals cli)
+let quick = has_mode "quick"
+let json_mode = has_mode "json"
+let compare_mode = has_mode "compare"
+
+(* Positionals that are not mode words: the compare mode's snapshot paths. *)
+let snapshot_args =
+  List.filter (fun a -> not (List.mem a mode_words)) (Cliscan.positionals cli)
 
 (* [--sim-domains D] (or WARDEN_SIM_DOMAINS) shards every engine across D
    domains; results are bit-identical for every D (DESIGN.md §11). *)
 let sim_domains =
-  (match flag_value [ "--sim-domains" ] with
+  (match Cliscan.int_flag cli [ "--sim-domains" ] with
   | Some n -> Config.set_default_sim_domains n
   | None -> ());
   (Config.dual_socket ()).Config.sim_domains
+
+(* [--obs LEVEL] (or WARDEN_OBS) turns event recording on for every
+   simulation in the run; the CI overhead gate benches off vs counters. *)
+let obs_level =
+  (match Cliscan.string_flag cli [ "--obs" ] with
+  | Some s -> (
+      match Config.obs_level_of_string s with
+      | Some l -> Config.set_default_obs_level l
+      | None -> invalid_arg "--obs: expected off, counters or full")
+  | None ->
+      if Cliscan.has cli "--obs" then
+        invalid_arg "--obs: expected off, counters or full");
+  Config.obs_level_to_string (Config.dual_socket ()).Config.obs_level
 
 (* Each pool job spawns sim_domains - 1 helper domains of its own; cap the
    product at what the host can schedule. *)
 let jobs =
   Pool.effective_jobs
-    ~jobs:(match flag_value [ "--jobs"; "-j" ] with
+    ~jobs:(match Cliscan.int_flag cli [ "--jobs"; "-j" ] with
           | Some n -> n
           | None -> Pool.default_jobs ())
     ~sim_domains
@@ -303,9 +319,10 @@ let append_history ~wall ~instrs ~cycles ~mips =
   let line =
     Printf.sprintf
       "{\"unix_time\": %.0f, \"jobs\": %d, \"sim_domains\": %d, \
-       \"quick_suite_wall_s\": %.3f, \"quick_suite_sim_instructions\": %d, \
-       \"quick_suite_sim_cycles\": %d, \"sim_mips\": %.3f}\n"
-      (Unix.time ()) jobs sim_domains wall instrs cycles mips
+       \"obs_level\": \"%s\", \"quick_suite_wall_s\": %.3f, \
+       \"quick_suite_sim_instructions\": %d, \"quick_suite_sim_cycles\": %d, \
+       \"sim_mips\": %.3f}\n"
+      (Unix.time ()) jobs sim_domains obs_level wall instrs cycles mips
   in
   let oc =
     open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl"
@@ -320,6 +337,8 @@ let run_json () =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf (Printf.sprintf "  \"sim_domains\": %d,\n" sim_domains);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"obs_level\": \"%s\",\n" obs_level);
   Buffer.add_string buf "  \"kernels_ms_per_run\": {\n";
   List.iteri
     (fun i (name, ms) ->
@@ -450,22 +469,77 @@ let json_kernels file =
   done;
   List.rev !pairs
 
+(* Best-effort string field of a flat snapshot ("obs_level": "counters");
+   [default] when absent or oddly shaped. *)
+let json_string_or file key ~default =
+  match
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error _ -> default
+  | s -> (
+      let needle = "\"" ^ key ^ "\"" in
+      let nl = String.length needle and sl = String.length s in
+      let rec find i =
+        if i + nl > sl then None
+        else if String.sub s i nl = needle then Some (i + nl)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None -> default
+      | Some i -> (
+          let i = ref i in
+          while !i < sl && s.[!i] <> '"' && s.[!i] <> '\n' do incr i done;
+          if !i >= sl || s.[!i] <> '"' then default
+          else begin
+            incr i;
+            let v0 = !i in
+            while !i < sl && s.[!i] <> '"' do incr i done;
+            if !i >= sl then default else String.sub s v0 (!i - v0)
+          end))
+
+(* [compare --overhead [OFF [ON]]]: the tracing-overhead gate. Both files
+   are bench-json snapshots of the same machine and sim_domains, one taken
+   with WARDEN_OBS=off and one with counters; fail (exit 1) when counters
+   cost more than 3%% of simulation throughput. Defaults:
+   BENCH_obs_off.json vs BENCH_sim.json. *)
+let run_overhead () =
+  let off_file, on_file =
+    match snapshot_args with
+    | [] -> ("BENCH_obs_off.json", "BENCH_sim.json")
+    | [ o ] -> (o, "BENCH_sim.json")
+    | o :: c :: _ -> (o, c)
+  in
+  let off = json_number off_file "sim_mips" in
+  let on_ = json_number on_file "sim_mips" in
+  let off_lvl = json_string_or off_file "obs_level" ~default:"off" in
+  let on_lvl = json_string_or on_file "obs_level" ~default:"?" in
+  let overhead = if off > 0. then 100. *. (off -. on_) /. off else 0. in
+  Printf.printf
+    "bench overhead: %.3f sim MIPS at obs=%s (%s) vs %.3f at obs=%s (%s): \
+     %+.2f%% (budget 3%%)\n"
+    off off_lvl off_file on_ on_lvl on_file overhead;
+  if off_lvl = on_lvl then
+    Printf.printf
+      "warning: both snapshots report obs_level=%s — this is not measuring \
+       tracing overhead\n"
+      off_lvl;
+  if overhead > 3.0 then begin
+    Printf.printf "REGRESSION: obs=%s costs %.2f%% sim throughput (budget 3%%)\n"
+      on_lvl overhead;
+    exit 1
+  end
+  else Printf.printf "ok: observability overhead within the 3%% budget\n"
+
 (* [compare [BASELINE [CURRENT]]]: fail (exit 1) when the current
    sim_mips drops more than 10%% below the committed baseline, or when any
    kernel's host ms/run regresses more than 15%% over its baseline. *)
 let run_compare () =
-  let positional =
-    (* Skip flag values so "compare --sim-domains 2" has no positionals. *)
-    let rec walk = function
-      | [] -> []
-      | ("--jobs" | "-j" | "--sim-domains") :: _ :: rest -> walk rest
-      | a :: rest when a = "compare" || (a <> "" && a.[0] = '-') -> walk rest
-      | a :: rest -> a :: walk rest
-    in
-    walk (List.tl (Array.to_list Sys.argv))
-  in
   let base_file, cur_file =
-    match positional with
+    match snapshot_args with
     | [] -> ("BENCH_baseline.json", "BENCH_sim.json")
     | [ b ] -> (b, "BENCH_sim.json")
     | b :: c :: _ -> (b, c)
@@ -523,7 +597,8 @@ let run_compare () =
   else Printf.printf "ok: within the 10%% MIPS / 15%% per-kernel budgets\n"
 
 let () =
-  if compare_mode then run_compare ()
+  if compare_mode && Cliscan.has cli "--overhead" then run_overhead ()
+  else if compare_mode then run_compare ()
   else if json_mode then run_json ()
   else begin
     Printf.printf

@@ -50,6 +50,65 @@ let apply_sim_domains = function
   | Some d -> Config.set_default_sim_domains d
   | None -> ()
 
+let obs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs" ] ~docv:"LEVEL"
+        ~doc:
+          "Observability level: $(b,off), $(b,counters) or $(b,full) \
+           (default: $(b,WARDEN_OBS) or off). Recording never perturbs \
+           simulated cycles, statistics or energy.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out"; "o" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run's coherence \
+           events (open in about://tracing or ui.perfetto.dev). Implies at \
+           least $(b,--obs full) for the traced runs.")
+
+(* --trace-out upgrades to full even past an explicit lower --obs:
+   asking for a trace is asking for ring recording, and a silently empty
+   trace file would be worse than overriding the flag. *)
+let apply_obs ~obs ~trace_out =
+  (match obs with
+  | Some s -> (
+      match Config.obs_level_of_string s with
+      | Some l -> Config.set_default_obs_level l
+      | None -> invalid_arg ("unknown obs level: " ^ s))
+  | None -> ());
+  if trace_out <> None then Config.set_default_obs_level Config.Obs_full
+
+(* Accept "bench/fib" for "fib": people tab-complete paths. *)
+let strip_bench_prefix name =
+  match Warden_pbbs.Suite.find name with
+  | Some _ -> name
+  | None ->
+      let base = Filename.basename name in
+      if base <> name && Warden_pbbs.Suite.find base <> None then base
+      else name
+
+let write_chrome_trace file runs =
+  let buf = Buffer.create (1 lsl 16) in
+  Warden_obs.Sink_chrome.write buf ~runs;
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  let events, dropped =
+    List.fold_left
+      (fun (e, d) (_, _, sink) ->
+        ( e + Warden_obs.Sink_chrome.length sink,
+          d + Warden_obs.Sink_chrome.dropped sink ))
+      (0, 0) runs
+  in
+  Printf.printf "wrote %s: %d events across %d run(s)%s\n" file events
+    (List.length runs)
+    (if dropped > 0 then Printf.sprintf " (%d dropped at capacity)" dropped
+     else "")
+
 (* Each simulation spawns sim_domains - 1 helper domains, so cap the pool
    width at what the host can schedule. *)
 let cap_jobs jobs =
@@ -60,6 +119,7 @@ let cap_jobs jobs =
     jobs
 
 let exit_of_bool ok = if ok then 0 else 1
+let proto_name = function `Mesi -> "mesi" | `Warden -> "warden"
 
 (* --- list ---------------------------------------------------------------- *)
 
@@ -102,8 +162,10 @@ let bench_cmd =
       & opt (some int) None
       & info [ "workers"; "w" ] ~doc:"Worker threads (default: all).")
   in
-  let run name proto machine scale workers quick sim_domains =
+  let run name proto machine scale workers quick sim_domains obs trace_out =
     apply_sim_domains sim_domains;
+    apply_obs ~obs ~trace_out;
+    let name = strip_bench_prefix name in
     let spec =
       match Warden_pbbs.Suite.find name with
       | Some s -> s
@@ -138,16 +200,32 @@ let bench_cmd =
         ps.Warden_proto.Pstats.ward_grants ps.Warden_proto.Pstats.recon_blocks
         (Energy.processor_pj en /. 1e9)
         (Energy.network_pj en /. 1e9);
-      (ok, ss.Sstats.cycles)
+      (ok, ss.Sstats.cycles, (proto_name proto, Memsys.obs ms))
+    in
+    let emit_trace runs =
+      match trace_out with
+      | None -> ()
+      | Some file ->
+          write_chrome_trace file
+            (List.mapi
+               (fun pid (pname, obs) -> (pid, pname, Warden_obs.Obs.chrome obs))
+               runs)
     in
     match proto with
-    | "mesi" -> exit_of_bool (fst (one `Mesi))
-    | "warden" -> exit_of_bool (fst (one `Warden))
+    | "mesi" ->
+        let ok, _, run = one `Mesi in
+        emit_trace [ run ];
+        exit_of_bool ok
+    | "warden" ->
+        let ok, _, run = one `Warden in
+        emit_trace [ run ];
+        exit_of_bool ok
     | "both" ->
-        let ok_m, cy_m = one `Mesi in
-        let ok_w, cy_w = one `Warden in
+        let ok_m, cy_m, run_m = one `Mesi in
+        let ok_w, cy_w, run_w = one `Warden in
         Printf.printf "speedup (mesi/warden): %.3fx\n"
           (float_of_int cy_m /. float_of_int cy_w);
+        emit_trace [ run_m; run_w ];
         exit_of_bool (ok_m && ok_w)
     | p -> failwith ("unknown protocol " ^ p)
   in
@@ -155,7 +233,98 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one benchmark and print its statistics.")
     Term.(
       const run $ name_arg $ proto_arg $ machine_arg $ scale_arg $ workers_arg
-      $ quick_arg $ sim_domains_arg)
+      $ quick_arg $ sim_domains_arg $ obs_arg $ trace_out_arg)
+
+(* --- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Benchmark to profile (a $(b,bench/) prefix is accepted).")
+  in
+  let proto_arg =
+    Arg.(
+      value
+      & opt string "both"
+      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden or both.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale"; "s" ] ~docv:"N" ~doc:"Problem size (default: paper scale).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers"; "w" ] ~doc:"Worker threads (default: all).")
+  in
+  let run name proto machine scale workers quick sim_domains obs trace_out =
+    apply_sim_domains sim_domains;
+    (* profile records at full level unless the user asks for less. *)
+    apply_obs ~obs:(Some (Option.value obs ~default:"full")) ~trace_out;
+    let name = strip_bench_prefix name in
+    let spec =
+      match Warden_pbbs.Suite.find name with
+      | Some s -> s
+      | None -> failwith ("unknown benchmark " ^ name)
+    in
+    let config = machine_of machine in
+    let one proto =
+      let eng = Engine.create config ~proto in
+      let scale =
+        match scale with Some s -> s | None -> Exp.scale_of ~quick spec
+      in
+      let ok = spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL ?workers eng in
+      let ms = Engine.memsys eng in
+      let ss = Memsys.sstats ms in
+      Printf.printf "== %s/%s on %s: %s in %d cycles ==\n\n" name
+        (proto_name proto) config.Config.name
+        (if ok then "verified" else "FAILED VERIFICATION")
+        ss.Sstats.cycles;
+      print_string (Warden_obs.Obs.render_summary (Memsys.obs ms));
+      print_newline ();
+      (ok, (proto_name proto, Memsys.obs ms))
+    in
+    let emit_trace runs =
+      match trace_out with
+      | None -> ()
+      | Some file ->
+          write_chrome_trace file
+            (List.mapi
+               (fun pid (pname, obs) -> (pid, pname, Warden_obs.Obs.chrome obs))
+               runs)
+    in
+    match proto with
+    | "mesi" ->
+        let ok, run = one `Mesi in
+        emit_trace [ run ];
+        exit_of_bool ok
+    | "warden" ->
+        let ok, run = one `Warden in
+        emit_trace [ run ];
+        exit_of_bool ok
+    | "both" ->
+        let ok_m, run_m = one `Mesi in
+        let ok_w, run_w = one `Warden in
+        emit_trace [ run_m; run_w ];
+        exit_of_bool (ok_m && ok_w)
+    | p -> failwith ("unknown protocol " ^ p)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one benchmark with the coherence-event recorder at $(b,full) \
+          level and print event counts, latency histograms, the hottest \
+          blocks and the WARD region table; optionally dump a Chrome trace \
+          with $(b,--trace-out).")
+    Term.(
+      const run $ name_arg $ proto_arg $ machine_arg $ scale_arg $ workers_arg
+      $ quick_arg $ sim_domains_arg $ obs_arg $ trace_out_arg)
 
 (* --- experiments --------------------------------------------------------- *)
 
@@ -415,6 +584,7 @@ let main =
     [
       list_cmd;
       bench_cmd;
+      profile_cmd;
       table1_cmd;
       table2_cmd;
       fig7_cmd;

@@ -75,6 +75,7 @@ let mk_fabric ~machine ~(priv : (int, line) Hashtbl.t array)
     Fabric.config = machine;
     energy = Energy.create ();
     stats = Pstats.create ();
+    obs = Warden_obs.Obs.create machine;
     peek_priv = (fun ~core ~blk -> Option.map probe_of (find_priv ~core ~blk));
     invalidate_priv =
       (fun ~core ~blk ->

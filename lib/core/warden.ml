@@ -3,6 +3,8 @@ open Warden_cache
 open Warden_machine
 open Warden_proto
 open States
+module Obs = Warden_obs.Obs
+module Oev = Warden_obs.Events
 
 module P = struct
   type t = {
@@ -72,6 +74,7 @@ module P = struct
       g.Mesi.fill <- data;
       g.Mesi.latency <- to_home + shared_lat + from_home
     end;
+    Obs.event f.Fabric.obs ~code:Oev.ward_grant ~core ~blk ~arg:g.Mesi.latency;
     g
 
   let handle_request t ~core ~blk ~write ~holds_s =
@@ -119,8 +122,14 @@ module P = struct
             && Dirstate.state dir e <> D_I
             && Dirstate.state dir e <> D_W
           then begin
-            let holders = List.length (Dirstate.holders dir e) in
-            stats.Pstats.recon_flushes <- stats.Pstats.recon_flushes + holders;
+            let holders = Dirstate.holders dir e in
+            stats.Pstats.recon_flushes <-
+              stats.Pstats.recon_flushes + List.length holders;
+            List.iter
+              (fun c ->
+                Obs.event t.fabric.Fabric.obs ~code:Oev.recon ~core:c ~blk
+                  ~arg:1)
+              holders;
             Mesi.flush_block t.fabric t.dir ~blk
           end);
       true
@@ -170,6 +179,8 @@ module P = struct
             if dirty then begin
               stats.Pstats.recon_flushes <-
                 stats.Pstats.recon_flushes + p.Fabric.levels;
+              Obs.event f.Fabric.obs ~code:Oev.recon ~core:s ~blk
+                ~arg:p.Fabric.levels;
               (* One data message per dirty block; the flush command itself
                  is per-region, not per-block. *)
               let ss = Fabric.socket_of_core f s in
@@ -194,6 +205,8 @@ module P = struct
             | Some p ->
                 stats.Pstats.recon_flushes <-
                   stats.Pstats.recon_flushes + p.Fabric.levels;
+                Obs.event f.Fabric.obs ~code:Oev.recon ~core:s ~blk
+                  ~arg:p.Fabric.levels;
                 let ss = Fabric.socket_of_core f s in
                 let dirty = Linedata.is_dirty p.Fabric.data in
                 if dirty then begin

@@ -1,5 +1,19 @@
 open Warden_mem
 
+type obs_level = Obs_off | Obs_counters | Obs_full
+
+let obs_level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "0" | "none" -> Some Obs_off
+  | "counters" | "1" -> Some Obs_counters
+  | "full" | "trace" | "2" -> Some Obs_full
+  | _ -> None
+
+let obs_level_to_string = function
+  | Obs_off -> "off"
+  | Obs_counters -> "counters"
+  | Obs_full -> "full"
+
 type t = {
   name : string;
   sockets : int;
@@ -27,6 +41,7 @@ type t = {
   sched_quantum : int;
   sim_domains : int;
   sim_quantum : int;
+  obs_level : obs_level;
 }
 
 (* Default shard count for newly built configs. Initialized from
@@ -45,6 +60,19 @@ let default_sim_domains =
 let set_default_sim_domains n =
   if n < 1 then invalid_arg "Config.set_default_sim_domains: nonpositive";
   default_sim_domains := n
+
+(* Same pattern for observability: WARDEN_OBS switches a whole run (the
+   CI overhead job sets it), --obs flags route to [set_default_obs_level]. *)
+let default_obs_level =
+  ref
+    (match Sys.getenv_opt "WARDEN_OBS" with
+    | None -> Obs_off
+    | Some s -> (
+        match obs_level_of_string s with
+        | Some l -> l
+        | None -> invalid_arg "WARDEN_OBS: expected off, counters or full"))
+
+let set_default_obs_level l = default_obs_level := l
 
 let num_cores t = t.sockets * t.cores_per_socket
 let num_threads t = num_cores t * t.threads_per_core
@@ -111,6 +139,7 @@ let base ~name ~sockets ~threads_per_core =
     sched_quantum = 4096;
     sim_domains = !default_sim_domains;
     sim_quantum = 8192;
+    obs_level = !default_obs_level;
   }
 
 let single_socket ?(threads_per_core = 1) () =
@@ -148,10 +177,11 @@ let pp fmt t =
      L1 %s/%d-way  L2 %s/%d-way  L3 %s-per-core/%d-way@,\
      latencies L1/L2/L3 %d-%d-%d cycles, DRAM +%d, hop %d, socket link %d%s@,\
      %.1f GHz, %d WARD regions, reconcile %d cyc/block, store buffer %d@,\
-     scheduler quantum %d, %d sim domain(s), commit quantum %d@]"
+     scheduler quantum %d, %d sim domain(s), commit quantum %d, obs %s@]"
     t.name t.sockets t.cores_per_socket t.threads_per_core (kb t.l1_bytes)
     t.l1_ways (kb t.l2_bytes) t.l2_ways (kb t.l3_bytes_per_core) t.l3_ways
     t.l1_lat t.l2_lat t.l3_lat t.dram_lat t.intra_hop_lat t.inter_socket_lat
     (if t.dram_remote then " (remote memory)" else "")
     t.freq_ghz t.ward_region_capacity t.reconcile_per_block
     t.store_buffer_entries t.sched_quantum t.sim_domains t.sim_quantum
+    (obs_level_to_string t.obs_level)

@@ -6,6 +6,18 @@
     Interconnect latencies are calibrated against the paper's Table 1
     ping-pong measurements (see [bench/main.ml], Table 1). *)
 
+type obs_level =
+  | Obs_off  (** No observability work at all (the default). *)
+  | Obs_counters
+      (** Histograms, heatmaps and event counters only — cheap enough for
+          benchmarking (CI enforces < 3% simulation-throughput cost). *)
+  | Obs_full  (** Counters plus per-event ring buffers for Chrome traces. *)
+
+val obs_level_of_string : string -> obs_level option
+(** Accepts [off]/[counters]/[full] (also [0]/[1]/[2], [none], [trace]). *)
+
+val obs_level_to_string : obs_level -> string
+
 type t = {
   name : string;
   sockets : int;
@@ -72,6 +84,11 @@ type t = {
           new window to the helper domains each time committed time
           crosses a quantum boundary. Purely a cadence knob — results are
           bit-identical for every positive value. *)
+  obs_level : obs_level;
+      (** Coherence-event observability (DESIGN.md §12). Recording never
+          feeds back into the simulation: simulated cycles, statistics and
+          energy are bit-identical across all three levels. Default
+          [Obs_off], or [WARDEN_OBS] when set. *)
 }
 
 val num_cores : t -> int
@@ -88,6 +105,10 @@ val set_default_sim_domains : int -> unit
 (** Default [sim_domains] for configs built after this call (the
     [--sim-domains] flags route here). Initialized from
     [WARDEN_SIM_DOMAINS], else [1]. *)
+
+val set_default_obs_level : obs_level -> unit
+(** Default [obs_level] for configs built after this call (the [--obs]
+    flags route here). Initialized from [WARDEN_OBS], else [Obs_off]. *)
 
 val num_shards : t -> int
 (** [sim_domains] clamped to the core count: every shard owns a core. *)

@@ -1,0 +1,61 @@
+(* Event codes are dense small ints so every recorder structure is a flat
+   array indexed by code. Keep [count] and the tables below in sync when
+   adding codes; test_obs pins the vocabulary. *)
+
+let l1_hit = 0
+let l2_hit = 1
+let miss = 2
+let upgrade = 3
+let invalidation = 4
+let downgrade = 5
+let ward_grant = 6
+let ward_enter = 7
+let ward_exit = 8
+let sb_stall = 9
+let recon = 10
+let count = 11
+
+let names =
+  [|
+    "l1-hit";
+    "l2-hit";
+    "miss";
+    "upgrade";
+    "inv";
+    "down";
+    "ward-grant";
+    "ward-enter";
+    "ward-exit";
+    "sb-stall";
+    "recon";
+  |]
+
+let name code =
+  if code < 0 || code >= count then invalid_arg "Events.name: bad code"
+  else names.(code)
+
+(* Hits are counted and histogrammed but never stored as individual
+   records: they are ~95% of accesses and carry no per-event information
+   beyond their (constant) latency. *)
+let traced code = code >= miss
+
+let duration_event code =
+  code = miss || code = upgrade || code = ward_grant || code = sb_stall
+
+(* Per-block heatmap columns. Misses and upgrades share a column: both are
+   "the directory was consulted for this block". *)
+let heat_classes = 5
+
+let heat_class code =
+  if code = miss || code = upgrade then 0
+  else if code = invalidation then 1
+  else if code = downgrade then 2
+  else if code = ward_grant then 3
+  else if code = recon then 4
+  else -1
+
+let heat_class_names = [| "misses"; "inv"; "down"; "ward-grant"; "recon" |]
+
+let heat_class_name c =
+  if c < 0 || c >= heat_classes then invalid_arg "Events.heat_class_name"
+  else heat_class_names.(c)

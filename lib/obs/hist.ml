@@ -1,0 +1,82 @@
+let nbuckets = 32
+
+type t = {
+  buckets : int array; (* classes * nbuckets, flat *)
+  counts : int array;
+  sums : int array;
+  classes : int;
+}
+
+let create ~classes =
+  {
+    buckets = Array.make (classes * nbuckets) 0;
+    counts = Array.make classes 0;
+    sums = Array.make classes 0;
+    classes;
+  }
+
+let bucket_of v =
+  if v < 2 then 0
+  else begin
+    (* floor(log2 v); latencies are small so the loop is a handful of
+       shifts — no float conversion, no allocation. *)
+    let b = ref 0 and v = ref v in
+    while !v > 1 do
+      incr b;
+      v := !v lsr 1
+    done;
+    if !b >= nbuckets then nbuckets - 1 else !b
+  end
+
+let add t ~cls v =
+  let b = bucket_of v in
+  let i = (cls * nbuckets) + b in
+  Array.unsafe_set t.buckets i (Array.unsafe_get t.buckets i + 1);
+  Array.unsafe_set t.counts cls (Array.unsafe_get t.counts cls + 1);
+  Array.unsafe_set t.sums cls (Array.unsafe_get t.sums cls + v)
+
+let check_cls t cls =
+  if cls < 0 || cls >= t.classes then invalid_arg "Hist: bad class"
+
+let get t ~cls ~bucket =
+  check_cls t cls;
+  if bucket < 0 || bucket >= nbuckets then invalid_arg "Hist: bad bucket";
+  t.buckets.((cls * nbuckets) + bucket)
+
+let count t ~cls =
+  check_cls t cls;
+  t.counts.(cls)
+
+let sum t ~cls =
+  check_cls t cls;
+  t.sums.(cls)
+
+let mean t ~cls =
+  check_cls t cls;
+  if t.counts.(cls) = 0 then 0.
+  else float_of_int t.sums.(cls) /. float_of_int t.counts.(cls)
+
+let render t ~cls ~title =
+  check_cls t cls;
+  if t.counts.(cls) = 0 then ""
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s (%d samples, mean %.1f)\n" title t.counts.(cls)
+         (mean t ~cls));
+    let max_count = ref 1 in
+    for b = 0 to nbuckets - 1 do
+      max_count := max !max_count t.buckets.((cls * nbuckets) + b)
+    done;
+    for b = 0 to nbuckets - 1 do
+      let c = t.buckets.((cls * nbuckets) + b) in
+      if c > 0 then begin
+        let lo = if b = 0 then 0 else 1 lsl b in
+        let hi = 1 lsl (b + 1) in
+        let bar = String.make (max 1 (c * 40 / !max_count)) '#' in
+        Buffer.add_string buf
+          (Printf.sprintf "  [%7d,%8d) %8d %s\n" lo hi c bar)
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,33 @@
+(** Log2-bucketed value histograms, one per event class.
+
+    Bucket [b] covers values in [[2^b, 2^(b+1))] (bucket 0 covers
+    [[0, 2)]); values beyond the last bucket saturate into it. Updates
+    are flat-array increments, so recording a value is allocation-free
+    and cheap enough for the per-access hot path. Counts and sums are
+    integers: merging or reading at any moment yields the same totals,
+    which is what lets the sharded engine fold at commit-quantum
+    barriers without perturbing anything observable. *)
+
+type t
+
+val nbuckets : int
+(** Buckets per class (32: values up to [2^31] keep full resolution). *)
+
+val create : classes:int -> t
+
+val add : t -> cls:int -> int -> unit
+(** Record one value for a class. *)
+
+val bucket_of : int -> int
+(** The bucket a value lands in. *)
+
+val get : t -> cls:int -> bucket:int -> int
+val count : t -> cls:int -> int
+val sum : t -> cls:int -> int
+
+val mean : t -> cls:int -> float
+(** Mean recorded value, or 0 when the class is empty. *)
+
+val render : t -> cls:int -> title:string -> string
+(** ASCII histogram of a class's non-empty buckets (empty string when the
+    class has no samples). *)

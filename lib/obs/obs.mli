@@ -1,0 +1,69 @@
+(** Observability facade: the one object the simulator layers talk to.
+
+    An [Obs.t] owns one {!Ring} per engine shard, the shared {!Hist},
+    {!Sink_heatmap} and {!Sink_chrome} sinks, and the current simulated
+    cycle. All recording happens on the engine's commit lane, which
+    drains events in global simulated order for every [sim_domains] — the
+    per-shard rings exist so the fold order into the Chrome sink is a
+    documented deterministic function of the configuration, not so that
+    recording can race.
+
+    Recording never feeds back: no call here mutates simulated state, so
+    cycles, statistics and energy are bit-identical across levels. At
+    [Obs_off] every entry point is one load + one branch. *)
+
+type t
+
+val create : Warden_machine.Config.t -> t
+(** Sized from the config: one ring per {!Warden_machine.Config.num_shards}. *)
+
+val enabled : t -> bool
+(** Counters level or above. *)
+
+val full : t -> bool
+(** Ring/trace recording active. *)
+
+val level : t -> Warden_machine.Config.obs_level
+
+val set_now : t -> int -> unit
+(** Advance the recorder's view of simulated time. The engine calls this
+    when the commit lane adopts an event's timestamp; only ring records
+    consume it, so paths that cannot ring (plain hits) may skip it. *)
+
+val access : t -> cls:int -> core:int -> blk:int -> lat:int -> unit
+(** Record one memory access of class [cls] ({!Events.l1_hit} ..
+    {!Events.upgrade}) with its total latency. *)
+
+val event : t -> code:int -> core:int -> blk:int -> arg:int -> unit
+(** Record one coherence event ({!Events.invalidation} .. {!Events.recon},
+    except the region pair — see {!region}). *)
+
+val region : t -> core:int -> lo:int -> hi:int -> exit:bool -> flushed:int -> unit
+(** Record a WARD region activation or deactivation over byte range
+    [\[lo, hi)]; [flushed] is the reconciliation flush count (exit only). *)
+
+val fold : t -> unit
+(** Drain every shard ring into the Chrome sink, in shard order. The
+    engine calls this at commit-quantum barriers and at the end of a run;
+    it is idempotent on empty rings. *)
+
+(** {2 Reading the sinks} *)
+
+val count : t -> int -> int
+(** Occurrences of an event code. *)
+
+val sum : t -> int -> int
+(** Arg-weighted total of an event code: total latency cycles for access
+    classes, total cache levels for invalidations / downgrades — the
+    quantity the protocol statistics banks accumulate, so e.g.
+    [sum obs Events.invalidation = Pstats.invalidations] exactly. *)
+
+val hist : t -> Hist.t
+(** Per-event-class value histograms (class = event code). *)
+
+val heat : t -> Sink_heatmap.t
+val chrome : t -> Sink_chrome.t
+
+val render_summary : t -> string
+(** Human-readable profile: event counts, latency histograms, hottest
+    blocks, WARD region table. *)

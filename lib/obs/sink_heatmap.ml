@@ -1,0 +1,157 @@
+open Warden_util
+
+(* Rows live in growable flat arrays; the Itab maps a block (or a region's
+   lo address) to its row index. Growth doubles and only happens on the
+   first touch of a new block — never on the steady-state path. *)
+
+type t = {
+  slots : int ref Itab.t; (* blk -> row; ref shared with nothing else *)
+  mutable blks : int array; (* row -> blk *)
+  mutable cells : int array; (* row * heat_classes + cls *)
+  warded : Bitset.t; (* rows ever covered by a WARD region *)
+  mutable rows : int;
+  (* regions, keyed by lo *)
+  rslots : int ref Itab.t;
+  mutable rlo : int array;
+  mutable rhi : int array;
+  mutable renters : int array;
+  mutable rexits : int array;
+  mutable rflushed : int array;
+  mutable rrows : int;
+}
+
+let ncls = Events.heat_classes
+let no_row = ref (-1)
+
+let create () =
+  {
+    slots = Itab.create ~dummy:no_row ();
+    blks = Array.make 64 0;
+    cells = Array.make (64 * ncls) 0;
+    warded = Bitset.create ();
+    rows = 0;
+    rslots = Itab.create ~dummy:no_row ();
+    rlo = Array.make 8 0;
+    rhi = Array.make 8 0;
+    renters = Array.make 8 0;
+    rexits = Array.make 8 0;
+    rflushed = Array.make 8 0;
+    rrows = 0;
+  }
+
+let grow a = Array.append a (Array.make (Array.length a) 0)
+
+let row_of t blk =
+  let r = !(Itab.find_or t.slots blk ~default:no_row) in
+  if r >= 0 then r
+  else begin
+    let row = t.rows in
+    if row >= Array.length t.blks then begin
+      t.blks <- grow t.blks;
+      t.cells <- grow t.cells
+    end;
+    t.blks.(row) <- blk;
+    t.rows <- row + 1;
+    ignore (Itab.find_or_add t.slots blk ~make:(fun _ -> ref row));
+    row
+  end
+
+let touch_block t ~blk ~cls =
+  let row = row_of t blk in
+  let i = (row * ncls) + cls in
+  t.cells.(i) <- t.cells.(i) + 1
+
+let mark_ward t ~blk = Bitset.add t.warded (row_of t blk)
+
+let rrow_of t lo =
+  let r = !(Itab.find_or t.rslots lo ~default:no_row) in
+  if r >= 0 then r
+  else begin
+    let row = t.rrows in
+    if row >= Array.length t.rlo then begin
+      t.rlo <- grow t.rlo;
+      t.rhi <- grow t.rhi;
+      t.renters <- grow t.renters;
+      t.rexits <- grow t.rexits;
+      t.rflushed <- grow t.rflushed
+    end;
+    t.rlo.(row) <- lo;
+    t.rrows <- row + 1;
+    ignore (Itab.find_or_add t.rslots lo ~make:(fun _ -> ref row));
+    row
+  end
+
+let touch_region t ~lo ~hi ~exit ~flushed =
+  let row = rrow_of t lo in
+  t.rhi.(row) <- max t.rhi.(row) hi;
+  if exit then begin
+    t.rexits.(row) <- t.rexits.(row) + 1;
+    t.rflushed.(row) <- t.rflushed.(row) + flushed
+  end
+  else t.renters.(row) <- t.renters.(row) + 1
+
+let blocks t = t.rows
+
+let block_count t ~blk ~cls =
+  let r = !(Itab.find_or t.slots blk ~default:no_row) in
+  if r < 0 then 0 else t.cells.((r * ncls) + cls)
+
+let row_total t row =
+  let s = ref 0 in
+  for c = 0 to ncls - 1 do
+    s := !s + t.cells.((row * ncls) + c)
+  done;
+  !s
+
+let top_blocks t ~n =
+  let rows = Array.init t.rows Fun.id in
+  Array.sort
+    (fun a b ->
+      let ta = row_total t a and tb = row_total t b in
+      if ta <> tb then compare tb ta else compare t.blks.(a) t.blks.(b))
+    rows;
+  let n = min n t.rows in
+  List.init n (fun i ->
+      let row = rows.(i) in
+      ( t.blks.(row),
+        Array.init ncls (fun c -> t.cells.((row * ncls) + c)),
+        Bitset.mem t.warded row ))
+
+let regions t =
+  List.sort compare
+    (List.init t.rrows (fun row ->
+         (t.rlo.(row), t.rhi.(row), t.renters.(row), t.rexits.(row),
+          t.rflushed.(row))))
+
+let render_blocks t ~n =
+  let header =
+    "block" :: List.init ncls Events.heat_class_name @ [ "ward?" ]
+  in
+  let rows =
+    List.map
+      (fun (blk, cells, ward) ->
+        Printf.sprintf "0x%x" blk
+        :: List.map string_of_int (Array.to_list cells)
+        @ [ (if ward then "yes" else "") ])
+      (top_blocks t ~n)
+  in
+  if rows = [] then "(no block events recorded)\n"
+  else Table.render ~header ~rows
+
+let render_regions t =
+  let rows =
+    List.map
+      (fun (lo, hi, enters, exits, flushed) ->
+        [
+          Printf.sprintf "[0x%x,0x%x)" lo hi;
+          string_of_int enters;
+          string_of_int exits;
+          string_of_int flushed;
+        ])
+      (regions t)
+  in
+  if rows = [] then "(no WARD regions recorded)\n"
+  else
+    Table.render
+      ~header:[ "region"; "enters"; "exits"; "flushed blocks" ]
+      ~rows

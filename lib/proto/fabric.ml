@@ -6,6 +6,7 @@ type t = {
   config : Config.t;
   energy : Energy.t;
   stats : Pstats.t;
+  obs : Warden_obs.Obs.t;
   peek_priv : core:int -> blk:int -> probe option;
   invalidate_priv : core:int -> blk:int -> probe option;
   downgrade_priv : core:int -> blk:int -> probe option;

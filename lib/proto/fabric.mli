@@ -18,6 +18,10 @@ type t = {
   config : Warden_machine.Config.t;
   energy : Warden_machine.Energy.t;
   stats : Pstats.t;
+  obs : Warden_obs.Obs.t;
+      (** Event recorder (DESIGN.md §12); a no-op shell at [Obs_off].
+          Protocols report invalidations, downgrades, WARD traffic and
+          reconciliation through it — never simulated state. *)
   peek_priv : core:int -> blk:int -> probe option;
       (** Observe a private copy without changing it. *)
   invalidate_priv : core:int -> blk:int -> probe option;

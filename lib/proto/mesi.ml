@@ -21,21 +21,24 @@ let fresh_grant () = { pstate = P_S; fill = no_fill; latency = 0 }
 (* Invalidate [target]'s copy, counting one invalidation per cache level
    holding the line (the paper counts coherence events per cache). Returns
    the extracted copy. *)
-let invalidate_counted (f : Fabric.t) ~core probe_result =
+let invalidate_counted (f : Fabric.t) ~core ~blk probe_result =
   match probe_result with
   | None -> None
   | Some p ->
-      ignore core;
       f.Fabric.stats.Pstats.invalidations <-
         f.Fabric.stats.Pstats.invalidations + p.Fabric.levels;
+      Warden_obs.Obs.event f.Fabric.obs ~code:Warden_obs.Events.invalidation
+        ~core ~blk ~arg:p.Fabric.levels;
       Some p
 
-let downgrade_counted (f : Fabric.t) probe_result =
+let downgrade_counted (f : Fabric.t) ~core ~blk probe_result =
   match probe_result with
   | None -> None
   | Some p ->
       f.Fabric.stats.Pstats.downgrades <-
         f.Fabric.stats.Pstats.downgrades + p.Fabric.levels;
+      Warden_obs.Obs.event f.Fabric.obs ~code:Warden_obs.Events.downgrade
+        ~core ~blk ~arg:p.Fabric.levels;
       Some p
 
 let handle_request (f : Fabric.t) dir (g : grant) ~core ~blk ~write ~holds_s =
@@ -77,7 +80,8 @@ let handle_request (f : Fabric.t) dir (g : grant) ~core ~blk ~write ~holds_s =
             Fabric.dir_msg f ~socket:ss ~blk ~data:false;
             Fabric.msg f ~from_socket:ss ~to_socket:cs ~data:false;
             ignore
-              (invalidate_counted f ~core:s (f.Fabric.invalidate_priv ~core:s ~blk));
+              (invalidate_counted f ~core:s ~blk
+                 (f.Fabric.invalidate_priv ~core:s ~blk));
             inv_lat :=
               max !inv_lat
                 (Fabric.dir_hop f ~socket:ss ~blk
@@ -108,8 +112,9 @@ let handle_request (f : Fabric.t) dir (g : grant) ~core ~blk ~write ~holds_s =
       Fabric.msg f ~from_socket:os ~to_socket:cs ~data:true;
       let probe =
         if write then
-          invalidate_counted f ~core:o (f.Fabric.invalidate_priv ~core:o ~blk)
-        else downgrade_counted f (f.Fabric.downgrade_priv ~core:o ~blk)
+          invalidate_counted f ~core:o ~blk
+            (f.Fabric.invalidate_priv ~core:o ~blk)
+        else downgrade_counted f ~core:o ~blk (f.Fabric.downgrade_priv ~core:o ~blk)
       in
       let owner_line =
         match probe with

@@ -1,6 +1,8 @@
 open Warden_util
 open Warden_mem
 open Warden_machine
+module Obs = Warden_obs.Obs
+module Oev = Warden_obs.Events
 
 type _ Effect.t +=
   | E_load : (Addr.t * int) -> int64 Effect.t
@@ -44,6 +46,9 @@ type tstate = {
 type t = {
   ms : Memsys.t;
   cfg : Config.t;
+  obs : Obs.t; (* cached from [Memsys.obs] *)
+  obs_on : bool;
+  obs_full : bool;
   stats : Sstats.t; (* cached: lane-owned fields, untouched by folds *)
   quantum : int; (* inline quantum, Config.sched_quantum *)
   cquantum : int; (* commit quantum (cycles), Config.sim_quantum *)
@@ -80,9 +85,13 @@ let create cfg ~proto =
   in
   let shards = Config.num_shards cfg in
   let ms = Memsys.create cfg ~proto in
+  let obs = Memsys.obs ms in
   {
     ms;
     cfg;
+    obs;
+    obs_on = Obs.enabled obs;
+    obs_full = Obs.full obs;
     stats = Memsys.sstats ms;
     quantum = cfg.Config.sched_quantum;
     cquantum = max 1 cfg.Config.sim_quantum;
@@ -143,7 +152,18 @@ let commit_store t st lat =
   drain_ready st;
   if st.sb_len >= t.cfg.Config.store_buffer_entries then begin
     t.stats.Sstats.sb_stalls <- t.stats.Sstats.sb_stalls + 1;
-    st.time <- max st.time (sb_pop st)
+    let ready = sb_pop st in
+    if t.obs_on then begin
+      (* Explicit [set_now]: the inline fast path reaches here without
+         passing through a scheduled closure. No block is at fault for a
+         full buffer, so the record carries none. *)
+      Obs.set_now t.obs st.time;
+      Obs.event t.obs ~code:Oev.sb_stall
+        ~core:(Config.core_of_thread t.cfg st.tid)
+        ~blk:(-1)
+        ~arg:(max 0 (ready - st.time))
+    end;
+    st.time <- max st.time ready
   end;
   sb_push st (st.time + lat);
   st.time <- st.time + 1;
@@ -154,7 +174,10 @@ let commit_store t st lat =
    is empty and every access goes through the queue (legacy behavior). *)
 let resume t (st : tstate) =
   t.cur_st <- st;
-  st.qlimit <- st.time + t.quantum
+  st.qlimit <- st.time + t.quantum;
+  (* The recorder timestamps ring records with the resumed event's issue
+     time; only full mode rings, so off/counters skip the store. *)
+  if t.obs_full then Obs.set_now t.obs st.time
 
 (* Enqueue into the thread's shard queue under the global sequence
    counter. Assignment order is identical for every shard count — all
@@ -229,6 +252,7 @@ let select t =
 let barrier t p =
   ignore (Memsys.sstats t.ms : Sstats.t);
   ignore (Memsys.energy t.ms : Energy.t);
+  if t.obs_full then Obs.fold t.obs;
   Atomic.incr t.window;
   t.next_window <- ((p / t.cquantum) + 1) * t.cquantum
 
@@ -313,13 +337,13 @@ let handler t st =
                     resume t st;
                     st.time <- st.time + 1;
                     retire t st 1;
-                    continue k (Memsys.region_add t.ms ~lo ~hi)))
+                    continue k (Memsys.region_add t.ms ~thread:st.tid ~lo ~hi)))
         | E_region_remove (lo, hi) ->
             Some
               (fun k ->
                 enqueue t st (fun () ->
                     resume t st;
-                    let lat = Memsys.region_remove t.ms ~lo ~hi in
+                    let lat = Memsys.region_remove t.ms ~thread:st.tid ~lo ~hi in
                     st.time <- st.time + 1 + lat;
                     retire t st 1;
                     continue k ()))
@@ -363,6 +387,7 @@ let run t bodies =
         end
       in
       loop ());
+  if t.obs_full then Obs.fold t.obs;
   let makespan = ref 0 in
   for tid = 0 to n - 1 do
     drain_all t.threads.(tid);

@@ -2,6 +2,8 @@ open Warden_mem
 open Warden_cache
 open Warden_machine
 open Warden_proto
+module Obs = Warden_obs.Obs
+module Oev = Warden_obs.Events
 
 (* Per-shard accounting accumulator. Access-path counters (and the L1/L2
    energy events they imply) are banked per shard so the commit lane can
@@ -40,6 +42,8 @@ type t = {
   sstats : Sstats.t;
   accts : acct array; (* one per shard, Config.num_shards *)
   core_shard : int array; (* shard of each core, precomputed *)
+  obs : Obs.t;
+  obs_on : bool; (* cached [Obs.enabled]: keeps the off path to one branch *)
   store : Store.t;
   llc : Llc.t;
   mutable priv : Privcache.t array;
@@ -94,6 +98,7 @@ let energy t =
   t.energy
 
 let acct_of_core t core = t.accts.(Array.unsafe_get t.core_shard core)
+let obs t = t.obs
 
 let create cfg ~proto =
   let energy = Energy.create () in
@@ -101,12 +106,15 @@ let create cfg ~proto =
   let sstats = Sstats.create ~threads:(Config.num_threads cfg) in
   let store = Store.create () in
   let llc = Llc.create cfg store in
+  let obs = Obs.create cfg in
   let t =
     {
       cfg;
       energy;
       pstats;
       sstats;
+      obs;
+      obs_on = Obs.enabled obs;
       accts = Array.init (Config.num_shards cfg) (fun _ -> acct_create ());
       core_shard =
         Array.init (Config.num_cores cfg) (Config.shard_of_core cfg);
@@ -128,6 +136,7 @@ let create cfg ~proto =
       Fabric.config = cfg;
       energy;
       stats = pstats;
+      obs;
       peek_priv = (fun ~core ~blk -> Privcache.peek t.priv.(core) ~blk);
       invalidate_priv = (fun ~core ~blk -> Privcache.invalidate t.priv.(core) ~blk);
       downgrade_priv = (fun ~core ~blk -> Privcache.downgrade t.priv.(core) ~blk);
@@ -157,10 +166,13 @@ let access_line t ~thread ~blk ~write =
   match Privcache.lookup pc ~blk ~write with
   | Privcache.Hit { line; lat; level } ->
       (match level with
-      | `L1 -> a.a_l1_hits <- a.a_l1_hits + 1
+      | `L1 ->
+          a.a_l1_hits <- a.a_l1_hits + 1;
+          if t.obs_on then Obs.access t.obs ~cls:Oev.l1_hit ~core ~blk ~lat
       | `L2 ->
           a.a_l2_hits <- a.a_l2_hits + 1;
-          a.a_l2_evts <- a.a_l2_evts + 1);
+          a.a_l2_evts <- a.a_l2_evts + 1;
+          if t.obs_on then Obs.access t.obs ~cls:Oev.l2_hit ~core ~blk ~lat);
       (line, lat)
   | Privcache.Upgrade line ->
       a.a_priv_misses <- a.a_priv_misses + 1;
@@ -172,7 +184,9 @@ let access_line t ~thread ~blk ~write =
       if Mesi.has_fill g then
         Linedata.fill_from line.Privcache.data g.Mesi.fill;
       line.Privcache.state <- g.Mesi.pstate;
-      (line, t.cfg.Config.l2_lat + g.Mesi.latency)
+      let lat = t.cfg.Config.l2_lat + g.Mesi.latency in
+      if t.obs_on then Obs.access t.obs ~cls:Oev.upgrade ~core ~blk ~lat;
+      (line, lat)
   | Privcache.Miss ->
       a.a_priv_misses <- a.a_priv_misses + 1;
       a.a_l2_evts <- a.a_l2_evts + 1;
@@ -181,7 +195,9 @@ let access_line t ~thread ~blk ~write =
       in
       assert (Mesi.has_fill g);
       let line = Privcache.fill pc ~blk g.Mesi.pstate g.Mesi.fill in
-      (line, t.cfg.Config.l2_lat + g.Mesi.latency)
+      let lat = t.cfg.Config.l2_lat + g.Mesi.latency in
+      if t.obs_on then Obs.access t.obs ~cls:Oev.miss ~core ~blk ~lat;
+      (line, lat)
 
 let load t ~thread addr ~size =
   let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
@@ -228,16 +244,20 @@ let rmw t ~thread addr ~size f =
 
    Returns the serving level's latency and counts its events. *)
 
-let fast_hit_accounting t (a : acct) (l1 : bool) =
+let fast_hit_accounting t (a : acct) ~core ~blk (l1 : bool) =
   a.a_l1_evts <- a.a_l1_evts + 1;
   if l1 then begin
     a.a_l1_hits <- a.a_l1_hits + 1;
-    t.cfg.Config.l1_lat
+    let lat = t.cfg.Config.l1_lat in
+    if t.obs_on then Obs.access t.obs ~cls:Oev.l1_hit ~core ~blk ~lat;
+    lat
   end
   else begin
     a.a_l2_hits <- a.a_l2_hits + 1;
     a.a_l2_evts <- a.a_l2_evts + 1;
-    t.cfg.Config.l2_lat
+    let lat = t.cfg.Config.l2_lat in
+    if t.obs_on then Obs.access t.obs ~cls:Oev.l2_hit ~core ~blk ~lat;
+    lat
   end
 
 let fast_value t = t.fast_value
@@ -253,7 +273,7 @@ let try_fast_load t ~thread addr ~size =
     a.a_loads <- a.a_loads + 1;
     t.fast_value <-
       Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size;
-    fast_hit_accounting t a (Privcache.last_l1 pc)
+    fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
 let try_fast_store t ~thread addr ~size v =
@@ -266,7 +286,7 @@ let try_fast_store t ~thread addr ~size v =
     let a = acct_of_core t core in
     a.a_stores <- a.a_stores + 1;
     write_line line ~off:(Addr.offset_in_block addr) ~size v;
-    fast_hit_accounting t a (Privcache.last_l1 pc)
+    fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
 let try_fast_rmw t ~thread addr ~size f =
@@ -282,7 +302,7 @@ let try_fast_rmw t ~thread addr ~size f =
     let old = Linedata.load line.Privcache.data ~off ~size in
     write_line line ~off ~size (f old);
     t.fast_value <- old;
-    fast_hit_accounting t a (Privcache.last_l1 pc)
+    fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
 (* Pure hint probe for the sharded engine's helper domains: touch the
@@ -294,8 +314,28 @@ let prefetch t ~core ~blk =
   Privcache.prefetch t.priv.(core) ~blk
   + Store.prefetch t.store (Addr.base_of_block blk)
 
-let region_add t ~lo ~hi = Protocol.region_add (the_proto t) ~lo ~hi
-let region_remove t ~lo ~hi = Protocol.region_remove (the_proto t) ~lo ~hi
+(* Region activity is recorded here — not in the protocols — so the trace
+   reflects the runtime's annotations under MESI too, where the protocol
+   itself ignores them. [flushed] is recovered from the charged latency
+   (exactly [flushed * reconcile_per_block] by construction). *)
+let region_add t ~thread ~lo ~hi =
+  let ok = Protocol.region_add (the_proto t) ~lo ~hi in
+  (* Even a rejected attempt (always, under MESI) is an annotation the
+     profile should show, and the stats banks count it. *)
+  if t.obs_on then
+    Obs.region t.obs
+      ~core:(Config.core_of_thread t.cfg thread)
+      ~lo ~hi ~exit:false ~flushed:0;
+  ok
+
+let region_remove t ~thread ~lo ~hi =
+  let lat = Protocol.region_remove (the_proto t) ~lo ~hi in
+  if t.obs_on then
+    Obs.region t.obs
+      ~core:(Config.core_of_thread t.cfg thread)
+      ~lo ~hi ~exit:true
+      ~flushed:(lat / max 1 t.cfg.Config.reconcile_per_block);
+  lat
 
 let alloc t ~bytes ~align =
   if align <= 0 || align land (align - 1) <> 0 then

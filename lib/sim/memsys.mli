@@ -26,6 +26,10 @@ val sstats : t -> Sstats.t
 val energy : t -> Warden_machine.Energy.t
 (** Merged energy model; folds shard banks like {!sstats}. *)
 
+val obs : t -> Warden_obs.Obs.t
+(** The run's event recorder (DESIGN.md §12). The same instance is exposed
+    to the protocols through the fabric; at [Obs_off] it records nothing. *)
+
 val load : t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 * int
 (** Value and latency (cycles). *)
 
@@ -77,8 +81,11 @@ val prefetch : t -> core:int -> blk:int -> int
     simulator state. Safe to call from a helper domain while the commit
     lane runs; the returned value is advisory and must only feed a sink. *)
 
-val region_add : t -> lo:int -> hi:int -> bool
-val region_remove : t -> lo:int -> hi:int -> int
+val region_add : t -> thread:int -> lo:int -> hi:int -> bool
+(** Activate a WARD region, recording the activation against [thread]'s
+    core (observability only — the protocol sees just the range). *)
+
+val region_remove : t -> thread:int -> lo:int -> hi:int -> int
 
 val alloc : t -> bytes:int -> align:int -> Warden_mem.Addr.t
 (** Fresh simulated memory from a global bump allocator. Addresses are

@@ -1,0 +1,48 @@
+type t = {
+  positionals : string list;
+  flags : (string * string option) list; (* in argv order *)
+}
+
+let is_flag tok = String.length tok > 1 && tok.[0] = '-'
+
+let create ?(value_flags = []) argv =
+  let takes_value tok = List.exists (List.mem tok) value_flags in
+  let rec scan i pos flags =
+    if i >= Array.length argv then (List.rev pos, List.rev flags)
+    else
+      let tok = argv.(i) in
+      if not (is_flag tok) then scan (i + 1) (tok :: pos) flags
+      else
+        match String.index_opt tok '=' with
+        | Some eq ->
+            let name = String.sub tok 0 eq in
+            let v = String.sub tok (eq + 1) (String.length tok - eq - 1) in
+            scan (i + 1) pos ((name, Some v) :: flags)
+        | None ->
+            if
+              takes_value tok
+              && i + 1 < Array.length argv
+              && not (is_flag argv.(i + 1))
+            then scan (i + 2) pos ((tok, Some argv.(i + 1)) :: flags)
+            else scan (i + 1) pos ((tok, None) :: flags)
+  in
+  let positionals, flags = scan 1 [] [] in
+  { positionals; flags }
+
+let positionals t = t.positionals
+let has t name = List.mem_assoc name t.flags
+
+let string_flag t aliases =
+  List.find_map
+    (fun (name, v) -> if List.mem name aliases then v else None)
+    t.flags
+
+let int_flag t aliases =
+  if not (List.exists (has t) aliases) then None
+  else
+    match string_flag t aliases with
+    | None -> invalid_arg (List.hd aliases ^ ": missing value")
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Some n
+        | _ -> invalid_arg (List.hd aliases ^ ": expected a positive integer"))

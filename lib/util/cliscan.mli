@@ -1,0 +1,34 @@
+(** A small, predictable argv scanner for the bench harness's hand-rolled
+    modes (the main CLI uses cmdliner; the harness cannot, because its
+    modes predate it and CI scripts depend on their exact shape).
+
+    The scanner fixes a classic hand-rolled-parser bug: a value flag must
+    not swallow a following {e flag} as its value. Here a value flag
+    consumes the next token only when one exists and does not start with
+    ['-']; [--flag=value] is always accepted. Tokens consumed as values
+    never appear among the positionals, and unknown or value-less flags
+    are dropped alone rather than taking a neighbor with them. *)
+
+type t
+
+val create : ?value_flags:string list list -> string array -> t
+(** [create ~value_flags argv] scans [argv] (element 0, the program name,
+    is ignored). [value_flags] groups aliases of flags that expect one
+    value, e.g. [[["--jobs"; "-j"]; ["--obs"]]]; all other ['-']-prefixed
+    tokens are presence-only. *)
+
+val positionals : t -> string list
+(** Non-flag tokens that were not consumed as a flag's value, in order. *)
+
+val has : t -> string -> bool
+(** Whether a flag (by any single spelling) appeared at all. *)
+
+val string_flag : t -> string list -> string option
+(** Value of the first occurrence of any alias in the list, if a value
+    was supplied ([--flag value] or [--flag=value]). *)
+
+val int_flag : t -> string list -> int option
+(** Like {!string_flag}, parsed as a positive integer. Raises
+    [Invalid_argument] when the flag appears with a missing or
+    non-positive-integer value — a flag the user typed must not be
+    silently ignored. *)

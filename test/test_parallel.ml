@@ -87,9 +87,67 @@ let effective_jobs_test () =
           r)
     [ (1, 1); (1, 4); (2, 2); (4, 4); (16, 2); (64, 64); (0, 0); (3, 1) ]
 
+(* 4. Cliscan: the bench harness's argv scanner. The regression it pins:
+   a value flag (e.g. --jobs) followed immediately by another flag used
+   to swallow that flag as its value, so
+     bench.exe compare --jobs --sim-domains 2
+   silently lost --sim-domains AND misread --jobs. A value flag must only
+   consume a following non-flag token. *)
+let cliscan_test () =
+  let module C = Warden_util.Cliscan in
+  let value_flags = [ [ "--jobs"; "-j" ]; [ "--sim-domains" ]; [ "--obs" ] ] in
+  let scan args = C.create ~value_flags (Array.of_list ("bench.exe" :: args)) in
+  (* the regression case *)
+  let t = scan [ "compare"; "--jobs"; "--sim-domains"; "2" ] in
+  Alcotest.(check (list string))
+    "flag not swallowed as a value" [ "compare" ] (C.positionals t);
+  Alcotest.(check bool) "--jobs still seen" true (C.has t "--jobs");
+  Alcotest.(check int)
+    "--sim-domains kept its value" 2
+    (Option.get (C.int_flag t [ "--sim-domains" ]));
+  Alcotest.check_raises "--jobs without a value is an error"
+    (Invalid_argument "--jobs: missing value") (fun () ->
+      ignore (C.int_flag t [ "--jobs"; "-j" ]));
+  (* ordinary shapes keep working *)
+  let t = scan [ "compare"; "a.json"; "b.json"; "--jobs"; "4" ] in
+  Alcotest.(check (list string))
+    "positionals in order"
+    [ "compare"; "a.json"; "b.json" ]
+    (C.positionals t);
+  Alcotest.(check int) "--jobs value" 4 (Option.get (C.int_flag t [ "--jobs" ]));
+  let t = scan [ "json"; "--jobs=8"; "--obs"; "counters" ] in
+  Alcotest.(check int) "--jobs=8 form" 8 (Option.get (C.int_flag t [ "--jobs" ]));
+  Alcotest.(check (option string))
+    "--obs value" (Some "counters")
+    (C.string_flag t [ "--obs" ]);
+  Alcotest.(check (list string))
+    "values never leak into positionals" [ "json" ] (C.positionals t);
+  (* presence-only flags are dropped alone *)
+  let t = scan [ "quick"; "--overhead"; "x.json" ] in
+  Alcotest.(check bool) "presence flag seen" true (C.has t "--overhead");
+  Alcotest.(check (list string))
+    "presence flag takes no neighbor" [ "quick"; "x.json" ] (C.positionals t)
+
+let cliscan_bad_value_test () =
+  let module C = Warden_util.Cliscan in
+  let t =
+    C.create
+      ~value_flags:[ [ "--jobs" ] ]
+      [| "bench.exe"; "--jobs"; "zero" |]
+  in
+  Alcotest.check_raises "non-integer value is an error"
+    (Invalid_argument "--jobs: expected a positive integer") (fun () ->
+      ignore (C.int_flag t [ "--jobs" ]))
+
 let suite =
   List.map domain_sweep_test [ "fib"; "msort"; "palindrome" ]
   @ [ quantum_sweep_test "fib" ]
   @ [ Alcotest.test_case "Pool.effective_jobs cap" `Quick effective_jobs_test ]
+  @ [
+      Alcotest.test_case "Cliscan flag-swallowing regression" `Quick
+        cliscan_test;
+      Alcotest.test_case "Cliscan rejects bad values" `Quick
+        cliscan_bad_value_test;
+    ]
 
 let () = Alcotest.run "warden-parallel" [ ("parallel", suite) ]

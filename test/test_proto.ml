@@ -31,6 +31,7 @@ let mk_mini ?(cfg = Config.dual_socket ()) () =
       Fabric.config = cfg;
       energy = Energy.create ();
       stats = Pstats.create ();
+      obs = Warden_obs.Obs.create cfg;
       peek_priv = probe;
       invalidate_priv =
         (fun ~core ~blk ->
