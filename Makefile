@@ -10,8 +10,8 @@ MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
 .PHONY: all build test check fmt bench bench-quick bench-json bench-compare \
-        bench-overhead profile all_pbbs single_pbbs activate_one_socket \
-        activate_two_socket examples clean
+        bench-overhead bench-scaling profile all_pbbs single_pbbs \
+        activate_one_socket activate_two_socket examples clean
 
 all: build
 
@@ -45,6 +45,14 @@ bench-json:
 # below the committed BENCH_baseline.json. Run bench-json first.
 bench-compare:
 	dune exec bench/main.exe -- compare
+
+# Sharded-speedup gate: run the quick suite at sim_domains 1 and 4 and
+# fail unless D=4 delivers at least 1.7x the D=1 simulated MIPS with no
+# per-kernel regression at D=1. Self-skips (exit 0, with a notice) on
+# hosts with fewer than 4 cores, where the gate cannot measure real
+# parallelism; CI enforces it on >= 4-core runners.
+bench-scaling:
+	dune exec bench/main.exe -- scaling
 
 # Observability overhead gate: snapshot the suite with the event recorder
 # off and again at counters level, then fail if counters cost more than

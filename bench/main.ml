@@ -21,14 +21,16 @@ module Cliscan = Warden_util.Cliscan
    path). Mode words are positionals; the rest are flags. *)
 let cli =
   Cliscan.create
-    ~value_flags:[ [ "--jobs"; "-j" ]; [ "--sim-domains" ]; [ "--obs" ] ]
+    ~value_flags:
+      [ [ "--jobs"; "-j" ]; [ "--sim-domains" ]; [ "--obs" ]; [ "--sim-spec" ] ]
     Sys.argv
 
-let mode_words = [ "quick"; "json"; "compare" ]
+let mode_words = [ "quick"; "json"; "compare"; "scaling" ]
 let has_mode w = List.mem w (Cliscan.positionals cli)
 let quick = has_mode "quick"
 let json_mode = has_mode "json"
 let compare_mode = has_mode "compare"
+let scaling_mode = has_mode "scaling"
 
 (* Positionals that are not mode words: the compare mode's snapshot paths. *)
 let snapshot_args =
@@ -41,6 +43,19 @@ let sim_domains =
   | Some n -> Config.set_default_sim_domains n
   | None -> ());
   (Config.dual_socket ()).Config.sim_domains
+
+(* [--sim-spec on|off] (or WARDEN_SIM_SPEC) toggles speculative shard
+   execution; off leaves sharding but makes D > 1 lane-only. *)
+let () =
+  match Cliscan.string_flag cli [ "--sim-spec" ] with
+  | Some s -> (
+      match String.lowercase_ascii s with
+      | "on" | "1" | "true" | "yes" -> Config.set_default_sim_spec true
+      | "off" | "0" | "false" | "no" -> Config.set_default_sim_spec false
+      | _ -> invalid_arg "--sim-spec: expected on or off")
+  | None ->
+      if Cliscan.has cli "--sim-spec" then
+        invalid_arg "--sim-spec: expected on or off"
 
 (* [--obs LEVEL] (or WARDEN_OBS) turns event recording on for every
    simulation in the run; the CI overhead gate benches off vs counters. *)
@@ -208,7 +223,7 @@ let run_ablations () =
 (* Part 2b: scaling studies (the 7.3 forward-looking claims)           *)
 (* ------------------------------------------------------------------ *)
 
-let run_scaling () =
+let run_scaling_studies () =
   section "Part 2b: scaling studies (7.3)";
   let names = [ "dmm"; "msort"; "palindrome"; "quickhull" ] in
   print_string (Experiments.render_worker_scaling ~quick:true ~jobs ~names ());
@@ -294,7 +309,7 @@ let json_escape s =
 
 (* Simulator throughput: wall-clock the quick dual-socket suite and count
    the simulated instructions it retires. *)
-let measure_sim_throughput () =
+let measure_sim_throughput ?(jobs = jobs) () =
   let t0 = Unix.gettimeofday () in
   let sr = Experiments.run_suite ~quick:true ~jobs ~config:(Config.dual_socket ()) () in
   let wall = Unix.gettimeofday () -. t0 in
@@ -315,7 +330,8 @@ let measure_sim_throughput () =
    trajectory. Kept separate from BENCH_sim.json (a snapshot that each run
    overwrites) so regressions are visible across history, not just against
    the committed baseline. *)
-let append_history ~wall ~instrs ~cycles ~mips =
+let append_history ?(jobs = jobs) ?(sim_domains = sim_domains) ~wall ~instrs
+    ~cycles ~mips () =
   let line =
     Printf.sprintf
       "{\"unix_time\": %.0f, \"jobs\": %d, \"sim_domains\": %d, \
@@ -330,9 +346,9 @@ let append_history ~wall ~instrs ~cycles ~mips =
   output_string oc line;
   close_out oc
 
-let run_json () =
-  let kernels = measure_bechamel () in
-  let wall, instrs, cycles = measure_sim_throughput () in
+(* The flat snapshot format shared by json mode (BENCH_sim.json) and the
+   scaling gate (BENCH_scaling_dN.json). *)
+let render_snapshot ~jobs ~sim_domains ~kernels ~wall ~instrs ~cycles =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
@@ -357,12 +373,19 @@ let run_json () =
     (Printf.sprintf "  \"sim_mips\": %.3f\n"
        (if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.));
   Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let run_json () =
+  let kernels = measure_bechamel () in
+  let wall, instrs, cycles = measure_sim_throughput () in
+  let s = render_snapshot ~jobs ~sim_domains ~kernels ~wall ~instrs ~cycles in
   let oc = open_out "BENCH_sim.json" in
-  output_string oc (Buffer.contents buf);
+  output_string oc s;
   close_out oc;
   append_history ~wall ~instrs ~cycles
-    ~mips:(if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.);
-  print_string (Buffer.contents buf);
+    ~mips:(if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.)
+    ();
+  print_string s;
   Printf.printf "wrote BENCH_sim.json (and appended BENCH_history.jsonl)\n%!"
 
 (* ------------------------------------------------------------------ *)
@@ -596,9 +619,120 @@ let run_compare () =
     Printf.printf "advisory only (sim_domains mismatch): not failing\n"
   else Printf.printf "ok: within the 10%% MIPS / 15%% per-kernel budgets\n"
 
+(* ------------------------------------------------------------------ *)
+(* scaling mode: does --sim-domains deliver real parallel speedup?     *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate the speculative shard engine must clear: the quick suite's
+   simulation throughput at D=4 must be at least [scaling_floor] times the
+   D=1 throughput on the same host, and no kernel may regress at D=1
+   against the committed baseline. *)
+let scaling_floor = 1.7
+
+(* One leg of the scaling run: quick-suite throughput plus the Bechamel
+   kernels at [d] domains, snapshotted to BENCH_scaling_d<d>.json and
+   appended to the history. [jobs] is forced to 1: the gate measures one
+   engine's shard scaling, so fanning independent simulations across the
+   pool would oversubscribe the very cores the helpers need. *)
+let scaling_leg d =
+  Config.set_default_sim_domains d;
+  let kernels = measure_bechamel () in
+  let wall, instrs, cycles = measure_sim_throughput ~jobs:1 () in
+  let mips = if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0. in
+  let file = Printf.sprintf "BENCH_scaling_d%d.json" d in
+  let s =
+    render_snapshot ~jobs:1 ~sim_domains:d ~kernels ~wall ~instrs ~cycles
+  in
+  let oc = open_out file in
+  output_string oc s;
+  close_out oc;
+  append_history ~jobs:1 ~sim_domains:d ~wall ~instrs ~cycles ~mips ();
+  Printf.printf "scaling: D=%d: %.3f sim MIPS (%.3f s wall) -> %s\n%!" d mips
+    wall file;
+  (mips, kernels)
+
+(* Shared by the scaling run and [compare --scaling]. *)
+let scaling_verdict ~d1 ~d4 =
+  let ratio = if d1 > 0. then d4 /. d1 else 0. in
+  Printf.printf
+    "scaling: sim MIPS %.3f at D=1, %.3f at D=4: %.2fx (floor %.2fx)\n" d1 d4
+    ratio scaling_floor;
+  if ratio < scaling_floor then begin
+    Printf.printf "REGRESSION: D=4 delivers only %.2fx over D=1 (floor %.2fx)\n"
+      ratio scaling_floor;
+    false
+  end
+  else begin
+    Printf.printf "ok: sharded speedup clears the %.2fx floor\n" scaling_floor;
+    true
+  end
+
+let run_sim_scaling () =
+  let cores = Domain.recommended_domain_count () in
+  if cores < 4 then begin
+    (* Not a failure: the gate needs 3 helper domains plus the lane to
+       actually run in parallel. CI enforces it on >= 4-core runners. *)
+    Printf.printf
+      "scaling: SKIPPED — host reports %d core(s); the D=4 vs D=1 gate \
+       needs at least 4 to measure real parallelism\n"
+      cores;
+    exit 0
+  end;
+  section "Scaling gate: quick suite at sim_domains 1 vs 4";
+  let d1, d1_kernels = scaling_leg 1 in
+  let d4, _ = scaling_leg 4 in
+  let failed = ref (not (scaling_verdict ~d1 ~d4)) in
+  (* D=1 must not pay for the machinery: per-kernel host time against the
+     committed baseline, same budget as [compare]. *)
+  if Sys.file_exists "BENCH_baseline.json" then
+    List.iter
+      (fun (name, bms) ->
+        match List.assoc_opt name d1_kernels with
+        | None -> ()
+        | Some cms ->
+            let budget = 1.15 *. bms in
+            if cms > budget then begin
+              Printf.printf
+                "REGRESSION: kernel %s at D=1: %.3f ms/run vs baseline %.3f \
+                 (budget %.3f)\n"
+                name cms bms budget;
+              failed := true
+            end
+            else
+              Printf.printf "ok: kernel %-45s %8.3f ms/run at D=1 (baseline \
+                             %8.3f)\n"
+                name cms bms)
+      (json_kernels "BENCH_baseline.json")
+  else
+    Printf.printf
+      "note: no BENCH_baseline.json; skipping the D=1 per-kernel check\n";
+  if !failed then exit 1
+  else Printf.printf "ok: scaling gate passed\n"
+
+(* [compare --scaling [D1 [D4]]]: re-run the ratio gate over existing
+   snapshots (defaults: BENCH_scaling_d1.json vs BENCH_scaling_d4.json). *)
+let run_compare_scaling () =
+  let d1_file, d4_file =
+    match snapshot_args with
+    | [] -> ("BENCH_scaling_d1.json", "BENCH_scaling_d4.json")
+    | [ a ] -> (a, "BENCH_scaling_d4.json")
+    | a :: b :: _ -> (a, b)
+  in
+  let d1 = json_number d1_file "sim_mips" in
+  let d4 = json_number d4_file "sim_mips" in
+  let dd1 = json_number_or d1_file "sim_domains" ~default:1. in
+  let dd4 = json_number_or d4_file "sim_domains" ~default:4. in
+  if dd1 <> 1. || dd4 <> 4. then
+    Printf.printf
+      "warning: snapshots report sim_domains %.0f and %.0f (expected 1 and 4)\n"
+      dd1 dd4;
+  if not (scaling_verdict ~d1 ~d4) then exit 1
+
 let () =
   if compare_mode && Cliscan.has cli "--overhead" then run_overhead ()
+  else if compare_mode && Cliscan.has cli "--scaling" then run_compare_scaling ()
   else if compare_mode then run_compare ()
+  else if scaling_mode then run_sim_scaling ()
   else if json_mode then run_json ()
   else begin
     Printf.printf
@@ -609,7 +743,7 @@ let () =
       jobs;
     let ok = run_paper_experiments () in
     run_ablations ();
-    run_scaling ();
+    run_scaling_studies ();
     run_bechamel ();
     Printf.printf "\nDONE. all benchmark runs verified: %b\n" ok;
     exit (if ok then 0 else 1)

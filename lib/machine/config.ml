@@ -41,6 +41,8 @@ type t = {
   sched_quantum : int;
   sim_domains : int;
   sim_quantum : int;
+  sim_spec : bool;
+  sim_spec_torture : bool;
   obs_level : obs_level;
 }
 
@@ -60,6 +62,21 @@ let default_sim_domains =
 let set_default_sim_domains n =
   if n < 1 then invalid_arg "Config.set_default_sim_domains: nonpositive";
   default_sim_domains := n
+
+(* Speculative shard execution (DESIGN.md §11). On by default — it only
+   engages when [num_shards > 1] — with WARDEN_SIM_SPEC=0 as the kill
+   switch for A/B comparisons; [set_default_sim_spec] backs --sim-spec. *)
+let default_sim_spec =
+  ref
+    (match Sys.getenv_opt "WARDEN_SIM_SPEC" with
+    | None -> true
+    | Some s -> (
+        match String.lowercase_ascii (String.trim s) with
+        | "0" | "off" | "false" | "no" -> false
+        | "1" | "on" | "true" | "yes" -> true
+        | _ -> invalid_arg "WARDEN_SIM_SPEC: expected on/1 or off/0"))
+
+let set_default_sim_spec b = default_sim_spec := b
 
 (* Same pattern for observability: WARDEN_OBS switches a whole run (the
    CI overhead job sets it), --obs flags route to [set_default_obs_level]. *)
@@ -139,6 +156,8 @@ let base ~name ~sockets ~threads_per_core =
     sched_quantum = 4096;
     sim_domains = !default_sim_domains;
     sim_quantum = 8192;
+    sim_spec = !default_sim_spec;
+    sim_spec_torture = false;
     obs_level = !default_obs_level;
   }
 
@@ -177,11 +196,12 @@ let pp fmt t =
      L1 %s/%d-way  L2 %s/%d-way  L3 %s-per-core/%d-way@,\
      latencies L1/L2/L3 %d-%d-%d cycles, DRAM +%d, hop %d, socket link %d%s@,\
      %.1f GHz, %d WARD regions, reconcile %d cyc/block, store buffer %d@,\
-     scheduler quantum %d, %d sim domain(s), commit quantum %d, obs %s@]"
+     scheduler quantum %d, %d sim domain(s), commit quantum %d, spec %s, obs %s@]"
     t.name t.sockets t.cores_per_socket t.threads_per_core (kb t.l1_bytes)
     t.l1_ways (kb t.l2_bytes) t.l2_ways (kb t.l3_bytes_per_core) t.l3_ways
     t.l1_lat t.l2_lat t.l3_lat t.dram_lat t.intra_hop_lat t.inter_socket_lat
     (if t.dram_remote then " (remote memory)" else "")
     t.freq_ghz t.ward_region_capacity t.reconcile_per_block
     t.store_buffer_entries t.sched_quantum t.sim_domains t.sim_quantum
+    (if t.sim_spec then "on" else "off")
     (obs_level_to_string t.obs_level)

@@ -51,10 +51,11 @@ let page t addr =
     p
   end
 
-(* Hint probe for the sharded engine's helper domains: pull the bytes
-   backing [addr] toward the calling core's host cache without touching
-   the page table or the one-entry cache (both owned by the commit lane).
-   Returns 0 for unmaterialized pages; the result is advisory only. *)
+(* Warming probe for the sharded engine's speculative helper domains
+   (Memsys.spec_read's miss path): pull the bytes backing [addr] toward
+   the calling core's host cache without touching the page table or the
+   one-entry cache (both owned by the commit lane). Returns 0 for
+   unmaterialized pages; the result is advisory only. *)
 let prefetch t addr =
   let id = addr lsr page_bits in
   let p = Warden_util.Itab.find_or t.pages id ~default:no_page in

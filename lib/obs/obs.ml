@@ -10,6 +10,8 @@ type t = {
   hist : Hist.t;
   heat : Sink_heatmap.t;
   chrome : Sink_chrome.t;
+  spec_counts : int array; (* commit / squash / nospec *)
+  spec_hist : Hist.t; (* commit depth, one class *)
   mutable now : int;
   mutable seq : int;
 }
@@ -34,6 +36,8 @@ let create (cfg : Config.t) =
     hist = Hist.create ~classes:Events.count;
     heat = Sink_heatmap.create ();
     chrome = Sink_chrome.create ();
+    spec_counts = Array.make 3 0;
+    spec_hist = Hist.create ~classes:1;
     now = 0;
     seq = 0;
   }
@@ -103,6 +107,21 @@ let region t ~core ~lo ~hi ~exit ~flushed =
       push_record t ~code ~core ~blk ~arg
   end
 
+(* Host-side speculation outcomes (engine commit lane only). Kept apart
+   from the deterministic counts/sums/rings above: which accesses get
+   speculated depends on host timing, so these may differ run to run and
+   must never leak into traces or simulated statistics. *)
+let spec t ~outcome ~depth =
+  if t.lvl >= 1 then begin
+    Array.unsafe_set t.spec_counts outcome
+      (Array.unsafe_get t.spec_counts outcome + 1);
+    if outcome = 0 then Hist.add t.spec_hist ~cls:0 depth
+  end
+
+let spec_count t outcome =
+  if outcome < 0 || outcome > 2 then invalid_arg "Obs.spec_count: bad outcome"
+  else t.spec_counts.(outcome)
+
 let count t code =
   if code < 0 || code >= Events.count then invalid_arg "Obs.count: bad code"
   else t.counts.(code)
@@ -140,4 +159,23 @@ let render_summary t =
   Buffer.add_string buf (Sink_heatmap.render_blocks t.heat ~n:16);
   Buffer.add_string buf "\nWARD regions\n";
   Buffer.add_string buf (Sink_heatmap.render_regions t.heat);
+  let spec_total = t.spec_counts.(0) + t.spec_counts.(1) + t.spec_counts.(2) in
+  if spec_total > 0 then begin
+    Buffer.add_string buf
+      "\nSpeculation (host-side; not part of the deterministic observables)\n";
+    Buffer.add_string buf
+      (Warden_util.Table.render
+         ~header:[ "outcome"; "count" ]
+         ~rows:
+           [
+             [ "commit"; string_of_int t.spec_counts.(0) ];
+             [ "squash"; string_of_int t.spec_counts.(1) ];
+             [ "no-spec"; string_of_int t.spec_counts.(2) ];
+           ]);
+    let s = Hist.render t.spec_hist ~cls:0 ~title:"commit depth (lane pops)" in
+    if s <> "" then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf s
+    end
+  end;
   Buffer.contents buf

@@ -42,6 +42,19 @@ val region : t -> core:int -> lo:int -> hi:int -> exit:bool -> flushed:int -> un
 (** Record a WARD region activation or deactivation over byte range
     [\[lo, hi)]; [flushed] is the reconciliation flush count (exit only). *)
 
+val spec : t -> outcome:int -> depth:int -> unit
+(** Record one speculation outcome from the engine's commit lane:
+    [0] committed (with [depth] = lane pops between the speculation's
+    publication and its commit, log2-bucketed), [1] squashed and
+    re-executed, [2] not speculated (miss/upgrade, or the helper had not
+    finished). Off the simulated path entirely: these counters depend on
+    host timing, so they live apart from the deterministic counts, sums
+    and rings and never appear in traces. At [Obs_off] this is one load
+    and one branch. *)
+
+val spec_count : t -> int -> int
+(** Occurrences of a speculation outcome (same indexing as {!spec}). *)
+
 val fold : t -> unit
 (** Drain every shard ring into the Chrome sink, in shard order. The
     engine calls this at commit-quantum barriers and at the end of a run;

@@ -27,22 +27,31 @@ type tstate = {
   mutable sb_len : int;
 }
 
-(* Sharded scheduler. Cores are partitioned into [Config.num_shards]
-   shards; each shard owns a run queue, and enqueues draw sequence numbers
-   from one global counter, so popping the minimum (priority, sequence)
-   across all queues replays the single-queue FIFO order exactly. The
-   commit lane — the domain that called [run] — executes every program
-   segment in that order: program state is host-shared (the fork-join
-   runtime's deques and counters live in OCaml heap words), so segments
-   cannot run concurrently without changing observable interleavings, and
-   OCaml's one-shot continuations rule out speculate-and-roll-back. What
-   the extra domains buy instead is the memory wall: helper domains
-   continuously replay each shard's pending access as a {e pure} probe
-   ({!Memsys.prefetch}), pulling simulator metadata (tag sets, line
-   payloads, store pages) into the host cache ahead of the lane. Stats are
-   banked per shard inside [Memsys] and folded at quantum barriers; all
-   deferred quantities are integer counts, so totals are bit-identical for
-   every [sim_domains]. See DESIGN.md §11. *)
+(* Sharded scheduler with speculative shard execution. Cores are
+   partitioned into [Config.num_shards] shards; each shard owns a run
+   queue, and enqueues draw sequence numbers from one global counter, so
+   popping the minimum (priority, sequence) across all queues replays the
+   single-queue FIFO order exactly. The commit lane — the domain that
+   called [run] — executes every program segment in that order: program
+   state is host-shared (the fork-join runtime's deques and counters live
+   in OCaml heap words), so segments cannot run concurrently without
+   changing observable interleavings, and OCaml's one-shot continuations
+   rule out rolling a segment back. What the extra domains parallelize is
+   the memory-system half of each access: when the lane enqueues a load,
+   store or RMW it also publishes the access's descriptor into the
+   thread's {!Spec.slot}, and the helper domain owning that thread
+   pre-executes the cache lookup against versioned views of the core's
+   hierarchy ({!Memsys.spec_read}). When the lane pops the access it
+   validates the speculation — the recorded version must still be current
+   — and either commits it (replaying the identical mutations and
+   accounting, {!Memsys.try_commit_load} etc.) or squashes and re-executes
+   inline, so results are bit-identical for every [sim_domains] whether
+   speculations hit, miss or lose the race. Misses and upgrades stay on
+   the lane (their protocol transitions touch shared directory state);
+   for those the helper warms the host cache behind the structures the
+   lane will walk. Stats are banked per shard inside [Memsys] and folded
+   at quantum barriers; all deferred quantities are integer counts, so
+   totals are bit-identical for every [sim_domains]. See DESIGN.md §11. *)
 type t = {
   ms : Memsys.t;
   cfg : Config.t;
@@ -53,17 +62,17 @@ type t = {
   quantum : int; (* inline quantum, Config.sched_quantum *)
   cquantum : int; (* commit quantum (cycles), Config.sim_quantum *)
   shards : int;
+  spec_on : bool; (* helpers speculate: shards > 1 && cfg.sim_spec *)
   runqs : (unit -> unit) Pqueue.t array; (* one per shard *)
   thread_shard : int array; (* shard of each hardware thread *)
-  pend_core : int array; (* per shard: core of the last queued access *)
-  pend_blk : int array; (* per shard: its block; -1 = none. Hints only. *)
-  window : int Atomic.t; (* quantum barriers crossed, published to helpers *)
+  slots : Spec.slot array; (* one speculation slot per hardware thread *)
   threads : tstate array;
   mutable next_seq : int; (* global enqueue sequence across all shards *)
   mutable next_window : int; (* first cycle of the next commit quantum *)
+  mutable pops : int; (* lane pops so far (speculation depth metric) *)
   mutable cur_st : tstate; (* thread currently executing, for Ops *)
   mutable used_threads : int;
-  mutable hint_sink : int; (* keeps helper probes observable *)
+  mutable spec_sink : int; (* keeps helper warming probes observable *)
   mutable ran : bool;
 }
 
@@ -97,18 +106,18 @@ let create cfg ~proto =
     cquantum = max 1 cfg.Config.sim_quantum;
     shards;
     runqs = Array.init shards (fun _ -> Pqueue.create ());
+    spec_on = shards > 1 && cfg.Config.sim_spec;
     thread_shard =
       Array.init (Config.num_threads cfg) (fun tid ->
           Config.shard_of_core cfg (Config.core_of_thread cfg tid));
-    pend_core = Array.make shards 0;
-    pend_blk = Array.make shards (-1);
-    window = Atomic.make 0;
+    slots = Array.init (Config.num_threads cfg) (fun _ -> Spec.create ());
     threads;
     next_seq = 0;
     next_window = max 1 cfg.Config.sim_quantum;
+    pops = 0;
     cur_st = cur0;
     used_threads = 0;
-    hint_sink = 0;
+    spec_sink = 0;
     ran = false;
   }
 
@@ -190,17 +199,28 @@ let enqueue t (st : tstate) fn =
     (Array.unsafe_get t.runqs (Array.unsafe_get t.thread_shard st.tid))
     ~prio:st.time ~seq fn
 
-(* Memory accesses additionally publish a (core, block) hint for the
-   helper domains. Plain (racy) int writes: a helper pairing a stale core
-   with a fresh block merely warms the wrong set — hints cannot affect
-   simulated state. *)
-let enqueue_access t (st : tstate) ~blk fn =
-  let sh = Array.unsafe_get t.thread_shard st.tid in
-  Array.unsafe_set t.pend_core sh (Config.core_of_thread t.cfg st.tid);
-  Array.unsafe_set t.pend_blk sh blk;
+(* Memory accesses additionally publish their descriptor into the
+   thread's speculation slot so the owning helper domain can pre-execute
+   the memory-system half while the access waits in the queue. The plain
+   descriptor writes are release-published by the [pub] store; the thread
+   is suspended until the closure pops, so no second publication for the
+   same slot can race with the helper. *)
+let enqueue_access t (st : tstate) ~kind ~addr ~size ~v ~f fn =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Pqueue.add_seq (Array.unsafe_get t.runqs sh) ~prio:st.time ~seq fn
+  if t.spec_on then begin
+    let sl = Array.unsafe_get t.slots st.tid in
+    sl.Spec.d_kind <- kind;
+    sl.Spec.d_addr <- addr;
+    sl.Spec.d_size <- size;
+    sl.Spec.d_value <- v;
+    sl.Spec.d_f <- f;
+    sl.Spec.pops <- t.pops;
+    Atomic.set sl.Spec.pub seq
+  end;
+  Pqueue.add_seq
+    (Array.unsafe_get t.runqs (Array.unsafe_get t.thread_shard st.tid))
+    ~prio:st.time ~seq fn
 
 let min_prio_all t =
   if t.shards = 1 then Pqueue.min_prio_or t.runqs.(0) ~default:max_int
@@ -246,35 +266,131 @@ let select t =
   end
 
 (* Quantum barrier: fold the per-shard stat banks (deterministic at any
-   point — integer counts, fixed shard order) and publish the window so
-   helpers can observe progress. [p] is the event priority that crossed
-   the boundary. *)
+   point — integer counts, fixed shard order). [p] is the event priority
+   that crossed the boundary. *)
 let barrier t p =
   ignore (Memsys.sstats t.ms : Sstats.t);
   ignore (Memsys.energy t.ms : Energy.t);
   if t.obs_full then Obs.fold t.obs;
-  Atomic.incr t.window;
   t.next_window <- ((p / t.cquantum) + 1) * t.cquantum
 
-(* Helper-domain body: replay each shard's pending access as a pure probe
-   so the metadata behind it (tag sets, payload bytes, store pages) is
-   host-cache-resident when the commit lane gets there. Reads of the hint
-   arrays race with the lane; every observable value is a value some
-   enqueue wrote, and probes mutate nothing, so any interleaving yields
-   the same simulation. The probe sum is returned as a sink. *)
-let helper_loop t stop =
+(* Helper-domain body: speculative executor [h] of [nh = shards - 1].
+   Each helper owns the hardware threads whose shard is congruent to [h]
+   modulo [nh]; for every fresh slot publication it pre-executes the
+   access's memory-system half against versioned views of the owning
+   core's hierarchy ({!Memsys.spec_read}) and release-publishes the
+   outcome via [fin]. For misses/upgrades — which must transition on the
+   lane — the call instead warms the host cache behind the structures the
+   lane will walk; the probe sum is returned as a sink. [memo] stops a
+   helper from re-executing a publication it already answered (the lane
+   would ignore the identical rewrite, but the spin would steal host
+   cycles). Defensive catch-all: the racy reads are memory-safe by
+   construction, so any exception just demotes the slot to no-spec. The
+   loop never allocates once [mine]/[memo] are built, so idle helpers
+   cannot trigger the stop-the-world minor GCs that would stall the
+   lane. *)
+let spec_loop t h nh stop =
+  let mine = ref [] in
+  for tid = Array.length t.slots - 1 downto 0 do
+    if Array.unsafe_get t.thread_shard tid mod nh = h then mine := tid :: !mine
+  done;
+  let mine = Array.of_list !mine in
+  let memo = Array.map (fun _ -> -1) mine in
   let sink = ref 0 in
   while not (Atomic.get stop) do
-    for sh = 0 to t.shards - 1 do
-      let blk = Array.unsafe_get t.pend_blk sh in
-      if blk >= 0 then
-        sink :=
-          !sink
-          + Memsys.prefetch t.ms ~core:(Array.unsafe_get t.pend_core sh) ~blk
+    for i = 0 to Array.length mine - 1 do
+      let tid = Array.unsafe_get mine i in
+      let sl = Array.unsafe_get t.slots tid in
+      let pub = Atomic.get sl.Spec.pub in
+      if pub >= 0 && pub <> Array.unsafe_get memo i then begin
+        Array.unsafe_set memo i pub;
+        let r = sl.Spec.res in
+        (try
+           sink :=
+             !sink
+             + Memsys.spec_read t.ms ~thread:tid sl.Spec.d_addr
+                 ~size:sl.Spec.d_size
+                 ~write:(sl.Spec.d_kind <> Spec.load)
+                 r;
+           if r.Privcache.ok && sl.Spec.d_kind = Spec.rmw then
+             sl.Spec.r_new <- sl.Spec.d_f r.Privcache.value
+         with _ -> r.Privcache.ok <- false);
+        Atomic.set sl.Spec.fin pub
+      end
     done;
     Domain.cpu_relax ()
   done;
   !sink
+
+(* Commit one pending access on the lane: adopt the helper's speculation
+   when it is finished ([fin] caught up to [pub]) and validates against
+   the current version; otherwise run the scheduled path inline. The
+   outcome counters are host-side observability only ({!Obs.spec}). *)
+
+let spec_load t (st : tstate) addr ~size =
+  let sl = Array.unsafe_get t.slots st.tid in
+  if Atomic.get sl.Spec.fin = Atomic.get sl.Spec.pub && sl.Spec.res.Privcache.ok
+  then begin
+    let lat = Memsys.try_commit_load t.ms ~thread:st.tid addr sl.Spec.res in
+    if lat >= 0 then begin
+      if t.obs_on then
+        Obs.spec t.obs ~outcome:0 ~depth:(t.pops - sl.Spec.pops);
+      (Memsys.fast_value t.ms, lat)
+    end
+    else begin
+      if t.obs_on then Obs.spec t.obs ~outcome:1 ~depth:0;
+      Memsys.load t.ms ~thread:st.tid addr ~size
+    end
+  end
+  else begin
+    if t.obs_on then Obs.spec t.obs ~outcome:2 ~depth:0;
+    Memsys.load t.ms ~thread:st.tid addr ~size
+  end
+
+let spec_store t (st : tstate) addr ~size v =
+  let sl = Array.unsafe_get t.slots st.tid in
+  if Atomic.get sl.Spec.fin = Atomic.get sl.Spec.pub && sl.Spec.res.Privcache.ok
+  then begin
+    let lat =
+      Memsys.try_commit_store t.ms ~thread:st.tid addr ~size v sl.Spec.res
+    in
+    if lat >= 0 then begin
+      if t.obs_on then
+        Obs.spec t.obs ~outcome:0 ~depth:(t.pops - sl.Spec.pops);
+      lat
+    end
+    else begin
+      if t.obs_on then Obs.spec t.obs ~outcome:1 ~depth:0;
+      Memsys.store t.ms ~thread:st.tid addr ~size v
+    end
+  end
+  else begin
+    if t.obs_on then Obs.spec t.obs ~outcome:2 ~depth:0;
+    Memsys.store t.ms ~thread:st.tid addr ~size v
+  end
+
+let spec_rmw t (st : tstate) addr ~size f =
+  let sl = Array.unsafe_get t.slots st.tid in
+  if Atomic.get sl.Spec.fin = Atomic.get sl.Spec.pub && sl.Spec.res.Privcache.ok
+  then begin
+    let lat =
+      Memsys.try_commit_rmw t.ms ~thread:st.tid addr ~size ~nv:sl.Spec.r_new
+        sl.Spec.res
+    in
+    if lat >= 0 then begin
+      if t.obs_on then
+        Obs.spec t.obs ~outcome:0 ~depth:(t.pops - sl.Spec.pops);
+      (Memsys.fast_value t.ms, lat)
+    end
+    else begin
+      if t.obs_on then Obs.spec t.obs ~outcome:1 ~depth:0;
+      Memsys.rmw t.ms ~thread:st.tid addr ~size f
+    end
+  end
+  else begin
+    if t.obs_on then Obs.spec t.obs ~outcome:2 ~depth:0;
+    Memsys.rmw t.ms ~thread:st.tid addr ~size f
+  end
 
 let handler t st =
   let open Effect.Deep in
@@ -306,27 +422,39 @@ let handler t st =
         | E_load (addr, size) ->
             Some
               (fun k ->
-                enqueue_access t st ~blk:(Addr.block_of addr) (fun () ->
+                enqueue_access t st ~kind:Spec.load ~addr ~size ~v:0L ~f:Fun.id
+                  (fun () ->
                     resume t st;
-                    let v, lat = Memsys.load t.ms ~thread:st.tid addr ~size in
+                    let v, lat =
+                      if t.spec_on then spec_load t st addr ~size
+                      else Memsys.load t.ms ~thread:st.tid addr ~size
+                    in
                     st.time <- st.time + lat;
                     retire t st 1;
                     continue k v))
         | E_store (addr, size, v) ->
             Some
               (fun k ->
-                enqueue_access t st ~blk:(Addr.block_of addr) (fun () ->
+                enqueue_access t st ~kind:Spec.store ~addr ~size ~v ~f:Fun.id
+                  (fun () ->
                     resume t st;
-                    let lat = Memsys.store t.ms ~thread:st.tid addr ~size v in
+                    let lat =
+                      if t.spec_on then spec_store t st addr ~size v
+                      else Memsys.store t.ms ~thread:st.tid addr ~size v
+                    in
                     commit_store t st lat;
                     continue k ()))
         | E_rmw (addr, size, f) ->
             Some
               (fun k ->
-                enqueue_access t st ~blk:(Addr.block_of addr) (fun () ->
+                enqueue_access t st ~kind:Spec.rmw ~addr ~size ~v:0L ~f
+                  (fun () ->
                     resume t st;
                     drain_all st;
-                    let old, lat = Memsys.rmw t.ms ~thread:st.tid addr ~size f in
+                    let old, lat =
+                      if t.spec_on then spec_rmw t st addr ~size f
+                      else Memsys.rmw t.ms ~thread:st.tid addr ~size f
+                    in
                     st.time <- st.time + lat + 2;
                     retire t st 1;
                     continue k old))
@@ -366,14 +494,15 @@ let run t bodies =
   let prev = Domain.DLS.get cur_key in
   Domain.DLS.set cur_key (Some t);
   let stop = Atomic.make false in
+  let nh = t.shards - 1 in
   let helpers =
-    if t.shards <= 1 then [||]
-    else Array.init (t.shards - 1) (fun _ -> Domain.spawn (fun () -> helper_loop t stop))
+    if not t.spec_on then [||]
+    else Array.init nh (fun h -> Domain.spawn (fun () -> spec_loop t h nh stop))
   in
   Fun.protect
     ~finally:(fun () ->
       Atomic.set stop true;
-      Array.iter (fun d -> t.hint_sink <- t.hint_sink + Domain.join d) helpers;
+      Array.iter (fun d -> t.spec_sink <- t.spec_sink + Domain.join d) helpers;
       Domain.DLS.set cur_key prev)
     (fun () ->
       let rec loop () =
@@ -382,6 +511,7 @@ let run t bodies =
           let q = Array.unsafe_get t.runqs s in
           if Pqueue.min_prio_or q ~default:0 >= t.next_window then
             barrier t (Pqueue.min_prio_or q ~default:0);
+          t.pops <- t.pops + 1;
           (Pqueue.pop_exn q) ();
           loop ()
         end

@@ -184,6 +184,8 @@ let access_line t ~thread ~blk ~write =
       if Mesi.has_fill g then
         Linedata.fill_from line.Privcache.data g.Mesi.fill;
       line.Privcache.state <- g.Mesi.pstate;
+      (* The state/data writes above bypass Privcache's own bumps. *)
+      Privcache.bump pc;
       let lat = t.cfg.Config.l2_lat + g.Mesi.latency in
       if t.obs_on then Obs.access t.obs ~cls:Oev.upgrade ~core ~blk ~lat;
       (line, lat)
@@ -209,19 +211,24 @@ let load t ~thread addr ~size =
   in
   (v, lat)
 
-let write_line line ~off ~size v =
+(* [pc] is the hierarchy holding [line]: the state/data writes invalidate
+   any speculation reading them, so the mutation ends with a bump. *)
+let write_line pc line ~off ~size v =
   (match line.Privcache.state with
   | States.P_E -> line.Privcache.state <- States.P_M (* silent E->M upgrade *)
   | States.P_M -> ()
   | States.P_S -> assert false);
-  Linedata.store line.Privcache.data ~off ~size v
+  Linedata.store line.Privcache.data ~off ~size v;
+  Privcache.bump pc
+
+let pc_of_thread t thread = t.priv.(Config.core_of_thread t.cfg thread)
 
 let store t ~thread addr ~size v =
   let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
   a.a_stores <- a.a_stores + 1;
   let blk = Addr.block_of addr in
   let line, lat = access_line t ~thread ~blk ~write:true in
-  write_line line ~off:(Addr.offset_in_block addr) ~size v;
+  write_line (pc_of_thread t thread) line ~off:(Addr.offset_in_block addr) ~size v;
   lat
 
 let rmw t ~thread addr ~size f =
@@ -231,7 +238,7 @@ let rmw t ~thread addr ~size f =
   let line, lat = access_line t ~thread ~blk ~write:true in
   let off = Addr.offset_in_block addr in
   let old = Linedata.load line.Privcache.data ~off ~size in
-  write_line line ~off ~size (f old);
+  write_line (pc_of_thread t thread) line ~off ~size (f old);
   (old, lat)
 
 (* Fast-path accessors: commit iff the access is a private-cache hit
@@ -285,7 +292,7 @@ let try_fast_store t ~thread addr ~size v =
   else begin
     let a = acct_of_core t core in
     a.a_stores <- a.a_stores + 1;
-    write_line line ~off:(Addr.offset_in_block addr) ~size v;
+    write_line pc line ~off:(Addr.offset_in_block addr) ~size v;
     fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
@@ -300,19 +307,87 @@ let try_fast_rmw t ~thread addr ~size f =
     a.a_rmws <- a.a_rmws + 1;
     let off = Addr.offset_in_block addr in
     let old = Linedata.load line.Privcache.data ~off ~size in
-    write_line line ~off ~size (f old);
+    write_line pc line ~off ~size (f old);
     t.fast_value <- old;
     fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
-(* Pure hint probe for the sharded engine's helper domains: touch the
-   host memory behind a pending access — the core's private tag set, the
-   resident payload if any, and the backing-store page — without mutating
-   any simulator state. Races with the commit lane only make the hint
-   stale, never wrong. *)
-let prefetch t ~core ~blk =
-  Privcache.prefetch t.priv.(core) ~blk
-  + Store.prefetch t.store (Addr.base_of_block blk)
+(* --- speculative shard execution (DESIGN.md §11) ------------------------- *)
+
+(* Helper-domain side. Classify the pending access against the owning
+   core's hierarchy ({!Privcache.spec_read}: racy but memory-safe, with
+   the observed version recorded for the lane's validation). A plain hit
+   records a committable speculation; for misses and upgrades — whose
+   protocol transition must run on the lane — warm the host cache behind
+   the structures the lane will walk instead: the block's directory word,
+   its home LLC slice, and the backing-store page (each probe pure and
+   torn-read-safe; see Dirstate.prefetch, Llc.prefetch, Store.prefetch).
+   The returned int is advisory and must only feed a sink. *)
+let spec_read t ~thread addr ~size ~write (r : Privcache.spec_result) =
+  let core = Config.core_of_thread t.cfg thread in
+  let blk = Addr.block_of addr in
+  Privcache.spec_read t.priv.(core) ~blk
+    ~off:(Addr.offset_in_block addr) ~size ~write r;
+  if r.Privcache.ok then 0
+  else
+    Protocol.prefetch (the_proto t) ~blk
+    + Llc.prefetch t.llc ~socket:(Config.home_socket t.cfg blk) ~blk
+    + Store.prefetch t.store (Addr.base_of_block blk)
+
+(* Commit-lane side. Validate a speculation — its recorded version must
+   still be current, proving the helper observed exactly that state — and
+   apply it: replay the Hit-branch mutations at the recorded ways and
+   account events/energy/obs identically to the scheduled paths. Return
+   the latency, or [-1] — having changed nothing — on a squash, where the
+   caller re-executes the access inline. [sim_spec_torture] forces the
+   squash by bumping the version first (spurious bumps are always safe). *)
+
+let spec_validate t ~core (r : Privcache.spec_result) =
+  let pc = t.priv.(core) in
+  if t.cfg.Config.sim_spec_torture then Privcache.bump pc;
+  Privcache.version pc = r.Privcache.sr_ver
+
+let try_commit_load t ~thread addr (r : Privcache.spec_result) =
+  let core = Config.core_of_thread t.cfg thread in
+  if not (spec_validate t ~core r) then -1
+  else begin
+    let blk = Addr.block_of addr in
+    let a = acct_of_core t core in
+    a.a_loads <- a.a_loads + 1;
+    ignore (Privcache.commit_hit t.priv.(core) ~blk r : Privcache.line);
+    t.fast_value <- r.Privcache.value;
+    fast_hit_accounting t a ~core ~blk (Sa.hit r.Privcache.l1w)
+  end
+
+let try_commit_store t ~thread addr ~size v (r : Privcache.spec_result) =
+  let core = Config.core_of_thread t.cfg thread in
+  if not (spec_validate t ~core r) then -1
+  else begin
+    let blk = Addr.block_of addr in
+    let a = acct_of_core t core in
+    a.a_stores <- a.a_stores + 1;
+    let pc = t.priv.(core) in
+    let line = Privcache.commit_hit pc ~blk r in
+    write_line pc line ~off:(Addr.offset_in_block addr) ~size v;
+    fast_hit_accounting t a ~core ~blk (Sa.hit r.Privcache.l1w)
+  end
+
+(* [nv] is the helper's application of the RMW function to the recorded
+   old value; validation makes the old value exact and the function is
+   pure, so storing [nv] matches the scheduled path's [f old]. *)
+let try_commit_rmw t ~thread addr ~size ~nv (r : Privcache.spec_result) =
+  let core = Config.core_of_thread t.cfg thread in
+  if not (spec_validate t ~core r) then -1
+  else begin
+    let blk = Addr.block_of addr in
+    let a = acct_of_core t core in
+    a.a_rmws <- a.a_rmws + 1;
+    let pc = t.priv.(core) in
+    let line = Privcache.commit_hit pc ~blk r in
+    write_line pc line ~off:(Addr.offset_in_block addr) ~size nv;
+    t.fast_value <- r.Privcache.value;
+    fast_hit_accounting t a ~core ~blk (Sa.hit r.Privcache.l1w)
+  end
 
 (* Region activity is recorded here — not in the protocols — so the trace
    reflects the runtime's annotations under MESI too, where the protocol

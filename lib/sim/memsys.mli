@@ -74,12 +74,65 @@ val fast_value : t -> int64
 (** Value delivered by the last successful {!try_fast_load} or
     {!try_fast_rmw}. *)
 
-val prefetch : t -> core:int -> blk:int -> int
-(** Pure hint probe for the sharded engine's helper domains: warm the host
-    cache behind a pending access ([core]'s private tag set, the resident
-    payload if any, and the backing-store page) without mutating any
-    simulator state. Safe to call from a helper domain while the commit
-    lane runs; the returned value is advisory and must only feed a sink. *)
+(** {2 Speculative shard execution (DESIGN.md §11)}
+
+    Helper domains pre-execute the memory-system half of pending accesses
+    against racy-but-versioned views of the owning core's private
+    hierarchy; the commit lane validates each speculation against the
+    current version and either applies it (bit-identical to the scheduled
+    path) or squashes and re-executes inline. *)
+
+val spec_read :
+  t ->
+  thread:int ->
+  Warden_mem.Addr.t ->
+  size:int ->
+  write:bool ->
+  Privcache.spec_result ->
+  int
+(** Helper-domain side: classify the access against [thread]'s core
+    ({!Privcache.spec_read}). On a plain hit the
+    result records a committable speculation; otherwise the transition
+    must run on the lane, and this call instead warms the host cache
+    behind the structures the lane will walk (directory word, home LLC
+    slice, backing-store page). Mutates no simulator state; safe to race
+    with the commit lane. The returned int is advisory and must only
+    feed a sink. *)
+
+val try_commit_load :
+  t ->
+  thread:int ->
+  Warden_mem.Addr.t ->
+  Privcache.spec_result ->
+  int
+(** Commit-lane side: validate the speculation (recorded version still
+    current) and apply it, with accounting identical to {!load} and the
+    value left in {!fast_value}; returns the latency, or [-1] — having
+    changed nothing — on a squash (caller re-executes inline). Under
+    [sim_spec_torture] the version is bumped first, forcing the squash. *)
+
+val try_commit_store :
+  t ->
+  thread:int ->
+  Warden_mem.Addr.t ->
+  size:int ->
+  int64 ->
+  Privcache.spec_result ->
+  int
+(** {!try_commit_load} for stores (the speculation already proved E/M
+    permission at its recorded version). *)
+
+val try_commit_rmw :
+  t ->
+  thread:int ->
+  Warden_mem.Addr.t ->
+  size:int ->
+  nv:int64 ->
+  Privcache.spec_result ->
+  int
+(** {!try_commit_load} for read-modify-writes. [nv] is the helper's
+    application of the RMW function to the speculated old value; the old
+    value is left in {!fast_value}. *)
 
 val region_add : t -> thread:int -> lo:int -> hi:int -> bool
 (** Activate a WARD region, recording the activation against [thread]'s

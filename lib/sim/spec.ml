@@ -1,0 +1,40 @@
+(* One speculation slot per hardware thread (DESIGN.md §11). The commit
+   lane is the only descriptor writer and [pub]/[fin] carry the ordering:
+   the lane writes the [d_*] fields plainly and then release-publishes
+   the access's global sequence number into [pub]; the owning helper
+   acquire-reads [pub] (so the descriptor is fully visible), writes [res]
+   and [r_new] plainly, and release-publishes the same number into [fin].
+   The lane adopts [res] only after acquire-reading [fin = pub], which
+   happens-after every helper write. Sequence numbers are globally
+   monotonic, so a stale completion can never alias a fresh one. *)
+
+type slot = {
+  mutable d_kind : int;
+  mutable d_addr : int; (* Addr.t is int *)
+  mutable d_size : int;
+  mutable d_value : int64; (* store operand (unused by load/rmw) *)
+  mutable d_f : int64 -> int64; (* rmw function (unused by load/store) *)
+  mutable pops : int; (* lane pop count at publish, for commit depth *)
+  pub : int Atomic.t; (* last published access's sequence, -1 = none *)
+  res : Privcache.spec_result; (* helper-owned between pub and fin *)
+  mutable r_new : int64; (* helper: [d_f] applied to the speculated old *)
+  fin : int Atomic.t; (* = pub once res/r_new are valid for it *)
+}
+
+let load = 0
+let store = 1
+let rmw = 2
+
+let create () =
+  {
+    d_kind = load;
+    d_addr = 0;
+    d_size = 0;
+    d_value = 0L;
+    d_f = Fun.id;
+    pops = 0;
+    pub = Atomic.make (-1);
+    res = Privcache.spec_result ();
+    r_new = 0L;
+    fin = Atomic.make (-1);
+  }

@@ -1,0 +1,28 @@
+(** Per-thread speculation slots for the sharded engine (DESIGN.md §11).
+
+    A slot is a single-producer / single-consumer exchange between the
+    commit lane (which publishes the pending access's descriptor under
+    [pub] and later validates/adopts the result) and the one helper
+    domain owning the thread (which pre-executes the access's
+    memory-system half and publishes the outcome under [fin]). All
+    ordering flows through the two atomics; every other field is plain
+    and protected by them. *)
+
+type slot = {
+  mutable d_kind : int;  (** {!load}, {!store} or {!rmw} *)
+  mutable d_addr : int;
+  mutable d_size : int;
+  mutable d_value : int64;  (** store operand *)
+  mutable d_f : int64 -> int64;  (** rmw function (must be pure) *)
+  mutable pops : int;  (** lane pop count at publish (commit depth base) *)
+  pub : int Atomic.t;  (** published access sequence; -1 = none yet *)
+  res : Privcache.spec_result;
+  mutable r_new : int64;  (** helper's [d_f] of the speculated old value *)
+  fin : int Atomic.t;  (** = [pub] once [res]/[r_new] are valid for it *)
+}
+
+val load : int
+val store : int
+val rmw : int
+
+val create : unit -> slot

@@ -68,8 +68,8 @@ let rec find_or_add t id ~make =
   end
 
 (* Pure probe: no insertion, no growth, no mutation — safe to race with
-   a concurrent [find_or_add] from the owning domain (the prefetch helpers
-   only ever use the result as a hint). Unlike [probe] it snapshots the
+   a concurrent [find_or_add] from the owning domain (the speculative
+   helper domains only ever use the result as a hint). Unlike [probe] it snapshots the
    key array once and masks the start index against that snapshot, so a
    concurrent [grow] swapping the arrays can yield a stale answer but
    never an out-of-bounds access. *)
