@@ -10,8 +10,8 @@ MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
 .PHONY: all build test check fmt bench bench-quick bench-json bench-compare \
-        bench-overhead bench-scaling profile all_pbbs single_pbbs \
-        activate_one_socket activate_two_socket examples clean
+        bench-overhead bench-scaling bench-serve serve profile all_pbbs \
+        single_pbbs activate_one_socket activate_two_socket examples clean
 
 all: build
 
@@ -62,6 +62,18 @@ bench-overhead:
 	cp BENCH_sim.json BENCH_obs_off.json
 	dune exec bench/main.exe -- json --obs counters
 	dune exec bench/main.exe -- compare --overhead BENCH_obs_off.json BENCH_sim.json
+
+# The serving tier (README "Simulating a serving tier"): an open-loop
+# Zipf KV workload against both protocols with the tail-latency report
+# and the MESI-vs-WARDen traffic comparison.
+serve: build
+	dune exec bin/warden_cli.exe -- serve -m $(MACHINE)
+
+# Serving-tier gate: verified results, bit-equal MESI/WARDen outcomes,
+# and strictly lower invalidation+downgrade traffic under WARDen; writes
+# the compare-compatible BENCH_serve.json snapshot.
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 # Coherence-event profile of one benchmark (see README "Profiling a
 # benchmark"): counts, latency histograms, hottest blocks, WARD regions,

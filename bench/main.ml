@@ -6,8 +6,11 @@
               dune exec bench/main.exe -- quick   (reduced scales)
               dune exec bench/main.exe -- json    (machine-readable timing
                                                    into BENCH_sim.json)
+              dune exec bench/main.exe -- serve   (serving-tier MESI-vs-WARDen
+                                                   gate into BENCH_serve.json)
    [--jobs N] (or WARDEN_JOBS) caps the domains used for independent
-   simulations; the default is the machine's recommended domain count.  *)
+   simulations; the default is the machine's recommended domain count.
+   [--filter SUBSTR] restricts the benchmark suites to matching kernels. *)
 
 open Warden_machine
 open Warden_harness
@@ -22,15 +25,22 @@ module Cliscan = Warden_util.Cliscan
 let cli =
   Cliscan.create
     ~value_flags:
-      [ [ "--jobs"; "-j" ]; [ "--sim-domains" ]; [ "--obs" ]; [ "--sim-spec" ] ]
+      [
+        [ "--jobs"; "-j" ];
+        [ "--sim-domains" ];
+        [ "--obs" ];
+        [ "--sim-spec" ];
+        [ "--filter" ];
+      ]
     Sys.argv
 
-let mode_words = [ "quick"; "json"; "compare"; "scaling" ]
+let mode_words = [ "quick"; "json"; "compare"; "scaling"; "serve" ]
 let has_mode w = List.mem w (Cliscan.positionals cli)
 let quick = has_mode "quick"
 let json_mode = has_mode "json"
 let compare_mode = has_mode "compare"
 let scaling_mode = has_mode "scaling"
+let serve_mode = has_mode "serve"
 
 (* Positionals that are not mode words: the compare mode's snapshot paths. *)
 let snapshot_args =
@@ -70,6 +80,20 @@ let obs_level =
         invalid_arg "--obs: expected off, counters or full");
   Config.obs_level_to_string (Config.dual_socket ()).Config.obs_level
 
+(* [--filter SUBSTR] restricts the benchmark suites (paper experiments
+   and the quick-suite throughput measurement) to matching kernels, so
+   one benchmark can be studied without editing the suite. *)
+let filter_names =
+  match Cliscan.string_flag cli [ "--filter" ] with
+  | Some sub -> (
+      match Warden_pbbs.Suite.matching sub with
+      | [] -> invalid_arg (Printf.sprintf "--filter: %S matches no benchmark" sub)
+      | names -> Some names)
+  | None ->
+      if Cliscan.has cli "--filter" then
+        invalid_arg "--filter: expected a substring"
+      else None
+
 (* Each pool job spawns sim_domains - 1 helper domains of its own; cap the
    product at what the host can schedule. *)
 let jobs =
@@ -88,7 +112,7 @@ let section title =
 
 let run_paper_experiments () =
   section "Part 1: paper experiments (Tables 1-2, Figures 7-12)";
-  let ok = Experiments.run_all ~quick ~jobs () in
+  let ok = Experiments.run_all ~quick ?names:filter_names ~jobs () in
   Printf.printf "every benchmark verified: %b\n%!" ok;
   ok
 
@@ -311,7 +335,10 @@ let json_escape s =
    the simulated instructions it retires. *)
 let measure_sim_throughput ?(jobs = jobs) () =
   let t0 = Unix.gettimeofday () in
-  let sr = Experiments.run_suite ~quick:true ~jobs ~config:(Config.dual_socket ()) () in
+  let sr =
+    Experiments.run_suite ~quick:true ?names:filter_names ~jobs
+      ~config:(Config.dual_socket ()) ()
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let instrs =
     List.fold_left
@@ -728,11 +755,128 @@ let run_compare_scaling () =
       dd1 dd4;
   if not (scaling_verdict ~d1 ~d4) then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* serve mode: the serving-tier MESI-vs-WARDen gate                    *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Warden_serve.Serve
+module Hist = Warden_obs.Hist
+
+let serve_params =
+  if quick then
+    { Serve.default with Serve.requests = 50_000; keys = 16_384 }
+  else { Serve.default with Serve.requests = 200_000 }
+
+(* A flat snapshot in the same shape as BENCH_sim.json — sim_mips and
+   kernels_ms_per_run up front so `bench compare BENCH_serve_baseline.json
+   BENCH_serve.json` gates it unchanged — followed by the serving-mix
+   comparison fields (all simulated quantities except the wall times). *)
+let render_serve_snapshot (p : Serve.params) (rm : Serve.result)
+    (rw : Serve.result) ~wall_m ~wall_w =
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let instrs = rm.Serve.instructions + rw.Serve.instructions in
+  let wall = wall_m +. wall_w in
+  addf "{\n";
+  addf "  \"jobs\": %d,\n" jobs;
+  addf "  \"sim_domains\": %d,\n" sim_domains;
+  addf "  \"obs_level\": \"%s\",\n" obs_level;
+  addf "  \"kernels_ms_per_run\": {\n";
+  addf "    \"serve:mesi\": %.3f,\n" (wall_m *. 1e3);
+  addf "    \"serve:warden\": %.3f\n" (wall_w *. 1e3);
+  addf "  },\n";
+  addf "  \"serve_requests\": %d,\n" p.Serve.requests;
+  addf "  \"serve_keys\": %d,\n" p.Serve.keys;
+  addf "  \"serve_theta\": %g,\n" p.Serve.theta;
+  addf "  \"serve_read_frac\": %g,\n" p.Serve.read_frac;
+  addf "  \"serve_scan_frac\": %g,\n" p.Serve.scan_frac;
+  addf "  \"serve_verified\": %d,\n"
+    (if rm.Serve.verified && rw.Serve.verified then 1 else 0);
+  addf "  \"serve_equal_results\": %d,\n"
+    (if Serve.equal_results rm rw then 1 else 0);
+  addf "  \"serve_checksum\": \"%Lx\",\n" rw.Serve.checksum;
+  addf "  \"serve_mesi_inv\": %d,\n" rm.Serve.invalidations;
+  addf "  \"serve_mesi_down\": %d,\n" rm.Serve.downgrades;
+  addf "  \"serve_warden_inv\": %d,\n" rw.Serve.invalidations;
+  addf "  \"serve_warden_down\": %d,\n" rw.Serve.downgrades;
+  let coh r = r.Serve.invalidations + r.Serve.downgrades in
+  addf "  \"serve_traffic_reduction_pct\": %.2f,\n"
+    (100.
+    *. float_of_int (coh rm - coh rw)
+    /. float_of_int (max 1 (coh rm)));
+  addf "  \"serve_mesi_cycles\": %d,\n" rm.Serve.cycles;
+  addf "  \"serve_warden_cycles\": %d,\n" rw.Serve.cycles;
+  addf "  \"serve_mesi_rps\": %.1f,\n" rm.Serve.rps;
+  addf "  \"serve_warden_rps\": %.1f,\n" rw.Serve.rps;
+  addf "  \"serve_mesi_energy_pj\": %.1f,\n" rm.Serve.energy_pj;
+  addf "  \"serve_warden_energy_pj\": %.1f,\n" rw.Serve.energy_pj;
+  List.iter
+    (fun (proto, (r : Serve.result)) ->
+      List.iter
+        (fun (nm, q) ->
+          addf "  \"serve_%s_lat_p%s\": %.3f,\n" proto nm
+            (Hist.percentile r.Serve.lat ~cls:Serve.cls_all q))
+        [ ("50", 50.); ("95", 95.); ("99", 99.); ("999", 99.9) ])
+    [ ("mesi", rm); ("warden", rw) ];
+  addf "  \"quick_suite_wall_s\": %.3f,\n" wall;
+  addf "  \"quick_suite_sim_instructions\": %d,\n" instrs;
+  addf "  \"quick_suite_sim_cycles\": %d,\n"
+    (rm.Serve.cycles + rw.Serve.cycles);
+  addf "  \"sim_mips\": %.3f\n"
+    (if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.);
+  addf "}\n";
+  Buffer.contents buf
+
+let run_serve () =
+  section
+    (Printf.sprintf "Serve mode: %d-request serving mix, MESI vs WARDen"
+       serve_params.Serve.requests);
+  let timed proto =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Serve.run_proto ~params:serve_params ~machine:(Config.dual_socket ())
+        ~proto ()
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rm, wall_m, rw, wall_w =
+    match Pool.map ~jobs timed [ `Mesi; `Warden ] with
+    | [ (rm, wm); (rw, ww) ] -> (rm, wm, rw, ww)
+    | _ -> assert false
+  in
+  print_string (Serve.summary rm);
+  print_string (Serve.summary rw);
+  let coh (r : Serve.result) = r.Serve.invalidations + r.Serve.downgrades in
+  let equal = Serve.equal_results rm rw in
+  let win = coh rw < coh rm in
+  Printf.printf
+    "equal results: %b; inv+down %d (mesi) vs %d (warden): %s\n" equal
+    (coh rm) (coh rw)
+    (if win then
+       Printf.sprintf "-%.1f%%"
+         (100. *. float_of_int (coh rm - coh rw) /. float_of_int (max 1 (coh rm)))
+     else "NO REDUCTION");
+  let s = render_serve_snapshot serve_params rm rw ~wall_m ~wall_w in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc s;
+  close_out oc;
+  print_string s;
+  Printf.printf "wrote BENCH_serve.json\n%!";
+  if not (rm.Serve.verified && rw.Serve.verified && equal && win) then begin
+    Printf.printf
+      "SERVE GATE FAILED: verified %b/%b, equal results %b, warden \
+       traffic win %b\n"
+      rm.Serve.verified rw.Serve.verified equal win;
+    exit 1
+  end
+  else Printf.printf "ok: serve gate passed\n"
+
 let () =
   if compare_mode && Cliscan.has cli "--overhead" then run_overhead ()
   else if compare_mode && Cliscan.has cli "--scaling" then run_compare_scaling ()
   else if compare_mode then run_compare ()
   else if scaling_mode then run_sim_scaling ()
+  else if serve_mode then run_serve ()
   else if json_mode then run_json ()
   else begin
     Printf.printf

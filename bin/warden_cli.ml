@@ -235,7 +235,282 @@ let bench_cmd =
       const run $ name_arg $ proto_arg $ machine_arg $ scale_arg $ workers_arg
       $ quick_arg $ sim_domains_arg $ obs_arg $ trace_out_arg)
 
+(* --- serve --------------------------------------------------------------- *)
+
+module Serve = Warden_serve.Serve
+
+(* [--quick] shrinks the default problem, but explicit flags always win. *)
+let serve_params ~quick ~requests ~keys ~zipf ~read_frac ~scan_frac ~scan_len
+    ~batch ~grain ~shards ~seed : Serve.params =
+  let d = Serve.default in
+  let requests =
+    match requests with
+    | Some n -> n
+    | None -> if quick then 50_000 else d.Serve.requests
+  in
+  let keys =
+    match keys with Some k -> k | None -> if quick then 16_384 else d.Serve.keys
+  in
+  {
+    requests;
+    keys;
+    theta = zipf;
+    read_frac;
+    scan_frac;
+    scan_len;
+    batch;
+    grain;
+    shards;
+    seed;
+  }
+
+let host_heap_mb () =
+  float_of_int ((Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8))
+  /. 1e6
+
+let serve_cmd =
+  let d = Serve.default in
+  let requests_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:
+            "Requests to push through the store (default: 1000000, or 50000 \
+             with $(b,--quick)). Generation is streamed batch by batch, so \
+             host memory stays flat however large $(docv) is.")
+  in
+  let keys_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keys" ] ~docv:"K"
+          ~doc:
+            "Distinct keys preloaded into the store (default: 65536, or \
+             16384 with $(b,--quick)).")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float d.Serve.theta
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipf skew of key popularity (0 = uniform).")
+  in
+  let read_frac_arg =
+    Arg.(
+      value
+      & opt float d.Serve.read_frac
+      & info [ "read-frac" ] ~docv:"F" ~doc:"Fraction of requests that are reads.")
+  in
+  let scan_frac_arg =
+    Arg.(
+      value
+      & opt float d.Serve.scan_frac
+      & info [ "scan-frac" ] ~docv:"F"
+          ~doc:"Fraction of requests that are short range scans.")
+  in
+  let scan_len_arg =
+    Arg.(
+      value & opt int d.Serve.scan_len
+      & info [ "scan-len" ] ~docv:"L" ~doc:"Slots read by one scan.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int d.Serve.batch
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Open-loop admission batch; generator memory is O($(docv)).")
+  in
+  let grain_arg =
+    Arg.(
+      value & opt int d.Serve.grain
+      & info [ "grain" ] ~docv:"G"
+          ~doc:"Requests per leaf task of the fork-join handler tree.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int d.Serve.shards
+      & info [ "shards" ] ~docv:"S" ~doc:"Hash shards of the store.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int64 d.Serve.seed
+      & info [ "seed" ] ~docv:"X" ~doc:"Workload seed (deterministic).")
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"C" ~doc:"Override the machine's core count.")
+  in
+  let proto_arg =
+    Arg.(
+      value
+      & opt string "both"
+      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden or both.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's summary (simulated quantities only, so the \
+             bytes are identical for every $(b,--sim-domains)) as JSON.")
+  in
+  let curve_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "curve" ] ~docv:"C1,C2,.."
+          ~doc:
+            "Sweep core counts and print the requests/sec curve instead of \
+             a single run.")
+  in
+  let run requests keys zipf read_frac scan_frac scan_len batch grain shards
+      seed cores proto machine quick sim_domains obs json curve =
+    apply_sim_domains sim_domains;
+    apply_obs ~obs ~trace_out:None;
+    let config = machine_of machine in
+    let config =
+      match cores with Some c -> Config.with_cores config c | None -> config
+    in
+    let p =
+      serve_params ~quick ~requests ~keys ~zipf ~read_frac ~scan_frac ~scan_len
+        ~batch ~grain ~shards ~seed
+    in
+    let protos =
+      match proto with
+      | "mesi" -> [ `Mesi ]
+      | "warden" -> [ `Warden ]
+      | "both" -> [ `Mesi; `Warden ]
+      | pr -> failwith ("unknown protocol " ^ pr)
+    in
+    match curve with
+    | Some cores ->
+        List.iter
+          (fun proto ->
+            Printf.printf "requests/sec vs cores [%s] on %s:\n"
+              (proto_name proto) config.Config.name;
+            List.iter
+              (fun (c, rps) ->
+                Printf.printf "  %3d cores: %10.0f req/s (%.2f Mreq/s)\n" c rps
+                  (rps /. 1e6))
+              (Serve.curve ~params:p ~machine:config ~proto cores))
+          protos;
+        0
+    | None ->
+        let results =
+          List.map
+            (fun proto ->
+              let r = Serve.run_proto ~params:p ~machine:config ~proto () in
+              print_string (Serve.summary r);
+              r)
+            protos
+        in
+        (match results with
+        | [ rm; rw ] ->
+            let coh (r : Serve.result) =
+              r.Serve.invalidations + r.Serve.downgrades
+            in
+            Printf.printf
+              "mesi vs warden: speedup %.3fx, inv+down %d -> %d (%+.2f%%), \
+               equal results: %b\n"
+              (float_of_int rm.Serve.cycles /. float_of_int rw.Serve.cycles)
+              (coh rm) (coh rw)
+              (100.
+              *. (float_of_int (coh rw) -. float_of_int (coh rm))
+              /. float_of_int (max 1 (coh rm)))
+              (Serve.equal_results rm rw)
+        | _ -> ());
+        Printf.printf "host heap after run(s): %.1f MB\n" (host_heap_mb ());
+        (match json with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            (match results with
+            | [ r ] -> output_string oc (Serve.json_summary p r)
+            | rs ->
+                output_string oc "[\n";
+                List.iteri
+                  (fun i r ->
+                    if i > 0 then output_string oc ",\n";
+                    output_string oc (Serve.json_summary p r))
+                  rs;
+                output_string oc "\n]")
+            ;
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "wrote %s\n" file);
+        let ok =
+          List.for_all (fun (r : Serve.result) -> r.Serve.verified) results
+          && match results with
+             | [ rm; rw ] -> Serve.equal_results rm rw
+             | _ -> true
+        in
+        exit_of_bool ok
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Simulate a server-scale KV serving tier: a deterministic open-loop \
+          Zipf workload against a sharded in-memory store on the fork-join \
+          runtime, reporting tail latency (p50/p95/p99/p99.9), throughput \
+          and the MESI vs WARDen coherence-traffic comparison.")
+    Term.(
+      const run $ requests_arg $ keys_arg $ zipf_arg $ read_frac_arg
+      $ scan_frac_arg $ scan_len_arg $ batch_arg $ grain_arg $ shards_arg
+      $ seed_arg $ cores_arg $ proto_arg $ machine_arg $ quick_arg
+      $ sim_domains_arg $ obs_arg $ json_arg $ curve_arg)
+
 (* --- profile ------------------------------------------------------------- *)
+
+(* [profile serve] gets the serving tier rather than a Suite benchmark:
+   the per-class latency report plus the coherence-event summary. *)
+let profile_serve ~config ~proto ~scale ~workers ~quick ~trace_out =
+  let p : Serve.params =
+    let d = Serve.default in
+    let requests =
+      match scale with Some s -> s | None -> if quick then 50_000 else 200_000
+    in
+    { d with Serve.requests; keys = (if quick then 16_384 else d.Serve.keys) }
+  in
+  let one proto =
+    let eng = Engine.create config ~proto in
+    let r = Serve.run ~params:p ?workers eng in
+    let ms = Engine.memsys eng in
+    Printf.printf "== serve/%s on %s: %s in %d cycles ==\n\n" (proto_name proto)
+      config.Config.name
+      (if r.Serve.verified then "verified" else "FAILED VERIFICATION")
+      r.Serve.cycles;
+    print_string (Serve.summary r);
+    print_newline ();
+    print_string (Warden_obs.Obs.render_summary (Memsys.obs ms));
+    print_newline ();
+    (r.Serve.verified, (proto_name proto, Memsys.obs ms))
+  in
+  let emit_trace runs =
+    match trace_out with
+    | None -> ()
+    | Some file ->
+        write_chrome_trace file
+          (List.mapi
+             (fun pid (pname, obs) -> (pid, pname, Warden_obs.Obs.chrome obs))
+             runs)
+  in
+  match proto with
+  | "mesi" ->
+      let ok, run = one `Mesi in
+      emit_trace [ run ];
+      exit_of_bool ok
+  | "warden" ->
+      let ok, run = one `Warden in
+      emit_trace [ run ];
+      exit_of_bool ok
+  | "both" ->
+      let ok_m, run_m = one `Mesi in
+      let ok_w, run_w = one `Warden in
+      emit_trace [ run_m; run_w ];
+      exit_of_bool (ok_m && ok_w)
+  | p -> failwith ("unknown protocol " ^ p)
 
 let profile_cmd =
   let name_arg =
@@ -267,13 +542,16 @@ let profile_cmd =
     apply_sim_domains sim_domains;
     (* profile records at full level unless the user asks for less. *)
     apply_obs ~obs:(Some (Option.value obs ~default:"full")) ~trace_out;
+    let config = machine_of machine in
+    if Filename.basename name = "serve" then
+      profile_serve ~config ~proto ~scale ~workers ~quick ~trace_out
+    else begin
     let name = strip_bench_prefix name in
     let spec =
       match Warden_pbbs.Suite.find name with
       | Some s -> s
       | None -> failwith ("unknown benchmark " ^ name)
     in
-    let config = machine_of machine in
     let one proto =
       let eng = Engine.create config ~proto in
       let scale =
@@ -314,6 +592,7 @@ let profile_cmd =
         emit_trace [ run_m; run_w ];
         exit_of_bool (ok_m && ok_w)
     | p -> failwith ("unknown protocol " ^ p)
+    end
   in
   Cmd.v
     (Cmd.info "profile"
@@ -584,6 +863,7 @@ let main =
     [
       list_cmd;
       bench_cmd;
+      serve_cmd;
       profile_cmd;
       table1_cmd;
       table2_cmd;

@@ -183,7 +183,7 @@ let render_socket_scaling ?(quick = false) ?jobs ~names () =
   "WARDen speedup vs machine size (full workers per machine)\n"
   ^ Table.render ~header ~rows
 
-let run_all ?(quick = false) ?jobs ?(out = stdout) () =
+let run_all ?(quick = false) ?names ?jobs ?(out = stdout) () =
   let p s =
     output_string out s;
     output_string out "\n";
@@ -192,26 +192,44 @@ let run_all ?(quick = false) ?jobs ?(out = stdout) () =
   p (render_table2 ());
   p (render_table1 ());
   p "Running the PBBS suite on the single-socket machine (Figure 7)...";
-  let fig7 = run_suite ~quick ?jobs ~config:(Config.single_socket ()) () in
+  let fig7 = run_suite ~quick ?names ?jobs ~config:(Config.single_socket ()) () in
   p
     (render_perf_energy
        ~title:"Figure 7: performance and energy gains, single socket" fig7);
   p "Running the PBBS suite on the dual-socket machine (Figures 8-11)...";
-  let fig8 = run_suite ~quick ?jobs ~config:(Config.dual_socket ()) () in
+  let fig8 = run_suite ~quick ?names ?jobs ~config:(Config.dual_socket ()) () in
   p
     (render_perf_energy
        ~title:"Figure 8: performance and energy gains, dual socket" fig8);
   p (render_fig9 fig8);
   p (render_fig10 fig8);
   p (render_fig11 fig8);
-  p "Running the disaggregated subset (Figure 12)...";
-  let fig12 =
-    run_suite ~quick ?jobs ~names:Suite.disaggregated_subset
-      ~config:(Config.disaggregated ()) ()
+  (* Figure 12 carries only its four-benchmark subset; a caller's filter
+     intersects with it. *)
+  let fig12_names =
+    match names with
+    | None -> Suite.disaggregated_subset
+    | Some ns ->
+        List.filter (fun n -> List.mem n Suite.disaggregated_subset) ns
   in
-  p
-    (render_perf_energy
-       ~title:
-         "Figure 12: performance and energy gains, disaggregated (1 us remote)"
-       fig12);
+  let fig12 =
+    if fig12_names = [] then begin
+      p "Skipping the disaggregated subset (Figure 12): filtered out.";
+      []
+    end
+    else begin
+      p "Running the disaggregated subset (Figure 12)...";
+      let r =
+        run_suite ~quick ?jobs ~names:fig12_names
+          ~config:(Config.disaggregated ()) ()
+      in
+      p
+        (render_perf_energy
+           ~title:
+             "Figure 12: performance and energy gains, disaggregated (1 us \
+              remote)"
+           r);
+      r
+    end
+  in
   check_verified fig7 && check_verified fig8 && check_verified fig12

@@ -42,6 +42,15 @@ val render_socket_scaling :
 (** Part 2: WARDen speedup across 1/2/4/8-socket machines (full workers),
     the "benefits of WARDen scale with machine size" claim. *)
 
-val run_all : ?quick:bool -> ?jobs:int -> ?out:out_channel -> unit -> bool
+val run_all :
+  ?quick:bool ->
+  ?names:string list ->
+  ?jobs:int ->
+  ?out:out_channel ->
+  unit ->
+  bool
 (** Regenerate Table 1-2 and Figures 7-12, printing to [out] (default
-    stdout). Returns whether every benchmark run verified. *)
+    stdout). [names] restricts the suites to the named benchmarks (the
+    Figure-12 run intersects them with its disaggregated subset, and is
+    skipped when that intersection is empty). Returns whether every
+    benchmark run verified. *)

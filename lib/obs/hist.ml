@@ -56,6 +56,34 @@ let mean t ~cls =
   if t.counts.(cls) = 0 then 0.
   else float_of_int t.sums.(cls) /. float_of_int t.counts.(cls)
 
+let percentile t ~cls p =
+  check_cls t cls;
+  if not (p >= 0. && p <= 100.) then invalid_arg "Hist: bad percentile";
+  let n = t.counts.(cls) in
+  if n = 0 then 0.
+  else begin
+    (* Walk buckets until the cumulative count covers the target rank,
+       then interpolate linearly inside the covering bucket. Exact when
+       a class has a single occupied bucket of identical values only up
+       to the bucket's width; the log2 layout bounds the relative error
+       by the bucket resolution, which is all the tail reporter needs. *)
+    let rank = p /. 100. *. float_of_int n in
+    let rec go b cum =
+      if b >= nbuckets then float_of_int (1 lsl nbuckets)
+      else
+        let c = t.buckets.((cls * nbuckets) + b) in
+        if c = 0 || float_of_int (cum + c) < rank then go (b + 1) (cum + c)
+        else begin
+          let lo = if b = 0 then 0. else float_of_int (1 lsl b) in
+          let hi = float_of_int (1 lsl (b + 1)) in
+          let frac = (rank -. float_of_int cum) /. float_of_int c in
+          let frac = if frac < 0. then 0. else if frac > 1. then 1. else frac in
+          lo +. (frac *. (hi -. lo))
+        end
+    in
+    go 0 0
+  end
+
 let render t ~cls ~title =
   check_cls t cls;
   if t.counts.(cls) = 0 then ""

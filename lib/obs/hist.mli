@@ -28,6 +28,15 @@ val sum : t -> cls:int -> int
 val mean : t -> cls:int -> float
 (** Mean recorded value, or 0 when the class is empty. *)
 
+val percentile : t -> cls:int -> float -> float
+(** [percentile t ~cls p] estimates the [p]-th percentile ([0. <= p <=
+    100.], else [Invalid_argument]) of a class's recorded values by
+    linear interpolation within the covering log2 bucket. Returns [0.]
+    for an empty class. The estimate is bounded below by the covering
+    bucket's lower edge and above by its upper edge, so the relative
+    error never exceeds the bucket width — sufficient for p50/p95/p99
+    tail reporting. *)
+
 val render : t -> cls:int -> title:string -> string
 (** ASCII histogram of a class's non-empty buckets (empty string when the
     class has no samples). *)

@@ -20,4 +20,14 @@ let find name = List.find_opt (fun s -> s.Spec.name = name) all
 
 let names () = List.map (fun s -> s.Spec.name) all
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let matching sub =
+  List.filter_map
+    (fun s -> if contains ~sub s.Spec.name then Some s.Spec.name else None)
+    all
+
 let disaggregated_subset = [ "dmm"; "grep"; "nn"; "palindrome" ]

@@ -9,6 +9,10 @@ val find : string -> Spec.t option
 
 val names : unit -> string list
 
+val matching : string -> string list
+(** Benchmark names containing the given substring, in suite order (the
+    bench harness's [--filter]). The empty string matches everything. *)
+
 val disaggregated_subset : string list
 (** The four benchmarks the paper carries into the disaggregated study
     (Fig. 12): dmm, grep, nn, palindrome. *)

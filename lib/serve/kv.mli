@@ -1,0 +1,49 @@
+(** Sharded in-simulator KV table: the "server" side of the serving
+    tier.
+
+    One flat open-addressing hash table per shard (linear probing,
+    stored key + 1 so 0 means empty), all shards packed into two
+    [Sarray]s in the creating task's heap, at most half full. The table
+    is {e fully preloaded} host-side before any simulated access: every
+    generated key is already present, so request handlers never insert
+    — reads always hit, writes are pure updates — and the final memory
+    image is a schedule-independent function of the set of written
+    keys.
+
+    Two deliberately contended structures ride along: [meta], a single
+    cache line of per-kind request counters every handler bumps with a
+    fetch-add (the shared-metadata hot spot the issue asks for), and a
+    read-mostly routing directory each request consults. *)
+
+type t
+
+val create : keys:int -> shards:int -> t
+(** Allocate and preload. Must be called inside a run, before any
+    simulated access to the table (it fills the backing store
+    directly, like a benchmark input generator). *)
+
+val shards : t -> int
+val capacity : t -> int
+(** Slots per shard (a power of two, at least twice the per-shard key
+    count). *)
+
+val read : t -> int -> int64
+(** Route (directory read), probe the shard, load the value. *)
+
+val write : t -> int -> int64 -> unit
+(** Route, probe, store the value. *)
+
+val scan : t -> int -> len:int -> int64
+(** Route, probe to the key's slot, then sum the values of [len]
+    consecutive in-shard slots (wrapping; empty slots contribute 0). *)
+
+val bump : t -> int -> unit
+(** Fetch-add the [meta] counter for a request-kind code — every
+    handler serializes on this line. *)
+
+val host_value : Warden_sim.Memsys.t -> t -> int -> int64
+(** Final value of a key, read from the backing store (call
+    {!Warden_sim.Memsys.flush_all} first). *)
+
+val host_meta : Warden_sim.Memsys.t -> t -> int -> int
+(** Final value of a [meta] counter (flush first). *)

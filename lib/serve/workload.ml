@@ -1,0 +1,84 @@
+open Warden_util
+
+type kind = Read | Write | Scan
+
+let kind_code = function Read -> 0 | Write -> 1 | Scan -> 2
+
+type t = {
+  keys : int;
+  zipf : Zipf.t;
+  read_frac : float;
+  scan_frac : float;
+  seed : int64;
+}
+
+let make ~keys ~theta ~read_frac ~scan_frac ~seed =
+  if keys <= 0 then invalid_arg "Workload.make: keys must be positive";
+  let frac_ok f = Float.is_finite f && f >= 0. && f <= 1. in
+  if
+    (not (frac_ok read_frac))
+    || (not (frac_ok scan_frac))
+    || read_frac +. scan_frac > 1.
+  then invalid_arg "Workload.make: bad read/scan mix";
+  { keys; zipf = Zipf.create ~n:keys ~theta; read_frac; scan_frac; seed }
+
+let keys t = t.keys
+
+(* Fixed-point golden ratio; the same counter-mixing constant SplitMix64
+   itself advances by, so per-request generators are decorrelated. *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let rng_of t i =
+  Splitmix.make (Int64.logxor t.seed (Int64.mul (Int64.of_int (i + 1)) gamma))
+
+let key_bits = 60
+let key_mask = (1 lsl key_bits) - 1
+let pack kind key = (kind_code kind lsl key_bits) lor key
+
+let kind_of r =
+  match r lsr key_bits with
+  | 0 -> Read
+  | 1 -> Write
+  | 2 -> Scan
+  | _ -> invalid_arg "Workload.kind_of: not a packed request"
+
+let key_of r = r land key_mask
+
+let request t i =
+  let rng = rng_of t i in
+  let u = Splitmix.float rng 1.0 in
+  let kind =
+    if u < t.read_frac then Read
+    else if u < t.read_frac +. t.scan_frac then Scan
+    else Write
+  in
+  pack kind (Zipf.sample t.zipf rng)
+
+let fill t buf ~lo ~n =
+  if n > Array.length buf then invalid_arg "Workload.fill: buffer too small";
+  for k = 0 to n - 1 do
+    buf.(k) <- request t (lo + k)
+  done
+
+(* Values are injective per key and disjoint between the preloaded and
+   written generations, so a read can always be classified. *)
+let preload_value k = Int64.of_int ((2 * k) + 1)
+let written_value k = Int64.of_int ((2 * k) + 2)
+
+let write_set t ~n =
+  let s = Bitset.create () in
+  for i = 0 to n - 1 do
+    let r = request t i in
+    match kind_of r with Write -> Bitset.add s (key_of r) | Read | Scan -> ()
+  done;
+  s
+
+let kind_counts t ~n =
+  let reads = ref 0 and writes = ref 0 and scans = ref 0 in
+  for i = 0 to n - 1 do
+    match kind_of (request t i) with
+    | Read -> incr reads
+    | Write -> incr writes
+    | Scan -> incr scans
+  done;
+  (!reads, !writes, !scans)

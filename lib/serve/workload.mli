@@ -1,0 +1,54 @@
+(** Deterministic open-loop traffic generator for the serving tier.
+
+    Request [i] of a workload is a {e pure function} of [(seed, i)]:
+    each request derives its own SplitMix64 generator from a
+    counter-mixed seed, draws a kind from the configured mix and a key
+    from the Zipfian popularity distribution, and packs both into one
+    immediate int. Random access means streaming and materialized
+    generation are trivially equivalent — the host can produce requests
+    batch by batch into a reused buffer (O(batch) memory however many
+    requests the simulation serves), and a verifier can recompute any
+    prefix's statistics without storing the stream. *)
+
+type kind = Read | Write | Scan
+
+val kind_code : kind -> int
+(** [Read] = 0, [Write] = 1, [Scan] = 2 — histogram class indices. *)
+
+type t
+
+val make :
+  keys:int -> theta:float -> read_frac:float -> scan_frac:float ->
+  seed:int64 -> t
+(** Keys are Zipf ranks: key 0 is the hottest. [read_frac] and
+    [scan_frac] are probabilities (the remainder writes); raises
+    [Invalid_argument] unless both are in [0, 1] with a sum at most 1,
+    and [keys > 0]. *)
+
+val keys : t -> int
+
+val request : t -> int -> int
+(** The [i]-th request, packed; pure in [(t, i)]. *)
+
+val fill : t -> int array -> lo:int -> n:int -> unit
+(** [fill t buf ~lo ~n] stores requests [lo .. lo+n-1] into
+    [buf.(0 .. n-1)] — the streaming producer. Identical to [n] calls
+    of {!request} by construction. *)
+
+val kind_of : int -> kind
+val key_of : int -> int
+(** Unpack a request. *)
+
+val preload_value : int -> int64
+(** Value key [k] holds before any request runs. *)
+
+val written_value : int -> int64
+(** Value every write stores for key [k]. Idempotent by design: the
+    final KV image depends only on {e which} keys were written, never
+    on write order, so verification is schedule-independent. *)
+
+val write_set : t -> n:int -> Warden_util.Bitset.t
+(** Keys written by the first [n] requests (host-side recomputation). *)
+
+val kind_counts : t -> n:int -> int * int * int
+(** [(reads, writes, scans)] among the first [n] requests. *)

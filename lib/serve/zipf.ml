@@ -1,0 +1,40 @@
+open Warden_util
+
+type t = { n : int; theta : float; zetan : float; cdf : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if not (Float.is_finite theta) || theta < 0. then
+    invalid_arg "Zipf.create: theta must be finite and non-negative";
+  (* One pass accumulates the harmonic weights into the (unnormalized)
+     cumulative distribution; a second normalizes. *)
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) theta);
+    cdf.(k) <- !acc
+  done;
+  let zetan = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. zetan
+  done;
+  (* Pin the top against floating-point drift so every u < 1 maps. *)
+  cdf.(n - 1) <- 1.;
+  { n; theta; zetan; cdf }
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  let u = Splitmix.float rng 1.0 in
+  (* Smallest rank whose cumulative probability exceeds u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pmf t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  1. /. (Float.pow (float_of_int (k + 1)) t.theta *. t.zetan)

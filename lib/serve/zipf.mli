@@ -1,0 +1,30 @@
+(** Bounded Zipfian rank sampler: rank [k] (0-based) is drawn with
+    probability proportional to [1 / (k+1)^theta].
+
+    [create] pays one O(n) pass to precompute the exact cumulative
+    distribution; [sample] inverts it with an allocation-free binary
+    search — O(log n) host work per request, exact to the pmf (unlike
+    the YCSB closed-form approximation, whose head-rank bias would be
+    visible at the generator's scale). The sampler is a pure function
+    of its parameters and the supplied generator state, so request
+    streams are reproducible bit-for-bit from a seed. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [0 .. n-1] with
+    skew [theta >= 0.]; [theta = 0.] degenerates to uniform and the
+    classical [theta = 1.] needs no special-casing. Raises
+    [Invalid_argument] if [n <= 0] or [theta] is negative or not
+    finite. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Warden_util.Splitmix.t -> int
+(** Draw a rank in [0 .. n-1]; rank 0 is the most popular. Advances the
+    generator by exactly one [float] draw. *)
+
+val pmf : t -> int -> float
+(** Exact probability of rank [k] under the distribution —
+    [1 / ((k+1)^theta * zeta(n, theta))] — for distribution tests. *)

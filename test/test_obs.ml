@@ -68,6 +68,51 @@ let test_hist () =
   Alcotest.(check bool) "non-empty class renders" true
     (String.length (Hist.render h ~cls:1 ~title:"t") > 0)
 
+let test_percentile () =
+  let h = Hist.create ~classes:3 in
+  (* Empty class: 0 by definition. *)
+  Alcotest.(check (float 0.)) "empty p50" 0. (Hist.percentile h ~cls:0 50.);
+  Alcotest.(check (float 0.)) "empty p99.9" 0. (Hist.percentile h ~cls:0 99.9);
+  (* Single bucket: 100 copies of 1 all land in bucket 0 = [0, 2); the
+     interpolation sweeps that bucket linearly. *)
+  for _ = 1 to 100 do
+    Hist.add h ~cls:0 1
+  done;
+  Alcotest.(check (float 1e-9)) "single-bucket p0 = lower edge" 0.
+    (Hist.percentile h ~cls:0 0.);
+  Alcotest.(check (float 1e-9)) "single-bucket p50 = midpoint" 1.
+    (Hist.percentile h ~cls:0 50.);
+  Alcotest.(check (float 1e-9)) "single-bucket p100 = upper edge" 2.
+    (Hist.percentile h ~cls:0 100.);
+  (* Saturated: max_int lands in the last bucket [2^31, 2^32). *)
+  for _ = 1 to 10 do
+    Hist.add h ~cls:1 max_int
+  done;
+  let p50 = Hist.percentile h ~cls:1 50. in
+  Alcotest.(check bool) "saturated p50 within last bucket" true
+    (p50 >= Float.of_int (1 lsl (Hist.nbuckets - 1))
+    && p50 <= Float.of_int 1 *. Float.pow 2. (float_of_int Hist.nbuckets));
+  (* Multi-bucket: percentiles are monotone in p and bounded by the
+     covering bucket's edges. *)
+  List.iter (fun v -> Hist.add h ~cls:2 v) [ 2; 4; 8; 9; 1000 ];
+  let prev = ref 0. in
+  List.iter
+    (fun p ->
+      let v = Hist.percentile h ~cls:2 p in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at p%g" p)
+        true (v >= !prev);
+      prev := v)
+    [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 100. ];
+  Alcotest.(check bool) "p100 covers the largest sample" true
+    (Hist.percentile h ~cls:2 100. >= 1000.);
+  Alcotest.check_raises "p out of range rejected"
+    (Invalid_argument "Hist: bad percentile") (fun () ->
+      ignore (Hist.percentile h ~cls:0 100.5));
+  Alcotest.check_raises "negative p rejected"
+    (Invalid_argument "Hist: bad percentile") (fun () ->
+      ignore (Hist.percentile h ~cls:0 (-1.)))
+
 let test_heatmap () =
   let t = Heat.create () in
   Alcotest.(check int) "no blocks yet" 0 (Heat.blocks t);
@@ -378,6 +423,7 @@ let suite =
   [
     Alcotest.test_case "ring push/drain" `Quick test_ring;
     Alcotest.test_case "histogram buckets" `Quick test_hist;
+    Alcotest.test_case "histogram percentiles" `Quick test_percentile;
     Alcotest.test_case "heatmap blocks and regions" `Quick test_heatmap;
     Alcotest.test_case "recording never perturbs the run" `Quick
       test_non_perturbation;

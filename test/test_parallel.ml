@@ -270,6 +270,58 @@ let cliscan_test () =
   Alcotest.(check (list string))
     "presence flag takes no neighbor" [ "quick"; "x.json" ] (C.positionals t)
 
+(* 4b. The bench harness's --filter flag: Cliscan must treat it as a
+   value flag (so it can never swallow a following flag), and
+   Suite.matching must select by substring, preserve suite order, treat
+   the empty string as match-all, and find nothing for garbage. *)
+let filter_flag_test () =
+  let module C = Warden_util.Cliscan in
+  let module Suite = Warden_pbbs.Suite in
+  let value_flags = [ [ "--jobs"; "-j" ]; [ "--filter" ] ] in
+  let t =
+    C.create ~value_flags
+      [| "bench.exe"; "quick"; "--filter"; "sort"; "--jobs"; "2" |]
+  in
+  Alcotest.(check (option string))
+    "--filter carries its value" (Some "sort")
+    (C.string_flag t [ "--filter" ]);
+  Alcotest.(check int) "--jobs unaffected" 2 (Option.get (C.int_flag t [ "--jobs" ]));
+  Alcotest.(check (list string)) "mode survives" [ "quick" ] (C.positionals t);
+  let t = C.create ~value_flags [| "bench.exe"; "--filter"; "--jobs"; "2" |] in
+  Alcotest.(check bool) "valueless --filter still seen" true (C.has t "--filter");
+  Alcotest.(check (option string))
+    "--filter never swallows a flag" None
+    (C.string_flag t [ "--filter" ]);
+  Alcotest.(check int)
+    "the following flag keeps its value" 2
+    (Option.get (C.int_flag t [ "--jobs" ]));
+  (* Suite.matching semantics *)
+  let all_names = List.map (fun (s : Warden_pbbs.Spec.t) -> s.Warden_pbbs.Spec.name) Suite.all in
+  Alcotest.(check (list string))
+    "empty substring matches everything in suite order" all_names
+    (Suite.matching "");
+  let contains_sub sub s =
+    let n = String.length s and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  in
+  let sorts = Suite.matching "sort" in
+  Alcotest.(check bool) "some benchmark matches \"sort\"" true (sorts <> []);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s contains \"sort\"" n)
+        true (contains_sub "sort" n))
+    sorts;
+  Alcotest.(check (list string))
+    "matches keep suite order" sorts
+    (List.filter (fun n -> List.mem n sorts) all_names);
+  Alcotest.(check (list string))
+    "no match for garbage" [] (Suite.matching "no-such-benchmark");
+  (* exact name is a substring of itself *)
+  Alcotest.(check bool) "exact name matches itself" true
+    (List.mem "msort" (Suite.matching "msort"))
+
 let cliscan_bad_value_test () =
   let module C = Warden_util.Cliscan in
   let t =
@@ -299,6 +351,8 @@ let suite =
         cliscan_test;
       Alcotest.test_case "Cliscan rejects bad values" `Quick
         cliscan_bad_value_test;
+      Alcotest.test_case "bench --filter scanning and Suite.matching" `Quick
+        filter_flag_test;
     ]
 
 let () = Alcotest.run "warden-parallel" [ ("parallel", suite) ]
