@@ -10,8 +10,9 @@ MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
 .PHONY: all build test check fmt bench bench-quick bench-json bench-compare \
-        bench-overhead bench-scaling bench-serve serve profile all_pbbs \
-        single_pbbs activate_one_socket activate_two_socket examples clean
+        bench-overhead bench-scaling bench-scale bench-serve serve profile \
+        all_pbbs single_pbbs activate_one_socket activate_two_socket \
+        examples clean
 
 all: build
 
@@ -53,6 +54,14 @@ bench-compare:
 # parallelism; CI enforces it on >= 4-core runners.
 bench-scaling:
 	dune exec bench/main.exe -- scaling
+
+# Many-socket scale study (README "Scaling to 512 cores"): quick kernels
+# on 64- to 512-core numa_mesh machines under both protocols. Writes the
+# compare-compatible BENCH_scale.json and fails unless WARDen's
+# invalidation+downgrade traffic grows strictly slower than MESI's as
+# the machine grows.
+bench-scale:
+	dune exec bench/main.exe -- scale
 
 # Observability overhead gate: snapshot the suite with the event recorder
 # off and again at counters level, then fail if counters cost more than

@@ -6,6 +6,9 @@
               dune exec bench/main.exe -- quick   (reduced scales)
               dune exec bench/main.exe -- json    (machine-readable timing
                                                    into BENCH_sim.json)
+              dune exec bench/main.exe -- scale   (64->512-core hierarchical-
+                                                   directory study into
+                                                   BENCH_scale.json)
               dune exec bench/main.exe -- serve   (serving-tier MESI-vs-WARDen
                                                    gate into BENCH_serve.json)
    [--jobs N] (or WARDEN_JOBS) caps the domains used for independent
@@ -34,12 +37,13 @@ let cli =
       ]
     Sys.argv
 
-let mode_words = [ "quick"; "json"; "compare"; "scaling"; "serve" ]
+let mode_words = [ "quick"; "json"; "compare"; "scaling"; "scale"; "serve" ]
 let has_mode w = List.mem w (Cliscan.positionals cli)
 let quick = has_mode "quick"
 let json_mode = has_mode "json"
 let compare_mode = has_mode "compare"
 let scaling_mode = has_mode "scaling"
+let scale_mode = has_mode "scale"
 let serve_mode = has_mode "serve"
 
 (* Positionals that are not mode words: the compare mode's snapshot paths. *)
@@ -756,6 +760,190 @@ let run_compare_scaling () =
   if not (scaling_verdict ~d1 ~d4) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* scale mode: 64 -> 512 cores on the hierarchical directory          *)
+(* ------------------------------------------------------------------ *)
+
+(* The socket-scaling study past the paper's testbeds (DESIGN.md §14):
+   quick kernels on [Config.numa_mesh] machines from 64 to 512 cores
+   under both protocols, sequentially (no pool fan-out — the wall clocks
+   are the measurement). Each cell is timed end to end, engine creation
+   included, because the lazily-chunked LLC slices are half the point.
+   BENCH_scale.json uses the flat snapshot format, so the ordinary
+   [compare] gate budgets its cells like any other kernel. The run fails
+   unless WARDen's invalidation+downgrade traffic grows strictly slower
+   than MESI's from the smallest machine to the largest: the traffic
+   *added* by going from 64 to 512 cores must be smaller under WARDen.
+   (A relative-factor gate would be vacuous the other way: WARDen's
+   absolute traffic is 2-3x lower throughout, so any common growth term
+   looms larger against its smaller base.) *)
+
+let scale_sockets = [ 4; 8; 16; 32 ]
+let scale_kernels = [ "msort"; "quickhull"; "fib" ]
+
+type scale_cell = {
+  sc_wall : float;
+  sc_instrs : int;
+  sc_inv : int;
+  sc_down : int;
+  sc_chunks_alloc : int;
+  sc_chunks_total : int;
+  sc_verified : bool;
+}
+
+let run_scale_cell ~sockets ~proto specs =
+  let config = Config.numa_mesh ~sockets () in
+  List.fold_left
+    (fun acc spec ->
+      let t0 = Unix.gettimeofday () in
+      let eng = Warden_sim.Engine.create config ~proto in
+      let ms = Warden_sim.Engine.memsys eng in
+      let verified =
+        spec.Warden_pbbs.Spec.run
+          ~scale:(Exp.scale_of ~quick:true spec)
+          ~seed:0x5EEDF00DL eng
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let ss = Warden_sim.Memsys.sstats ms in
+      let ps = Warden_sim.Memsys.pstats ms in
+      let ca, ct =
+        Warden_sim.Llc.chunks_stats (Warden_sim.Memsys.llc ms)
+      in
+      {
+        sc_wall = acc.sc_wall +. wall;
+        sc_instrs = acc.sc_instrs + ss.Warden_sim.Sstats.instructions;
+        sc_inv = acc.sc_inv + ps.Warden_proto.Pstats.invalidations;
+        sc_down = acc.sc_down + ps.Warden_proto.Pstats.downgrades;
+        sc_chunks_alloc = acc.sc_chunks_alloc + ca;
+        sc_chunks_total = acc.sc_chunks_total + ct;
+        sc_verified = acc.sc_verified && verified;
+      })
+    {
+      sc_wall = 0.;
+      sc_instrs = 0;
+      sc_inv = 0;
+      sc_down = 0;
+      sc_chunks_alloc = 0;
+      sc_chunks_total = 0;
+      sc_verified = true;
+    }
+    specs
+
+let run_scale () =
+  section "Scale study: 64 -> 512 cores on the hierarchical directory";
+  let names =
+    match filter_names with
+    | None -> scale_kernels
+    | Some ns -> (
+        match List.filter (fun n -> List.mem n ns) scale_kernels with
+        | [] -> scale_kernels
+        | picked -> picked)
+  in
+  let specs =
+    List.map
+      (fun n ->
+        match Warden_pbbs.Suite.find n with
+        | Some s -> s
+        | None -> invalid_arg ("scale: unknown kernel " ^ n))
+      names
+  in
+  Printf.printf "kernels: %s (quick scales); machines: %s\n%!"
+    (String.concat ", " names)
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "%d sockets x 16c" s)
+          scale_sockets));
+  let cells =
+    List.map
+      (fun sockets ->
+        let cores = sockets * 16 in
+        let m = run_scale_cell ~sockets ~proto:`Mesi specs in
+        let w = run_scale_cell ~sockets ~proto:`Warden specs in
+        let mips c =
+          if c.sc_wall > 0. then float_of_int c.sc_instrs /. c.sc_wall /. 1e6
+          else 0.
+        in
+        Printf.printf
+          "%4d cores: mesi %6.3f s (%5.2f sim MIPS, inv+down %7d)  warden \
+           %6.3f s (%5.2f sim MIPS, inv+down %7d)  llc chunks %d/%d\n%!"
+          cores m.sc_wall (mips m) (m.sc_inv + m.sc_down) w.sc_wall (mips w)
+          (w.sc_inv + w.sc_down) w.sc_chunks_alloc w.sc_chunks_total;
+        (cores, m, w))
+      scale_sockets
+  in
+  let verified =
+    List.for_all (fun (_, m, w) -> m.sc_verified && w.sc_verified) cells
+  in
+  (* The traffic gate, endpoint to endpoint: the inv+down traffic each
+     protocol *adds* between the smallest and the largest machine.
+     WARDen must pay strictly less for the same growth in sharing width
+     — the downgrades MESI keeps issuing on every join line are the ones
+     WARD reconciliation spares, so the absolute gap must widen as the
+     machine grows. Intermediate sizes are printed for the figure but
+     not gated: per-step increments are small differences of small
+     counts and too noisy to promise monotonicity on. *)
+  let traffic c = c.sc_inv + c.sc_down in
+  let base_cores, base_m, base_w = List.hd cells in
+  let last_cores, last_m, last_w =
+    List.fold_left (fun _ c -> c) (List.hd cells) cells
+  in
+  List.iter
+    (fun (cores, m, w) ->
+      if cores <> base_cores then
+        Printf.printf
+          "traffic added %d -> %d cores: mesi +%d, warden +%d\n" base_cores
+          cores
+          (traffic m - traffic base_m)
+          (traffic w - traffic base_w))
+    cells;
+  let grow_m = traffic last_m - traffic base_m in
+  let grow_w = traffic last_w - traffic base_w in
+  let traffic_ok = grow_w < grow_m in
+  Printf.printf
+    "traffic growth %d -> %d cores: mesi +%d, warden +%d -> %s\n" base_cores
+    last_cores grow_m grow_w
+    (if traffic_ok then "warden grows strictly slower"
+     else "NOT SLOWER");
+  (* Flat snapshot: one pseudo-kernel per (size, protocol) cell plus the
+     aggregate sim MIPS, so `bench compare BENCH_scale_baseline.json
+     BENCH_scale.json` applies the ordinary budgets. *)
+  let kernels =
+    List.concat_map
+      (fun (cores, m, w) ->
+        [
+          (Printf.sprintf "scale:%dc:mesi" cores, m.sc_wall *. 1e3);
+          (Printf.sprintf "scale:%dc:warden" cores, w.sc_wall *. 1e3);
+        ])
+      cells
+  in
+  let wall =
+    List.fold_left (fun a (_, m, w) -> a +. m.sc_wall +. w.sc_wall) 0. cells
+  in
+  let instrs =
+    List.fold_left (fun a (_, m, w) -> a + m.sc_instrs + w.sc_instrs) 0 cells
+  in
+  let mips = if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0. in
+  let s =
+    render_snapshot ~jobs:1 ~sim_domains ~kernels ~wall ~instrs ~cycles:0
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc s;
+  close_out oc;
+  append_history ~jobs:1 ~wall ~instrs ~cycles:0 ~mips ();
+  Printf.printf "suite: %.3f s wall, %.2f sim MIPS -> BENCH_scale.json\n" wall
+    mips;
+  if not (verified && traffic_ok) then begin
+    Printf.printf "SCALE GATE FAILED: verified %b, warden traffic growth \
+                   strictly slower %b\n"
+      verified traffic_ok;
+    exit 1
+  end
+  else
+    Printf.printf
+      "ok: scale gate passed (WARDen traffic grows strictly slower than \
+       MESI from %d to %d cores)\n"
+      base_cores last_cores
+
+(* ------------------------------------------------------------------ *)
 (* serve mode: the serving-tier MESI-vs-WARDen gate                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -876,6 +1064,7 @@ let () =
   else if compare_mode && Cliscan.has cli "--scaling" then run_compare_scaling ()
   else if compare_mode then run_compare ()
   else if scaling_mode then run_sim_scaling ()
+  else if scale_mode then run_scale ()
   else if serve_mode then run_serve ()
   else if json_mode then run_json ()
   else begin

@@ -798,17 +798,36 @@ let check_cmd =
       & info [ "proto"; "p" ]
           ~doc:"Configuration: mesi, warden, equiv, or all.")
   in
-  let run cores blocks regions depth store_cap fuzz_steps seed proto =
+  let machine_arg =
+    Arg.(
+      value & opt string "dual"
+      & info [ "machine"; "m" ]
+          ~doc:
+            "Small-model machine: dual (24 cores, the default), single, or \
+             mesh (a 32-socket NUMA mesh with 2 cores per socket — 64 cores, \
+             so the checker cores span sockets and the directory runs its \
+             hierarchical two-level sharer paths).")
+  in
+  let run cores blocks regions depth store_cap fuzz_steps seed proto machine =
     let open Warden_check in
+    let machine =
+      match machine with
+      | "dual" -> Warden_machine.Config.dual_socket ()
+      | "single" -> Warden_machine.Config.single_socket ()
+      | "mesh" ->
+          Warden_machine.Config.numa_mesh ~sockets:32 ~cores_per_socket:2 ()
+      | m -> failwith ("unknown check machine " ^ m)
+    in
     let cfgs =
       let mk (f :
                ?cores:int ->
                ?blks:int ->
                ?regions:int ->
                ?store_cap:int ->
+               ?machine:Warden_machine.Config.t ->
                unit ->
                Check.cfg) =
-        f ~cores ~blks:blocks ~regions ~store_cap ()
+        f ~cores ~blks:blocks ~regions ~store_cap ~machine ()
       in
       match proto with
       | "mesi" -> [ mk Check.mesi ]
@@ -843,7 +862,7 @@ let check_cmd =
           violation, printing a shrunk counterexample trace.")
     Term.(
       const run $ cores_arg $ blocks_arg $ regions_arg $ depth_arg
-      $ store_cap_arg $ fuzz_steps_arg $ seed_arg $ proto_arg)
+      $ store_cap_arg $ fuzz_steps_arg $ seed_arg $ proto_arg $ machine_arg)
 
 let all_cmd =
   let run quick jobs sim_domains =

@@ -1,0 +1,188 @@
+(* Chunked set-associative cache: Sa's exact per-set semantics (same LRU
+   clock, same MRU-first rotation, same victim tie-breaks) over lazily
+   allocated chunks of sets. An engine's LLC at the 512-core scaling
+   topologies is ~20M ways; materializing those arrays eagerly cost more
+   host time than short runs, and the untouched sets also dragged every
+   probe through hundreds of megabytes of cold host memory. A chunk is
+   allocated on the first insert into any of its sets; a probe of an
+   unallocated chunk is a miss, which is exactly what the eager arrays
+   would have answered (every way empty) — simulated results are
+   bit-identical by construction.
+
+   Only the operations the LLC needs exist here; private caches stay on
+   the flat [Sa] arrays, whose single-indirection probes are cheaper and
+   whose footprint is small. *)
+
+type 'a chunk = {
+  blks : int array; (* -1 = empty *)
+  payloads : 'a array;
+  last_use : int array;
+}
+
+type 'a t = {
+  nsets : int;
+  nways : int;
+  chunk_sets : int; (* sets per chunk, a power of two *)
+  chunks : 'a chunk option array;
+  dummy : 'a;
+  mutable tick : int; (* monotonically increasing LRU clock, whole cache *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* 32 sets per chunk: at 20 ways that is ~15 KB of arrays — big enough to
+   amortize the option indirection, small enough that a sparse working
+   set touches a few chunks, not the whole slice. *)
+let default_chunk_sets = 32
+
+let create ~sets ~ways ~dummy =
+  if not (is_pow2 sets) then invalid_arg "Csa.create: sets must be a power of two";
+  if ways <= 0 then invalid_arg "Csa.create: ways";
+  let chunk_sets = min sets default_chunk_sets in
+  {
+    nsets = sets;
+    nways = ways;
+    chunk_sets;
+    chunks = Array.make (sets / chunk_sets) None;
+    dummy;
+    tick = 0;
+  }
+
+let sets t = t.nsets
+let ways t = t.nways
+let set_index t blk = blk land (t.nsets - 1)
+
+let chunk_of t set = Array.unsafe_get t.chunks (set / t.chunk_sets)
+
+let materialize t set =
+  let ci = set / t.chunk_sets in
+  match Array.unsafe_get t.chunks ci with
+  | Some c -> c
+  | None ->
+      let cap = t.chunk_sets * t.nways in
+      let c =
+        {
+          blks = Array.make cap (-1);
+          payloads = Array.make cap t.dummy;
+          last_use = Array.make cap 0;
+        }
+      in
+      t.chunks.(ci) <- Some c;
+      c
+
+(* Base index of [set]'s ways inside its chunk. *)
+let base_of t set = set land (t.chunk_sets - 1) * t.nways
+
+(* Pure probe: way offset within the set's chunk, -1 on miss (including
+   the unallocated-chunk case — every way of a fresh chunk is empty). *)
+let peek_pos c base nways blk =
+  let blks = c.blks in
+  let last = base + nways in
+  let i = ref base in
+  while !i < last && Array.unsafe_get blks !i <> blk do
+    incr i
+  done;
+  if !i < last then !i else -1
+
+let swap_ways c a b =
+  if a <> b then begin
+    let blk = c.blks.(a) and payload = c.payloads.(a) and lu = c.last_use.(a) in
+    c.blks.(a) <- c.blks.(b);
+    c.payloads.(a) <- c.payloads.(b);
+    c.last_use.(a) <- c.last_use.(b);
+    c.blks.(b) <- blk;
+    c.payloads.(b) <- payload;
+    c.last_use.(b) <- lu
+  end
+
+(* Hit probe with Sa.find's exact bookkeeping: tick, MRU rotation into
+   way 0, recency refresh. *)
+let find t blk =
+  let set = set_index t blk in
+  match chunk_of t set with
+  | None -> None
+  | Some c ->
+      let base = base_of t set in
+      let w = peek_pos c base t.nways blk in
+      if w < 0 then None
+      else begin
+        t.tick <- t.tick + 1;
+        if w > base then swap_ways c base w;
+        Array.unsafe_set c.last_use base t.tick;
+        Some (Array.unsafe_get c.payloads base)
+      end
+
+(* Pure probe for helper domains: the resident payload, or [dummy] when
+   absent — no allocation, no mutation, and safe to race with the owning
+   lane (a torn view yields a stale payload, never an out-of-bounds
+   access). Compare against [dummy] physically to detect a miss. *)
+let peek_or_dummy t blk =
+  let set = set_index t blk in
+  match chunk_of t set with
+  | None -> t.dummy
+  | Some c ->
+      let base = base_of t set in
+      let w = peek_pos c base t.nways blk in
+      if w < 0 then t.dummy else Array.unsafe_get c.payloads w
+
+let dummy t = t.dummy
+
+(* Sa.insert's exact semantics: refresh in place on hit; otherwise fill
+   the first empty way, or evict the least-recently-used one (first index
+   wins ties) and return the displaced entry. *)
+let insert t blk payload =
+  let set = set_index t blk in
+  let c = materialize t set in
+  t.tick <- t.tick + 1;
+  let base = base_of t set in
+  let w = peek_pos c base t.nways blk in
+  if w >= 0 then begin
+    c.payloads.(w) <- payload;
+    c.last_use.(w) <- t.tick;
+    None
+  end
+  else begin
+    let best = ref base in
+    (try
+       for i = base to base + t.nways - 1 do
+         if c.blks.(i) = -1 then begin
+           best := i;
+           raise Exit
+         end
+         else if c.last_use.(i) < c.last_use.(!best) then best := i
+       done
+     with Exit -> ());
+    let w = !best in
+    let evicted =
+      if c.blks.(w) = -1 then None else Some (c.blks.(w), c.payloads.(w))
+    in
+    c.blks.(w) <- blk;
+    c.payloads.(w) <- payload;
+    c.last_use.(w) <- t.tick;
+    evicted
+  end
+
+(* Ascending (set, way) over resident blocks — the order Sa.iter visits
+   a flat slice in; unallocated chunks hold nothing. *)
+let iter t f =
+  Array.iter
+    (function
+      | None -> ()
+      | Some c ->
+          for i = 0 to Array.length c.blks - 1 do
+            let blk = Array.unsafe_get c.blks i in
+            if blk <> -1 then f blk c.payloads.(i)
+          done)
+    t.chunks
+
+let population t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+(* Chunks actually materialized — the host-memory story the lazy layout
+   exists for; bench and tests read it. *)
+let chunks_allocated t =
+  Array.fold_left (fun n c -> match c with Some _ -> n + 1 | None -> n) 0 t.chunks
+
+let chunks_total t = Array.length t.chunks

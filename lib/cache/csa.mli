@@ -1,0 +1,49 @@
+(** Chunked set-associative cache for the LLC slices.
+
+    Identical per-set semantics to {!Sa} (one LRU clock, MRU-first
+    rotation on hits, first-empty-then-LRU victims), but the backing
+    arrays are split into fixed-size chunks of sets allocated on first
+    insert. Probing an unallocated chunk is a miss — exactly what the
+    eager arrays would answer — so simulated results are bit-identical
+    while engine construction stops paying for hundreds of megabytes of
+    ways the run never touches (the 512-core machines have ~20M LLC
+    ways), and a sparse working set stays host-cache resident.
+
+    Only the LLC's operation set is provided; private caches use {!Sa}
+    directly. *)
+
+type 'a t
+
+val create : sets:int -> ways:int -> dummy:'a -> 'a t
+(** [sets] must be a power of two. [dummy] fills absent ways and is the
+    {!peek_or_dummy} miss answer. *)
+
+val sets : 'a t -> int
+val ways : 'a t -> int
+val set_index : 'a t -> int -> int
+
+val find : 'a t -> int -> 'a option
+(** Hit probe with LRU refresh and MRU rotation, as {!Sa.find}. *)
+
+val peek_or_dummy : 'a t -> int -> 'a
+(** Pure probe for helper domains: the resident payload, or the cache's
+    [dummy] when absent (compare physically against {!dummy}). No
+    allocation, no mutation; safe to race with the owning lane — a torn
+    view yields a stale payload, never an out-of-bounds access. *)
+
+val dummy : 'a t -> 'a
+
+val insert : 'a t -> int -> 'a -> (int * 'a) option
+(** As {!Sa.insert}: refresh in place on hit, else fill/evict and return
+    the displaced [(block, payload)]. Materializes the chunk. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Resident blocks in ascending (set, way) order. *)
+
+val population : 'a t -> int
+
+val chunks_allocated : 'a t -> int
+(** Chunks materialized so far (the lazy-allocation story, for bench and
+    tests). *)
+
+val chunks_total : 'a t -> int

@@ -15,18 +15,8 @@ type cfg = {
 }
 
 let base ~name ~mk ~lockstep ?(cores = 3) ?(blks = 2) ?(regions = 2)
-    ?(store_cap = 1) () =
-  {
-    name;
-    cores;
-    blks;
-    regions;
-    store_cap;
-    region_cap = 1;
-    machine = Config.dual_socket ();
-    mk;
-    lockstep;
-  }
+    ?(store_cap = 1) ?(machine = Config.dual_socket ()) () =
+  { name; cores; blks; regions; store_cap; region_cap = 1; machine; mk; lockstep }
 
 let mesi = base ~name:"mesi" ~mk:Protocol.mesi ~lockstep:None
 

@@ -43,15 +43,38 @@ type cfg = {
           equivalence mode. *)
 }
 
-val mesi : ?cores:int -> ?blks:int -> ?regions:int -> ?store_cap:int -> unit -> cfg
+val mesi :
+  ?cores:int ->
+  ?blks:int ->
+  ?regions:int ->
+  ?store_cap:int ->
+  ?machine:Config.t ->
+  unit ->
+  cfg
 (** The MESI baseline alone. Defaults: 3 cores, 2 blocks, 2 regions,
-    store cap 1. *)
+    store cap 1, dual-socket machine. Pass [machine] to close the state
+    space on another topology — the scale-smoke model runs the checker
+    cores spread across a many-socket machine so the hierarchical
+    directory paths (DESIGN.md §14) are the ones explored. *)
 
-val warden : ?cores:int -> ?blks:int -> ?regions:int -> ?store_cap:int -> unit -> cfg
+val warden :
+  ?cores:int ->
+  ?blks:int ->
+  ?regions:int ->
+  ?store_cap:int ->
+  ?machine:Config.t ->
+  unit ->
+  cfg
 (** WARDen alone, regions over the checked blocks (W states exercised). *)
 
 val equivalence :
-  ?cores:int -> ?blks:int -> ?regions:int -> ?store_cap:int -> unit -> cfg
+  ?cores:int ->
+  ?blks:int ->
+  ?regions:int ->
+  ?store_cap:int ->
+  ?machine:Config.t ->
+  unit ->
+  cfg
 (** MESI and WARDen in lockstep on region-free blocks: both must produce
     identical latencies, values, and cache/directory states. *)
 
@@ -62,6 +85,7 @@ val of_protocol :
   ?blks:int ->
   ?regions:int ->
   ?store_cap:int ->
+  ?machine:Config.t ->
   unit ->
   cfg
 (** A config for an arbitrary protocol constructor — used by the mutation

@@ -17,9 +17,12 @@ module P = struct
   let name = "warden"
 
   let create fabric =
+    let cfg = fabric.Fabric.config in
     {
       fabric;
-      dir = Dirstate.create ();
+      dir =
+        Dirstate.create ~sockets:cfg.Config.sockets
+          ~cores_per_socket:cfg.Config.cores_per_socket ();
       regions =
         Regions.create
           ~capacity:fabric.Fabric.config.Config.ward_region_capacity;

@@ -31,6 +31,7 @@ type t = {
   dram_lat : int;
   intra_hop_lat : int;
   inter_socket_lat : int;
+  hop_matrix : int array option;
   llc_remote : bool;
   dram_remote : bool;
   freq_ghz : float;
@@ -146,6 +147,7 @@ let base ~name ~sockets ~threads_per_core =
     dram_lat = 140;
     intra_hop_lat = 60;
     inter_socket_lat = 230;
+    hop_matrix = None;
     llc_remote = false;
     dram_remote = false;
     freq_ghz = 3.3;
@@ -167,8 +169,61 @@ let single_socket ?(threads_per_core = 1) () =
 let dual_socket ?(threads_per_core = 1) () =
   base ~name:"dual-socket" ~sockets:2 ~threads_per_core
 
-let many_socket ~sockets () =
-  base ~name:(Printf.sprintf "%d-socket" sockets) ~sockets ~threads_per_core:1
+let many_socket ?cores_per_socket ~sockets () =
+  let t = base ~name:(Printf.sprintf "%d-socket" sockets) ~sockets ~threads_per_core:1 in
+  match cores_per_socket with
+  | None -> t
+  | Some per ->
+      if per <= 0 then invalid_arg "Config.many_socket: nonpositive cores";
+      {
+        t with
+        cores_per_socket = per;
+        name = Printf.sprintf "%d-socket-%dc" sockets per;
+      }
+
+(* One cross-socket interconnect leg between two sockets of the hop
+   matrix, falling back to the uniform [inter_socket_lat] when no matrix
+   is configured (every pre-existing topology — results there are
+   bit-identical by construction). The diagonal is the on-chip leg. *)
+let hop_lat t ~from_socket ~to_socket =
+  if from_socket = to_socket then t.intra_hop_lat
+  else
+    match t.hop_matrix with
+    | None -> t.inter_socket_lat
+    | Some m -> m.((from_socket * t.sockets) + to_socket)
+
+(* Many-socket NUMA machine for the 64→512-core scaling study: sockets
+   arranged in a 2D mesh (rows x cols as square as the count allows), one
+   [inter_socket_lat] for adjacent sockets plus one [intra_hop_lat]-sized
+   router step per additional Manhattan hop. Symmetric by construction;
+   [inter_socket_lat] remains the 1-hop base, so at 2 sockets the matrix
+   degenerates to the uniform dual-socket fabric. *)
+let numa_mesh ?(cores_per_socket = 16) ~sockets () =
+  if sockets < 1 || sockets > 62 then
+    invalid_arg "Config.numa_mesh: sockets must be in 1..62";
+  if cores_per_socket <= 0 || cores_per_socket > 62 then
+    invalid_arg "Config.numa_mesh: cores_per_socket must be in 1..62";
+  let rec divisor r = if sockets mod r = 0 then r else divisor (r - 1) in
+  let rows = divisor (max 1 (int_of_float (sqrt (float_of_int sockets)))) in
+  let cols = sockets / rows in
+  let t =
+    base
+      ~name:(Printf.sprintf "%d-socket-mesh-%dc" sockets cores_per_socket)
+      ~sockets ~threads_per_core:1
+  in
+  let m = Array.make (sockets * sockets) t.intra_hop_lat in
+  for f = 0 to sockets - 1 do
+    for g = 0 to sockets - 1 do
+      if f <> g then begin
+        let dist =
+          abs ((f / cols) - (g / cols)) + abs ((f mod cols) - (g mod cols))
+        in
+        m.((f * sockets) + g) <-
+          t.inter_socket_lat + ((dist - 1) * t.intra_hop_lat)
+      end
+    done
+  done;
+  { t with cores_per_socket; hop_matrix = Some m }
 
 let disaggregated () =
   (* 1 us remote access at 3.3 GHz = 3300 cycles per fabric crossing. The
@@ -194,12 +249,17 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>%s: %d socket(s) x %d cores x %d thread(s)@,\
      L1 %s/%d-way  L2 %s/%d-way  L3 %s-per-core/%d-way@,\
-     latencies L1/L2/L3 %d-%d-%d cycles, DRAM +%d, hop %d, socket link %d%s@,\
+     latencies L1/L2/L3 %d-%d-%d cycles, DRAM +%d, hop %d, socket link %d%s%s@,\
      %.1f GHz, %d WARD regions, reconcile %d cyc/block, store buffer %d@,\
      scheduler quantum %d, %d sim domain(s), commit quantum %d, spec %s, obs %s@]"
     t.name t.sockets t.cores_per_socket t.threads_per_core (kb t.l1_bytes)
     t.l1_ways (kb t.l2_bytes) t.l2_ways (kb t.l3_bytes_per_core) t.l3_ways
     t.l1_lat t.l2_lat t.l3_lat t.dram_lat t.intra_hop_lat t.inter_socket_lat
+    (match t.hop_matrix with
+    | None -> ""
+    | Some m ->
+        Printf.sprintf " (NUMA hop matrix, worst leg %d)"
+          (Array.fold_left max 0 m))
     (if t.dram_remote then " (remote memory)" else "")
     t.freq_ghz t.ward_region_capacity t.reconcile_per_block
     t.store_buffer_entries t.sched_quantum t.sim_domains t.sim_quantum

@@ -37,6 +37,14 @@ type t = {
       (** One on-chip interconnect leg (directory→owner or owner→requestor)
           within a socket. *)
   inter_socket_lat : int;  (** One crossing of the socket interconnect. *)
+  hop_matrix : int array option;
+      (** Per-socket-pair interconnect leg latencies, flattened
+          [from * sockets + to], for NUMA topologies where sockets are not
+          equidistant (the many-socket scaling machines). [None] — every
+          pre-existing topology — means a uniform [inter_socket_lat] for
+          any cross-socket leg, reproducing the original fabric exactly.
+          Entries must be symmetric; the diagonal is ignored in favour of
+          [intra_hop_lat]. *)
   llc_remote : bool;
       (** Disaggregation (§7.3): the shared cache / directory / memory
           complex sits across the fabric, so every leg between a core and
@@ -153,8 +161,25 @@ val single_socket : ?threads_per_core:int -> unit -> t
 val dual_socket : ?threads_per_core:int -> unit -> t
 (** 24 cores across two sockets (§7.2 "Dual socket"). *)
 
-val many_socket : sockets:int -> unit -> t
-(** §7.3 "Many Sockets": same per-socket structure, more sockets. *)
+val many_socket : ?cores_per_socket:int -> sockets:int -> unit -> t
+(** §7.3 "Many Sockets": same per-socket structure, more sockets. The
+    default 12 cores per socket matches Table 2; pass [cores_per_socket]
+    for the larger scaling geometries. *)
+
+val hop_lat : t -> from_socket:int -> to_socket:int -> int
+(** One interconnect leg between two sockets: [intra_hop_lat] on the
+    diagonal, the {!field-hop_matrix} entry across sockets, or the uniform
+    [inter_socket_lat] when no matrix is configured. *)
+
+val numa_mesh : ?cores_per_socket:int -> sockets:int -> unit -> t
+(** Many-socket NUMA machine for the 64→512-core scaling study (DiSquawk's
+    "512 cores, 512 memories" regime): sockets in a near-square 2D mesh,
+    adjacent sockets one [inter_socket_lat] apart plus one router step of
+    [intra_hop_lat] per extra Manhattan hop, recorded in
+    {!field-hop_matrix}. Default 16 cores per socket, so
+    [numa_mesh ~sockets:32 ()] is the 512-core machine. Sockets and
+    cores-per-socket are both capped at 62 (the directory's two-level
+    sharer words, DESIGN.md §14). *)
 
 val disaggregated : unit -> t
 (** §7.3 "Disaggregated": two nodes, 1 µs remote access

@@ -1,8 +1,6 @@
-open Warden_util
-
 (* Flat open-addressing directory. One probe per request instead of a
-   Hashtbl bucket walk, and an entry is three immediate ints in parallel
-   arrays — no per-entry record, no boxed sharer set on the hot path.
+   Hashtbl bucket walk, and an entry is immediate ints in parallel
+   arrays — no per-entry record, no boxed sharer set on any path.
 
    meta word layout (per slot):
      bits 0-2   directory state (I=0 S=1 E=2 M=3 W=4)
@@ -10,10 +8,20 @@ open Warden_util
      bits 4+    owner + 1 (0 = no owner)
    A fresh entry is the integer 0: D_I, no owner, not multi.
 
-   Sharers are an int bitmask covering cores 0..62 (every Table-2 topology
-   fits: the largest is 8 sockets x 12 cores = 96 only in the scaling
-   study, so cores >= 63 spill into a side table of Bitsets keyed by
-   BLOCK, which keeps spill entries valid across rehashes).
+   Sharer sets come in two layouts, chosen once at [create] from the
+   machine geometry (DESIGN.md §14):
+
+   - flat (<= 62 cores): [mask.(slot)] is a plain core bitmask, bit c =
+     core c. Every Table-2 topology fits in one word.
+
+   - hierarchical (> 62 cores): [mask.(slot)] becomes a coarse
+     socket-presence bitmask (bit s = socket s holds at least one copy,
+     up to 62 sockets per word) and the per-socket fine words live in a
+     parallel flat [fine] array at [slot * sockets + socket], bit b =
+     core [socket * cores_per_socket + b] (cores_per_socket <= 62, so no
+     second level of spill exists at any supported topology). The
+     invalidation/downgrade walk reads the coarse mask and skips empty
+     sockets in one branch — no hash table, no boxed set, no allocation.
 
    The directory is ideal (never evicts), so there is no deletion and no
    tombstones: linear probing terminates at the first empty slot. *)
@@ -21,31 +29,67 @@ open Warden_util
 type t = {
   mutable keys : int array; (* block id per slot; -1 = empty *)
   mutable meta : int array;
-  mutable mask : int array; (* sharer bits for cores 0..62 *)
+  mutable mask : int array; (* flat: sharer bits; hier: coarse socket bits *)
+  mutable fine : int array; (* hier: per-socket words at slot*nsock+s; flat: [||] *)
   mutable used : int;
   mutable shift : int; (* 63 - log2 capacity *)
-  spill : (int, Bitset.t) Hashtbl.t; (* blk -> sharers >= spill_base *)
+  nsock : int; (* 0 in flat mode, else the socket count *)
+  cps : int; (* cores per socket (hier mode) *)
+  cps_shift : int; (* log2 cps when cps is a power of two, else -1 *)
 }
 
 type slot = int
 
 let no_slot = -1
-let spill_base = 63
-let initial_lg = 12
+let flat_max = 62
+
+(* Start tiny and double on demand (load factor 1/2). Capacity is purely
+   a host-side concern — the directory is ideal, so growth never changes
+   what any request observes — but it is what the model checker's
+   copy-based BFS pays per explored node, and in hierarchical mode the
+   fine array scales it by the socket count. *)
+let initial_lg = 6
 
 (* Odd 63-bit multiplier (SplitMix finalizer constant); the top bits of
    blk * factor index the table. *)
 let factor = 0x2545F4914F6CDD1D
 
-let create () : t =
+let create ~sockets ~cores_per_socket () : t =
+  if sockets <= 0 || cores_per_socket <= 0 then
+    invalid_arg "Dirstate.create: nonpositive geometry";
+  let cores = sockets * cores_per_socket in
+  let hier = cores > flat_max in
+  if hier && sockets > flat_max then
+    invalid_arg "Dirstate.create: more than 62 sockets";
+  if hier && cores_per_socket > flat_max then
+    invalid_arg "Dirstate.create: more than 62 cores per socket";
+  let nsock = if hier then sockets else 0 in
+  let cap = 1 lsl initial_lg in
   {
-    keys = Array.make (1 lsl initial_lg) (-1);
-    meta = Array.make (1 lsl initial_lg) 0;
-    mask = Array.make (1 lsl initial_lg) 0;
+    keys = Array.make cap (-1);
+    meta = Array.make cap 0;
+    mask = Array.make cap 0;
+    fine = (if hier then Array.make (cap * nsock) 0 else [||]);
     used = 0;
     shift = 63 - initial_lg;
-    spill = Hashtbl.create 4;
+    nsock;
+    cps = cores_per_socket;
+    cps_shift =
+      (if cores_per_socket land (cores_per_socket - 1) = 0 then
+         let rec lg n acc = if n <= 1 then acc else lg (n lsr 1) (acc + 1) in
+         lg cores_per_socket 0
+       else -1);
   }
+
+let hierarchical t = t.nsock > 0
+
+(* Socket / in-socket bit of a core; division only when cps is not a
+   power of two (it is at every many-socket scaling topology). *)
+let socket_of t core =
+  if t.cps_shift >= 0 then core lsr t.cps_shift else core / t.cps
+
+let lane_of t core =
+  if t.cps_shift >= 0 then core land (t.cps - 1) else core mod t.cps
 
 (* First slot holding [blk] or empty, scanning the probe sequence. *)
 let probe t blk =
@@ -61,11 +105,16 @@ let probe t blk =
   !i
 
 let grow t =
-  let old_keys = t.keys and old_meta = t.meta and old_mask = t.mask in
+  let old_keys = t.keys
+  and old_meta = t.meta
+  and old_mask = t.mask
+  and old_fine = t.fine in
   let cap = Array.length old_keys * 2 in
+  let nsock = t.nsock in
   t.keys <- Array.make cap (-1);
   t.meta <- Array.make cap 0;
   t.mask <- Array.make cap 0;
+  if nsock > 0 then t.fine <- Array.make (cap * nsock) 0;
   t.shift <- t.shift - 1;
   for i = 0 to Array.length old_keys - 1 do
     let blk = old_keys.(i) in
@@ -73,7 +122,8 @@ let grow t =
       let j = probe t blk in
       t.keys.(j) <- blk;
       t.meta.(j) <- old_meta.(i);
-      t.mask.(j) <- old_mask.(i)
+      t.mask.(j) <- old_mask.(i);
+      if nsock > 0 then Array.blit old_fine (i * nsock) t.fine (j * nsock) nsock
     end
   done
 
@@ -86,8 +136,8 @@ let rec entry t blk : slot =
   end
   else begin
     t.keys.(i) <- blk;
-    (* meta and mask are already 0 = invalid: never mutated since create
-       or grow, because set_invalid resets them. *)
+    (* meta, mask and fine are already 0 = invalid: never mutated since
+       create or grow, because set_invalid resets them. *)
     t.used <- t.used + 1;
     i
   end
@@ -149,39 +199,6 @@ let set_w_multi t (s : slot) b =
 
 (* --- sharer set ------------------------------------------------------------ *)
 
-let spill_of t (s : slot) =
-  if Hashtbl.length t.spill = 0 then None
-  else Hashtbl.find_opt t.spill t.keys.(s)
-
-let sharer_add t (s : slot) core =
-  if core < spill_base then t.mask.(s) <- t.mask.(s) lor (1 lsl core)
-  else
-    let bs =
-      match spill_of t s with
-      | Some bs -> bs
-      | None ->
-          let bs = Bitset.create () in
-          Hashtbl.add t.spill t.keys.(s) bs;
-          bs
-    in
-    Bitset.add bs core
-
-let sharer_remove t (s : slot) core =
-  if core < spill_base then t.mask.(s) <- t.mask.(s) land lnot (1 lsl core)
-  else match spill_of t s with Some bs -> Bitset.remove bs core | None -> ()
-
-let sharer_mem t (s : slot) core =
-  if core < spill_base then t.mask.(s) land (1 lsl core) <> 0
-  else match spill_of t s with Some bs -> Bitset.mem bs core | None -> false
-
-let sharers_clear t (s : slot) =
-  t.mask.(s) <- 0;
-  if Hashtbl.length t.spill > 0 then Hashtbl.remove t.spill t.keys.(s)
-
-let sharers_empty t (s : slot) =
-  t.mask.(s) = 0
-  && match spill_of t s with Some bs -> Bitset.is_empty bs | None -> true
-
 let popcount m =
   let c = ref 0 and m = ref m in
   while !m <> 0 do
@@ -190,20 +207,75 @@ let popcount m =
   done;
   !c
 
-let sharer_count t (s : slot) =
-  popcount t.mask.(s)
-  + match spill_of t s with Some bs -> Bitset.cardinal bs | None -> 0
-
-(* Ascending core id: mask bits first (cores 0..62), then the spill set
-   (cores >= 63, itself ascending). *)
-let sharer_iter t (s : slot) f =
-  let m = ref t.mask.(s) and c = ref 0 in
+(* Call [f] on the index (offset by [base]) of every set bit of [word],
+   ascending. Empty byte spans are skipped in one branch, so walking a
+   sparse word costs its byte count, not its bit count. *)
+let iter_bits word base f =
+  let m = ref word and c = ref base in
   while !m <> 0 do
-    if !m land 1 = 1 then f !c;
-    m := !m lsr 1;
-    incr c
-  done;
-  match spill_of t s with Some bs -> Bitset.iter bs f | None -> ()
+    if !m land 0xFF = 0 then begin
+      m := !m lsr 8;
+      c := !c + 8
+    end
+    else begin
+      if !m land 1 = 1 then f !c;
+      m := !m lsr 1;
+      incr c
+    end
+  done
+
+let sharer_add t (s : slot) core =
+  if t.nsock = 0 then t.mask.(s) <- t.mask.(s) lor (1 lsl core)
+  else begin
+    let sk = socket_of t core in
+    let j = (s * t.nsock) + sk in
+    t.fine.(j) <- t.fine.(j) lor (1 lsl lane_of t core);
+    t.mask.(s) <- t.mask.(s) lor (1 lsl sk)
+  end
+
+let sharer_remove t (s : slot) core =
+  if t.nsock = 0 then t.mask.(s) <- t.mask.(s) land lnot (1 lsl core)
+  else begin
+    let sk = socket_of t core in
+    let j = (s * t.nsock) + sk in
+    let w = t.fine.(j) land lnot (1 lsl lane_of t core) in
+    t.fine.(j) <- w;
+    if w = 0 then t.mask.(s) <- t.mask.(s) land lnot (1 lsl sk)
+  end
+
+let sharer_mem t (s : slot) core =
+  if t.nsock = 0 then t.mask.(s) land (1 lsl core) <> 0
+  else
+    t.fine.((s * t.nsock) + socket_of t core) land (1 lsl lane_of t core) <> 0
+
+let sharers_clear t (s : slot) =
+  (if t.nsock > 0 then
+     let base = s * t.nsock in
+     iter_bits t.mask.(s) 0 (fun sk -> t.fine.(base + sk) <- 0));
+  t.mask.(s) <- 0
+
+(* Invariant: in hierarchical mode a coarse bit is set iff its fine word
+   is nonzero, so emptiness is one load in either layout. *)
+let sharers_empty t (s : slot) = t.mask.(s) = 0
+
+let sharer_count t (s : slot) =
+  if t.nsock = 0 then popcount t.mask.(s)
+  else begin
+    let base = s * t.nsock in
+    let n = ref 0 in
+    iter_bits t.mask.(s) 0 (fun sk -> n := !n + popcount t.fine.(base + sk));
+    !n
+  end
+
+(* Ascending core id: sockets ascending by the coarse mask, then each
+   socket's fine word ascending (flat mode is the one-word case). *)
+let sharer_iter t (s : slot) f =
+  if t.nsock = 0 then iter_bits t.mask.(s) 0 f
+  else begin
+    let base = s * t.nsock and cps = t.cps in
+    iter_bits t.mask.(s) 0 (fun sk ->
+        iter_bits t.fine.(base + sk) (sk * cps) f)
+  end
 
 let sharers t (s : slot) =
   let acc = ref [] in
@@ -232,13 +304,14 @@ let iter t f =
   done
 
 let copy (t : t) : t =
-  let spill = Hashtbl.create (Hashtbl.length t.spill) in
-  Hashtbl.iter (fun blk bs -> Hashtbl.add spill blk (Bitset.copy bs)) t.spill;
   {
     keys = Array.copy t.keys;
     meta = Array.copy t.meta;
     mask = Array.copy t.mask;
+    fine = (if t.nsock > 0 then Array.copy t.fine else [||]);
     used = t.used;
     shift = t.shift;
-    spill;
+    nsock = t.nsock;
+    cps = t.cps;
+    cps_shift = t.cps_shift;
   }

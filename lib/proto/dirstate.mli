@@ -6,12 +6,15 @@
 
     Stored as a flat open-addressing table (no deletion, so linear probing
     never meets a tombstone). An entry is immediate ints in parallel arrays:
-    a packed state/owner/w_multi word and a sharer bitmask covering cores
-    0..62, with a per-block [Bitset] spill for larger machines (only the
-    8-socket scaling study exceeds 63 cores). Entries are addressed by
-    {!slot} handles; a slot stays valid until the next {!entry} call that
-    inserts a new block (which may rehash), and no protocol path inserts
-    between obtaining a slot and using it. *)
+    a packed state/owner/w_multi word plus the sharer set, which is a plain
+    core bitmask on machines of up to 62 cores and a two-level
+    socket-hierarchical scheme beyond that — a coarse socket-presence word
+    per slot plus per-socket fine words in a parallel flat array (DESIGN.md
+    §14). No hash table or boxed set exists on any directory path at any
+    supported topology. Entries are addressed by {!slot} handles; a slot
+    stays valid until the next {!entry} call that inserts a new block
+    (which may rehash), and no protocol path inserts between obtaining a
+    slot and using it. *)
 
 type t
 
@@ -21,7 +24,15 @@ type slot = int
 val no_slot : slot
 (** Returned by {!find} when the block has no entry ([-1]). *)
 
-val create : unit -> t
+val create : sockets:int -> cores_per_socket:int -> unit -> t
+(** [create ~sockets ~cores_per_socket ()] sizes the sharer layout for the
+    machine: one flat word per entry when [sockets * cores_per_socket <=
+    62], else the hierarchical coarse/fine layout. Raises [Invalid_argument]
+    beyond 62 sockets or 62 cores per socket — no supported topology needs
+    a third level. *)
+
+val hierarchical : t -> bool
+(** True when the two-level layout is active (more than 62 cores). *)
 
 val entry : t -> int -> slot
 (** [entry t blk] returns the slot for block [blk], creating it in [D_I]
@@ -69,7 +80,10 @@ val sharers_empty : t -> slot -> bool
 val sharer_count : t -> slot -> int
 
 val sharer_iter : t -> slot -> (int -> unit) -> unit
-(** Ascending core id. *)
+(** Ascending core id. In the hierarchical layout this walks the coarse
+    socket mask and visits only non-empty sockets, so the cost of an
+    invalidation sweep scales with the sockets that actually hold copies,
+    not the machine size. *)
 
 val sharers : t -> slot -> int list
 (** Ascending core id. *)
@@ -86,5 +100,5 @@ val iter : t -> (int -> slot -> unit) -> unit
     insert entries during iteration. *)
 
 val copy : t -> t
-(** Deep copy (fresh arrays and spill sets); the model checker forks
+(** Deep copy (fresh arrays, both levels); the model checker forks
     directory state when exploring alternative interleavings. *)

@@ -18,14 +18,12 @@ type t = {
 let socket_of_core t core = Config.socket_of_core t.config core
 let home_socket t ~blk = Config.home_socket t.config blk
 
-let hop t ~from_socket ~to_socket =
-  if from_socket = to_socket then t.config.Config.intra_hop_lat
-  else t.config.Config.inter_socket_lat
+let hop t ~from_socket ~to_socket = Config.hop_lat t.config ~from_socket ~to_socket
 
 let req_leg t ~from_socket ~to_socket =
   if t.config.Config.llc_remote then t.config.Config.inter_socket_lat
   else if from_socket = to_socket then 0
-  else t.config.Config.inter_socket_lat
+  else Config.hop_lat t.config ~from_socket ~to_socket
 
 let dir_leg t ~socket ~blk =
   req_leg t ~from_socket:socket ~to_socket:(Config.home_socket t.config blk)

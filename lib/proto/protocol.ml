@@ -96,7 +96,14 @@ module Mesi_protocol = struct
   let name = "mesi"
 
   let create fabric =
-    { fabric; dir = Dirstate.create (); scratch = Mesi.fresh_grant () }
+    let cfg = fabric.Fabric.config in
+    {
+      fabric;
+      dir =
+        Dirstate.create ~sockets:cfg.Warden_machine.Config.sockets
+          ~cores_per_socket:cfg.Warden_machine.Config.cores_per_socket ();
+      scratch = Mesi.fresh_grant ();
+    }
 
   let fabric t = t.fabric
 

@@ -2,13 +2,19 @@ open Warden_cache
 open Warden_machine
 open Warden_mem
 
-type t = { slices : Linedata.t Sa.t array; store : Store.t }
+(* Slices are chunked set-associative arrays (Csa): identical simulated
+   behavior to the flat Sa arrays, but chunk storage materializes on
+   first insert. At the many-socket scaling topologies the LLC is by far
+   the largest simulator structure (~20M ways at 512 cores); eager
+   allocation dominated engine construction and spread probes over
+   hundreds of megabytes of cold host memory. *)
+type t = { slices : Linedata.t Csa.t array; store : Store.t }
 
 let create (cfg : Config.t) store =
   {
     slices =
       Array.init cfg.Config.sockets (fun _ ->
-          Sa.create ~sets:(Config.l3_sets_per_socket cfg)
+          Csa.create ~sets:(Config.l3_sets_per_socket cfg)
             ~ways:cfg.Config.l3_ways ~dummy:(Linedata.create ()));
     store;
   }
@@ -21,12 +27,12 @@ let writeback t blk (line : Linedata.t) =
       ~mask:(Linedata.dirty_mask line)
 
 let insert t ~socket ~blk line =
-  match Sa.insert t.slices.(socket) blk line with
+  match Csa.insert t.slices.(socket) blk line with
   | None -> ()
   | Some (vblk, vline) -> writeback t vblk vline
 
 let get_or_fetch t ~socket ~blk =
-  match Sa.find t.slices.(socket) blk with
+  match Csa.find t.slices.(socket) blk with
   | Some line -> (line, `L3)
   | None ->
       if Store.materialized t.store blk then begin
@@ -49,13 +55,13 @@ let read t ~socket ~blk =
 
 (* Pure hint probe for the sharded engine's helper domains: touch the
    slice's tag set and, when resident, the line's first payload byte —
-   never fetching or mutating ([peek_way] is pure). Racy reads may see a
-   stale snapshot; the result is advisory and feeds a sink only. *)
+   never fetching or mutating ([peek_or_dummy] is pure). Racy reads may
+   see a stale snapshot; the result is advisory and feeds a sink only. *)
 let prefetch t ~socket ~blk =
   let slice = t.slices.(socket) in
-  let w = Sa.peek_way slice blk in
-  if not (Sa.hit w) then 0
-  else Char.code (Bytes.unsafe_get (Linedata.bytes (Sa.value slice w)) 0)
+  let line = Csa.peek_or_dummy slice blk in
+  if line == Csa.dummy slice then 0
+  else Char.code (Bytes.unsafe_get (Linedata.bytes line) 0)
 
 let merge t ~socket ~blk src =
   let line, _ = get_or_fetch t ~socket ~blk in
@@ -69,7 +75,14 @@ let put_full t ~socket ~blk bytes =
 let flush_to_store t =
   Array.iter
     (fun slice ->
-      Sa.iter slice (fun blk line ->
+      Csa.iter slice (fun blk line ->
           writeback t blk line;
           Linedata.clear_dirty line))
     t.slices
+
+(* Host-side footprint of the lazy slices, for the scale bench report. *)
+let chunks_stats t =
+  Array.fold_left
+    (fun (alloc, total) slice ->
+      (alloc + Csa.chunks_allocated slice, total + Csa.chunks_total slice))
+    (0, 0) t.slices

@@ -33,3 +33,8 @@ val prefetch : t -> socket:int -> blk:int -> int
 
 val flush_to_store : t -> unit
 (** Write every dirty line back to memory (end-of-run drain). *)
+
+val chunks_stats : t -> int * int
+(** [(allocated, total)] slice chunks across all sockets: the lazy
+    storage actually materialized versus the eager-array equivalent (the
+    scale bench reports this). *)

@@ -56,6 +56,7 @@ let the_proto t =
   match t.proto with Some p -> p | None -> failwith "Memsys: not initialized"
 
 let config t = t.cfg
+let llc t = t.llc
 let protocol t = the_proto t
 let pstats t = t.pstats
 

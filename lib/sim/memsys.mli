@@ -16,6 +16,10 @@ val config : t -> Warden_machine.Config.t
 val protocol : t -> Warden_proto.Protocol.t
 val pstats : t -> Warden_proto.Pstats.t
 
+val llc : t -> Llc.t
+(** The shared LLC — the scale bench reads {!Llc.chunks_stats} off it to
+    report how much of the lazily-chunked slice storage materialized. *)
+
 val sstats : t -> Sstats.t
 (** Merged access statistics. Access-path counters are banked per shard
     (see {!Warden_machine.Config.num_shards}); this getter folds the banks
@@ -168,4 +172,3 @@ val check_invariants : t -> (unit, string) result
 
     O(total cache capacity); meant for tests and debugging, not for the
     simulation fast path. *)
-

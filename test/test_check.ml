@@ -136,7 +136,14 @@ struct
   let name = M.name
 
   let create fabric =
-    { fabric; dir = Dirstate.create (); scratch = Mesi.fresh_grant () }
+    let cfg = fabric.Fabric.config in
+    {
+      fabric;
+      dir =
+        Dirstate.create ~sockets:cfg.Config.sockets
+          ~cores_per_socket:cfg.Config.cores_per_socket ();
+      scratch = Mesi.fresh_grant ();
+    }
 
   let fabric t = t.fabric
 

@@ -56,6 +56,82 @@ let test_pp_mentions_key_fields () =
       Alcotest.(check bool) ("pp mentions " ^ needle) true found)
     [ "dual-socket"; "32 KB"; "6-16-71"; "3.3 GHz" ]
 
+(* --- Many-socket NUMA machines (the 64→512-core scaling study) ----------- *)
+
+let test_many_socket_geometry () =
+  let c = Config.many_socket ~sockets:32 ~cores_per_socket:16 () in
+  Alcotest.(check int) "512 cores" 512 (Config.num_cores c);
+  Alcotest.(check int) "core 511 on socket 31" 31 (Config.socket_of_core c 511);
+  Alcotest.(check int) "uniform fabric without a matrix"
+    c.Config.inter_socket_lat
+    (Config.hop_lat c ~from_socket:0 ~to_socket:31);
+  (* Default geometry is untouched: many_socket without the option is the
+     Table-2 12-core socket the existing goldens pin. *)
+  Alcotest.(check int) "default cores per socket" 12
+    (Config.many_socket ~sockets:4 ()).Config.cores_per_socket
+
+let test_numa_mesh_matrix () =
+  List.iter
+    (fun sockets ->
+      let c = Config.numa_mesh ~sockets () in
+      let n = Config.num_cores c in
+      Alcotest.(check int)
+        (Printf.sprintf "%d sockets x 16 cores" sockets)
+        (sockets * 16) n;
+      (* Hop-matrix laws: diagonal is the on-chip leg, off-diagonal legs
+         are symmetric, at least one socket link, and bounded by the mesh
+         diameter. *)
+      for f = 0 to sockets - 1 do
+        for g = 0 to sockets - 1 do
+          let fg = Config.hop_lat c ~from_socket:f ~to_socket:g in
+          let gf = Config.hop_lat c ~from_socket:g ~to_socket:f in
+          if f = g then
+            Alcotest.(check int) "diagonal" c.Config.intra_hop_lat fg
+          else begin
+            if fg <> gf then
+              Alcotest.failf "asymmetric hop %d->%d: %d vs %d" f g fg gf;
+            if fg < c.Config.inter_socket_lat then
+              Alcotest.failf "hop %d->%d below one socket link" f g;
+            if
+              fg
+              > c.Config.inter_socket_lat
+                + (2 * sockets * c.Config.intra_hop_lat)
+            then Alcotest.failf "hop %d->%d beyond mesh diameter" f g
+          end
+        done
+      done)
+    [ 2; 4; 8; 16; 32; 62 ];
+  Alcotest.check_raises "63 sockets rejected"
+    (Invalid_argument "Config.numa_mesh: sockets must be in 1..62") (fun () ->
+      ignore (Config.numa_mesh ~sockets:63 ()))
+
+let test_numa_mesh_adjacency_cheaper () =
+  (* 32 sockets form an 4x8 mesh (rows x cols): neighbours pay one link,
+     opposite corners pay the full Manhattan path. *)
+  let c = Config.numa_mesh ~sockets:32 () in
+  let near = Config.hop_lat c ~from_socket:0 ~to_socket:1 in
+  let far = Config.hop_lat c ~from_socket:0 ~to_socket:31 in
+  Alcotest.(check int) "adjacent = one socket link" c.Config.inter_socket_lat
+    near;
+  Alcotest.(check bool) "corner-to-corner costs more" true (far > near)
+
+let test_pp_round_trip_many_socket () =
+  (* pp must render every machine, including matrix configs, and mention
+     the geometry and the NUMA matrix; rendering is also deterministic. *)
+  let c = Config.numa_mesh ~sockets:32 () in
+  let s = Format.asprintf "%a" Config.pp c in
+  let contains needle =
+    let n = String.length needle and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("pp mentions " ^ needle) true (contains needle))
+    [ "32-socket-mesh-16c"; "32 socket(s) x 16 cores"; "NUMA hop matrix" ];
+  Alcotest.(check string) "pp deterministic" s
+    (Format.asprintf "%a" Config.pp c)
+
 (* --- Energy ------------------------------------------------------------- *)
 
 let test_energy_buckets () =
@@ -103,6 +179,12 @@ let suite =
     Alcotest.test_case "presets" `Quick test_presets;
     Alcotest.test_case "with_cores" `Quick test_with_cores;
     Alcotest.test_case "config printing" `Quick test_pp_mentions_key_fields;
+    Alcotest.test_case "many-socket geometry" `Quick test_many_socket_geometry;
+    Alcotest.test_case "numa mesh hop matrix" `Quick test_numa_mesh_matrix;
+    Alcotest.test_case "numa mesh adjacency" `Quick
+      test_numa_mesh_adjacency_cheaper;
+    Alcotest.test_case "pp round-trip (mesh)" `Quick
+      test_pp_round_trip_many_socket;
     Alcotest.test_case "energy buckets" `Quick test_energy_buckets;
     Alcotest.test_case "energy messages" `Quick test_energy_messages;
     Alcotest.test_case "energy cost ordering" `Quick test_energy_inter_dwarfs_intra;

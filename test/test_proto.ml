@@ -17,6 +17,10 @@ type mini = {
   store : Warden_mem.Store.t;
 }
 
+(* Directory sized for the mini fabric's default dual-socket machine. *)
+let mk_dir ?(sockets = 2) ?(cores_per_socket = 12) () =
+  Dirstate.create ~sockets ~cores_per_socket ()
+
 let mk_mini ?(cfg = Config.dual_socket ()) () =
   let priv = Hashtbl.create 64 in
   let llc = Hashtbl.create 64 in
@@ -91,7 +95,7 @@ let request m dir ~core ~blk ~write ~holds_s =
 
 let test_mesi_read_grants_e () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   let g = request m dir ~core:0 ~blk:5 ~write:false ~holds_s:false in
   Alcotest.(check bool) "granted E" true (g.Mesi.pstate = P_E);
   let e = Dirstate.entry dir 5 in
@@ -101,7 +105,7 @@ let test_mesi_read_grants_e () =
 
 let test_mesi_write_grants_m () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   let g = request m dir ~core:3 ~blk:9 ~write:true ~holds_s:false in
   Alcotest.(check bool) "granted M" true (g.Mesi.pstate = P_M);
   Alcotest.(check bool) "dir M" true
@@ -109,7 +113,7 @@ let test_mesi_write_grants_m () =
 
 let test_mesi_read_after_write_downgrades () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   ignore (request m dir ~core:0 ~blk:1 ~write:true ~holds_s:false);
   (* Core 0 writes a value into its private copy. *)
   Linedata.store (Hashtbl.find m.priv (0, 1)) ~off:0 ~size:8 77L;
@@ -128,7 +132,7 @@ let test_mesi_read_after_write_downgrades () =
 
 let test_mesi_write_invalidates_sharers () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   ignore (request m dir ~core:0 ~blk:2 ~write:true ~holds_s:false);
   ignore (request m dir ~core:1 ~blk:2 ~write:false ~holds_s:false);
   ignore (request m dir ~core:2 ~blk:2 ~write:false ~holds_s:false);
@@ -148,7 +152,7 @@ let test_mesi_write_invalidates_sharers () =
 
 let test_mesi_write_write_transfer () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   ignore (request m dir ~core:0 ~blk:3 ~write:true ~holds_s:false);
   Linedata.store (Hashtbl.find m.priv (0, 3)) ~off:8 ~size:8 123L;
   let g = request m dir ~core:5 ~blk:3 ~write:true ~holds_s:false in
@@ -159,7 +163,7 @@ let test_mesi_write_write_transfer () =
 
 let test_mesi_cross_socket_latency_higher () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   (* Owner on socket 0 (core 0); compare requestors on both sockets.
      Choose a block homed on socket 0: home = blk mod 2. *)
   let blk = 4 in
@@ -177,7 +181,7 @@ let test_mesi_cross_socket_latency_higher () =
 
 let test_mesi_eviction_updates_directory () =
   let m = mk_mini () in
-  let dir = Dirstate.create () in
+  let dir = mk_dir () in
   ignore (request m dir ~core:0 ~blk:7 ~write:true ~holds_s:false);
   let line = Hashtbl.find m.priv (0, 7) in
   Linedata.store line ~off:0 ~size:8 55L;
@@ -192,35 +196,93 @@ let test_mesi_eviction_updates_directory () =
   Alcotest.(check int64) "llc serves evicted data" 55L
     (Linedata.load (Hashtbl.find m.priv (2, 7)) ~off:0 ~size:8)
 
-(* The sharer mask covers cores 0..62; larger core ids (the 8-socket
-   scaling study reaches 96) spill into a per-block side table that must
-   survive rehashes and copies. *)
-let test_dirstate_sharer_spill () =
-  let dir = Dirstate.create () in
+(* Past 62 cores the sharer set goes two-level: a coarse socket mask plus
+   per-socket fine words in a flat array (DESIGN.md §14). The set must
+   survive rehashes and copies with ascending iteration order intact. *)
+let test_dirstate_sharer_hierarchy () =
+  let dir = mk_dir ~sockets:8 ~cores_per_socket:12 () in
+  Alcotest.(check bool) "96 cores use the two-level layout" true
+    (Dirstate.hierarchical dir);
   let e = Dirstate.entry dir 11 in
   Dirstate.set_state dir e States.D_S;
   List.iter (Dirstate.sharer_add dir e) [ 3; 62; 63; 95 ];
-  Alcotest.(check (list int)) "ascending across the spill boundary"
+  Alcotest.(check (list int)) "ascending across socket boundaries"
     [ 3; 62; 63; 95 ] (Dirstate.sharers dir e);
   Alcotest.(check int) "count" 4 (Dirstate.sharer_count dir e);
-  Alcotest.(check bool) "mem spilled" true (Dirstate.sharer_mem dir e 95);
-  (* Force a rehash: spill entries are keyed by block, not slot. *)
+  Alcotest.(check bool) "mem high core" true (Dirstate.sharer_mem dir e 95);
+  (* Force a rehash: fine words move with their slot. *)
   for b = 1000 to 1000 + 5000 do
     ignore (Dirstate.entry dir b)
   done;
   let e = Dirstate.entry dir 11 in
   Alcotest.(check (list int)) "sharers survive rehash" [ 3; 62; 63; 95 ]
     (Dirstate.sharers dir e);
-  (* Copies must not share spill state with the original. *)
+  (* Copies must not share fine words with the original. *)
   let snap = Dirstate.copy dir in
   Dirstate.sharer_remove dir e 95;
   Dirstate.sharer_remove dir e 62;
-  Alcotest.(check (list int)) "removal crosses the boundary" [ 3; 63 ]
+  Alcotest.(check (list int)) "removal crosses socket boundaries" [ 3; 63 ]
     (Dirstate.sharers dir e);
   Alcotest.(check (list int)) "copy unaffected" [ 3; 62; 63; 95 ]
     (Dirstate.sharers snap (Dirstate.entry snap 11));
   Dirstate.sharers_clear dir e;
   Alcotest.(check bool) "empty after clear" true (Dirstate.sharers_empty dir e)
+
+(* Differential sweep at the many-socket geometries the scaling study
+   uses: deterministic add/remove/clear sequences against a naive
+   reference set, checking membership, cardinality, emptiness and
+   ascending iteration — with extra weight on socket-boundary cores. *)
+let test_dirstate_sharer_sweep () =
+  List.iter
+    (fun (sockets, cps) ->
+      let cores = sockets * cps in
+      let dir = mk_dir ~sockets ~cores_per_socket:cps () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d cores hierarchical iff > 62" cores)
+        (cores > 62) (Dirstate.hierarchical dir);
+      let e = Dirstate.entry dir 7 in
+      Dirstate.set_state dir e States.D_S;
+      let model = Hashtbl.create 64 in
+      let seed = ref 0x3779B97F4A7C15 in
+      let rand bound =
+        (* LCG mix; deterministic across runs. *)
+        seed := (!seed * 0x2545F4914F6CDD1D) + 0x1234567;
+        (!seed lsr 17) mod bound
+      in
+      for step = 1 to 2000 do
+        (* Bias toward boundary cores: first/last lane of each socket. *)
+        let core =
+          match rand 4 with
+          | 0 -> (rand sockets * cps) + cps - 1
+          | 1 -> rand sockets * cps
+          | _ -> rand cores
+        in
+        (match rand 10 with
+        | 0 ->
+            Dirstate.sharers_clear dir e;
+            Hashtbl.reset model
+        | 1 | 2 | 3 ->
+            Dirstate.sharer_remove dir e core;
+            Hashtbl.remove model core
+        | _ ->
+            Dirstate.sharer_add dir e core;
+            Hashtbl.replace model core ());
+        if Dirstate.sharer_mem dir e core <> Hashtbl.mem model core then
+          Alcotest.failf "cores=%d step=%d: mem %d disagrees" cores step core;
+        if Dirstate.sharer_count dir e <> Hashtbl.length model then
+          Alcotest.failf "cores=%d step=%d: cardinality disagrees" cores step;
+        if Dirstate.sharers_empty dir e <> (Hashtbl.length model = 0) then
+          Alcotest.failf "cores=%d step=%d: emptiness disagrees" cores step;
+        if step mod 100 = 0 then begin
+          let reference =
+            List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) model [])
+          in
+          if Dirstate.sharers dir e <> reference then
+            Alcotest.failf "cores=%d step=%d: iteration order disagrees" cores
+              step
+        end
+      done)
+    [ (4, 16); (8, 16); (32, 16); (8, 12); (62, 8) ]
 
 (* ---- WARDen ----------------------------------------------------------------- *)
 
@@ -388,8 +450,10 @@ let suite =
     Alcotest.test_case "mesi cross-socket latency" `Quick
       test_mesi_cross_socket_latency_higher;
     Alcotest.test_case "mesi eviction" `Quick test_mesi_eviction_updates_directory;
-    Alcotest.test_case "dirstate sharer spill past 62 cores" `Quick
-      test_dirstate_sharer_spill;
+    Alcotest.test_case "dirstate two-level sharers past 62 cores" `Quick
+      test_dirstate_sharer_hierarchy;
+    Alcotest.test_case "dirstate sharer sweep at 64/128/512 cores" `Quick
+      test_dirstate_sharer_sweep;
     Alcotest.test_case "warden region add/remove" `Quick test_warden_region_add_remove;
     Alcotest.test_case "warden disables coherence in regions" `Quick
       test_warden_no_invalidation_inside_region;
