@@ -10,7 +10,8 @@ MACHINE_FILE := .machine
 MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
 .PHONY: all build test check fmt bench bench-quick bench-json bench-compare \
-        bench-overhead bench-scaling bench-scale bench-serve serve profile \
+        bench-overhead bench-scaling bench-scale bench-serve bench-replay \
+        snap-check serve profile \
         all_pbbs single_pbbs activate_one_socket activate_two_socket \
         examples clean
 
@@ -71,6 +72,30 @@ bench-overhead:
 	cp BENCH_sim.json BENCH_obs_off.json
 	dune exec bench/main.exe -- json --obs counters
 	dune exec bench/main.exe -- compare --overhead BENCH_obs_off.json BENCH_sim.json
+
+# Trace-driven replay gate (README "Snapshotting and replaying a run",
+# DESIGN.md §15): record msort's paper-scale commit-order stream, replay
+# it with no program model, and fail unless the replayed memory-system
+# statistics are byte-identical to the live run's and the replay runs at
+# least 2.5x faster end to end. Writes BENCH_replay.json.
+bench-replay:
+	dune exec bench/main.exe -- replay
+
+# Snapshot bit-identity end to end: snapshot fib's end state, restore it
+# into a 1-domain and a 2-domain engine, run one more benchmark round in
+# each, and require the resulting snapshots to be byte-identical —
+# restore-then-run matches the cold continuation and snapshots are
+# D-portable (execution strategy is not simulated state).
+snap-check: build
+	dune exec bin/warden_cli.exe -- bench fib -m single -p warden \
+	  --snapshot-out .snap_base.wsnap
+	WARDEN_SIM_DOMAINS=1 dune exec bin/warden_cli.exe -- bench fib -m single \
+	  -p warden --snapshot-in .snap_base.wsnap --snapshot-out .snap_d1.wsnap
+	WARDEN_SIM_DOMAINS=2 dune exec bin/warden_cli.exe -- bench fib -m single \
+	  -p warden --snapshot-in .snap_base.wsnap --snapshot-out .snap_d2.wsnap
+	cmp .snap_d1.wsnap .snap_d2.wsnap
+	@echo "snap-check: restored D=1 and D=2 continuations are bit-identical"
+	@rm -f .snap_base.wsnap .snap_d1.wsnap .snap_d2.wsnap
 
 # The serving tier (README "Simulating a serving tier"): an open-loop
 # Zipf KV workload against both protocols with the tail-latency report

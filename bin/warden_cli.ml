@@ -121,6 +121,47 @@ let cap_jobs jobs =
 let exit_of_bool ok = if ok then 0 else 1
 let proto_name = function `Mesi -> "mesi" | `Warden -> "warden"
 
+(* --- snapshots (DESIGN.md §15) ------------------------------------------- *)
+
+let snapshot_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-out" ] ~docv:"FILE"
+        ~doc:
+          "After the run, save the full simulator state as a snapshot \
+           (restore with $(b,--snapshot-in)). Requires a single $(b,--proto). \
+           Snapshots are portable across $(b,--sim-domains) and speculation \
+           settings; anything that changes simulated results is fingerprinted \
+           and checked on restore.")
+
+let snapshot_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-in" ] ~docv:"FILE"
+        ~doc:
+          "Before the run, restore the simulator state from a snapshot taken \
+           on an identical machine and protocol, so the run continues from \
+           the saved point instead of cold state. Requires a single \
+           $(b,--proto).")
+
+let require_single_proto ~snap_in ~snap_out proto =
+  if (snap_in <> None || snap_out <> None) && proto = "both" then
+    failwith "--snapshot-in/--snapshot-out need --proto mesi or --proto warden"
+
+let apply_snapshot_in eng = function
+  | None -> ()
+  | Some file ->
+      Warden_snap.Snap.load_file eng file;
+      Printf.printf "restored snapshot %s\n" file
+
+let apply_snapshot_out eng = function
+  | None -> ()
+  | Some file ->
+      Warden_snap.Snap.save_file eng file;
+      Printf.printf "wrote snapshot %s\n" file
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -162,9 +203,11 @@ let bench_cmd =
       & opt (some int) None
       & info [ "workers"; "w" ] ~doc:"Worker threads (default: all).")
   in
-  let run name proto machine scale workers quick sim_domains obs trace_out =
+  let run name proto machine scale workers quick sim_domains obs trace_out
+      snap_in snap_out =
     apply_sim_domains sim_domains;
     apply_obs ~obs ~trace_out;
+    require_single_proto ~snap_in ~snap_out proto;
     let name = strip_bench_prefix name in
     let spec =
       match Warden_pbbs.Suite.find name with
@@ -174,12 +217,14 @@ let bench_cmd =
     let config = machine_of machine in
     let one proto =
       let eng = Engine.create config ~proto in
+      apply_snapshot_in eng snap_in;
       let scale =
         match scale with Some s -> s | None -> Exp.scale_of ~quick spec
       in
       let t0 = Unix.gettimeofday () in
       let ok = spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL ?workers eng in
       let host = Unix.gettimeofday () -. t0 in
+      apply_snapshot_out eng snap_out;
       let ms = Engine.memsys eng in
       let ss = Memsys.sstats ms in
       let ps = Memsys.pstats ms in
@@ -233,7 +278,8 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run one benchmark and print its statistics.")
     Term.(
       const run $ name_arg $ proto_arg $ machine_arg $ scale_arg $ workers_arg
-      $ quick_arg $ sim_domains_arg $ obs_arg $ trace_out_arg)
+      $ quick_arg $ sim_domains_arg $ obs_arg $ trace_out_arg $ snapshot_in_arg
+      $ snapshot_out_arg)
 
 (* --- serve --------------------------------------------------------------- *)
 
@@ -366,9 +412,13 @@ let serve_cmd =
              a single run.")
   in
   let run requests keys zipf read_frac scan_frac scan_len batch grain shards
-      seed cores proto machine quick sim_domains obs json curve =
+      seed cores proto machine quick sim_domains obs json curve snap_in
+      snap_out =
     apply_sim_domains sim_domains;
     apply_obs ~obs ~trace_out:None;
+    require_single_proto ~snap_in ~snap_out proto;
+    if (snap_in <> None || snap_out <> None) && curve <> None then
+      failwith "--snapshot-in/--snapshot-out do not combine with --curve";
     let config = machine_of machine in
     let config =
       match cores with Some c -> Config.with_cores config c | None -> config
@@ -401,7 +451,19 @@ let serve_cmd =
         let results =
           List.map
             (fun proto ->
-              let r = Serve.run_proto ~params:p ~machine:config ~proto () in
+              let r =
+                if snap_in = None && snap_out = None then
+                  Serve.run_proto ~params:p ~machine:config ~proto ()
+                else begin
+                  (* Snapshot paths need the engine in hand; the single-proto
+                     guard above makes this branch unambiguous. *)
+                  let eng = Engine.create config ~proto in
+                  apply_snapshot_in eng snap_in;
+                  let r = Serve.run ~params:p eng in
+                  apply_snapshot_out eng snap_out;
+                  r
+                end
+              in
               print_string (Serve.summary r);
               r)
             protos
@@ -459,7 +521,8 @@ let serve_cmd =
       const run $ requests_arg $ keys_arg $ zipf_arg $ read_frac_arg
       $ scan_frac_arg $ scan_len_arg $ batch_arg $ grain_arg $ shards_arg
       $ seed_arg $ cores_arg $ proto_arg $ machine_arg $ quick_arg
-      $ sim_domains_arg $ obs_arg $ json_arg $ curve_arg)
+      $ sim_domains_arg $ obs_arg $ json_arg $ curve_arg $ snapshot_in_arg
+      $ snapshot_out_arg)
 
 (* --- profile ------------------------------------------------------------- *)
 
@@ -704,7 +767,7 @@ let trace_cmd =
       & opt (some int) None
       & info [ "scale"; "s" ] ~docv:"N" ~doc:"Problem size (default: quick).")
   in
-  let run name machine scale =
+  let run name machine scale snap_in snap_out =
     let spec =
       match Warden_pbbs.Suite.find name with
       | Some s -> s
@@ -715,10 +778,12 @@ let trace_cmd =
       match scale with Some s -> s | None -> Exp.scale_of ~quick:true spec
     in
     let eng = Engine.create config ~proto:`Warden in
+    apply_snapshot_in eng snap_in;
     let ok, _events, summary =
       Warden_trace.Recorder.record (fun () ->
           spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL eng)
     in
+    apply_snapshot_out eng snap_out;
     Format.printf "%s (scale %d) under WARDen: %s@.%a@." name scale
       (if ok then "verified" else "FAILED VERIFICATION")
       Warden_trace.Recorder.pp_summary summary;
@@ -747,7 +812,139 @@ let trace_cmd =
        ~doc:
          "Record a benchmark's access trace and report WARD coverage and \
           the offline region classification.")
-    Term.(const run $ name_arg $ machine_arg $ scale_arg)
+    Term.(
+      const run $ name_arg $ machine_arg $ scale_arg $ snapshot_in_arg
+      $ snapshot_out_arg)
+
+(* --- replay -------------------------------------------------------------- *)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Commit-order trace file to replay — or to create, with \
+             $(b,--record).")
+  in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"NAME"
+          ~doc:
+            "Record benchmark $(docv)'s commit-order access stream into \
+             $(i,FILE) instead of replaying.")
+  in
+  let proto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proto"; "p" ]
+          ~doc:
+            "Protocol: mesi or warden. Recording defaults to warden; replay \
+             defaults to the protocol the trace was recorded under. \
+             Replaying onto the other protocol is the trace-driven A/B \
+             comparison.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scale"; "s" ] ~docv:"N"
+          ~doc:"Problem size when recording (default: quick scale).")
+  in
+  let stats_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"OUT"
+          ~doc:
+            "Write the canonical memory-system statistics dump to $(docv). \
+             The bytes are identical between a recording run and its \
+             same-protocol replay, so two dumps can be checked with \
+             $(b,cmp).")
+  in
+  let run file record proto machine scale stats_out =
+    let config = machine_of machine in
+    let proto_of = function
+      | "mesi" -> `Mesi
+      | "warden" -> `Warden
+      | p -> failwith ("unknown protocol " ^ p)
+    in
+    let write_stats ms =
+      match stats_out with
+      | None -> ()
+      | Some out ->
+          let oc = open_out out in
+          output_string oc (Warden_trace.Stream.stats_text ms);
+          close_out oc;
+          Printf.printf "wrote %s\n" out
+    in
+    match record with
+    | Some name ->
+        let name = strip_bench_prefix name in
+        let spec =
+          match Warden_pbbs.Suite.find name with
+          | Some s -> s
+          | None -> failwith ("unknown benchmark " ^ name)
+        in
+        let proto = proto_of (Option.value proto ~default:"warden") in
+        let scale =
+          match scale with
+          | Some s -> s
+          | None -> Exp.scale_of ~quick:true spec
+        in
+        let eng = Engine.create config ~proto in
+        let t0 = Unix.gettimeofday () in
+        let ok, stream =
+          Warden_trace.Stream.record (Engine.memsys eng) (fun () ->
+              spec.Warden_pbbs.Spec.run ~scale ~seed:0x5EEDF00DL eng)
+        in
+        let host = Unix.gettimeofday () -. t0 in
+        Warden_trace.Stream.save_file stream file;
+        Printf.printf
+          "recorded %s (scale %d) under %s: %s, %d events -> %s (%.2fs host)\n"
+          name scale (proto_name proto)
+          (if ok then "verified" else "FAILED VERIFICATION")
+          (Warden_trace.Stream.events stream)
+          file host;
+        write_stats (Engine.memsys eng);
+        exit_of_bool ok
+    | None ->
+        let stream = Warden_trace.Stream.load_file file in
+        let proto =
+          proto_of
+            (match proto with
+            | Some p -> p
+            | None -> Warden_trace.Stream.proto stream)
+        in
+        let eng = Engine.create config ~proto in
+        let t0 = Unix.gettimeofday () in
+        let n = Warden_trace.Stream.replay stream (Engine.memsys eng) in
+        let host = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "replayed %d events (recorded under %s) onto %s in %.2fs host \
+           (%.1f Mevents/s)\n"
+          n
+          (Warden_trace.Stream.proto stream)
+          (proto_name proto) host
+          (float_of_int n /. 1e6 /. max 1e-9 host);
+        write_stats (Engine.memsys eng);
+        0
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded commit-order access stream straight through the \
+          memory system — no program model, no scheduler — reproducing the \
+          recording run's memory-system statistics bit-for-bit on the same \
+          protocol, or A/B-ing the stream against the other protocol. \
+          Record the stream first with $(b,--record).")
+    Term.(
+      const run $ file_arg $ record_arg $ proto_arg $ machine_arg $ scale_arg
+      $ stats_out_arg)
 
 (* --- check --------------------------------------------------------------- *)
 
@@ -892,6 +1089,7 @@ let main =
       fig12_cmd;
       scaling_cmd;
       trace_cmd;
+      replay_cmd;
       check_cmd;
       all_cmd;
     ]

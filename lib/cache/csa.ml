@@ -186,3 +186,49 @@ let chunks_allocated t =
   Array.fold_left (fun n c -> match c with Some _ -> n + 1 | None -> n) 0 t.chunks
 
 let chunks_total t = Array.length t.chunks
+
+(* Snapshot: geometry, the LRU clock, then only the materialized chunks
+   (index, tags, recency, resident payloads). Restore re-materializes
+   exactly those chunks, so the unallocated-chunk-is-miss behaviour — and
+   the host-memory footprint — of the original survives the round trip. *)
+let save t w ~elt =
+  let module B = Warden_util.Bin in
+  B.w_int w t.nsets;
+  B.w_int w t.nways;
+  B.w_int w t.tick;
+  B.w_int w (chunks_allocated t);
+  Array.iteri
+    (fun ci c ->
+      match c with
+      | None -> ()
+      | Some c ->
+          B.w_int w ci;
+          B.w_int_array w c.blks;
+          B.w_int_array w c.last_use;
+          for i = 0 to Array.length c.blks - 1 do
+            if Array.unsafe_get c.blks i <> -1 then elt w c.payloads.(i)
+          done)
+    t.chunks
+
+let restore t r ~elt =
+  let module B = Warden_util.Bin in
+  let sets = B.r_int r and ways = B.r_int r in
+  if sets <> t.nsets || ways <> t.nways then B.corrupt "Csa: geometry mismatch";
+  t.tick <- B.r_int r;
+  Array.fill t.chunks 0 (Array.length t.chunks) None;
+  let n = B.r_int r in
+  if n < 0 || n > Array.length t.chunks then B.corrupt "Csa: bad chunk count";
+  let cap = t.chunk_sets * t.nways in
+  for _ = 1 to n do
+    let ci = B.r_int r in
+    if ci < 0 || ci >= Array.length t.chunks then B.corrupt "Csa: bad chunk index";
+    let blks = B.r_int_array r in
+    let last_use = B.r_int_array r in
+    if Array.length blks <> cap || Array.length last_use <> cap then
+      B.corrupt "Csa: bad chunk arrays";
+    let payloads = Array.make cap t.dummy in
+    for i = 0 to cap - 1 do
+      if Array.unsafe_get blks i <> -1 then payloads.(i) <- elt r
+    done;
+    t.chunks.(ci) <- Some { blks; payloads; last_use }
+  done

@@ -47,3 +47,13 @@ val chunks_allocated : 'a t -> int
     tests). *)
 
 val chunks_total : 'a t -> int
+
+val save : 'a t -> Warden_util.Bin.w -> elt:(Warden_util.Bin.w -> 'a -> unit) -> unit
+(** Snapshot only the materialized chunks (tags, recency, resident
+    payloads) plus the LRU clock. *)
+
+val restore : 'a t -> Warden_util.Bin.r -> elt:(Warden_util.Bin.r -> 'a) -> unit
+(** Overwrite a cache of identical geometry from {!save} output,
+    re-materializing exactly the chunks that were allocated at save time
+    (unallocated chunks stay misses). Raises [Warden_util.Bin.Corrupt]
+    on a geometry mismatch. *)

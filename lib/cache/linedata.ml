@@ -71,6 +71,23 @@ let merge_into t dst =
       Bytes.set dst i (Bytes.get t.data i)
   done
 
+let save t w =
+  Warden_util.Bin.w_bytes w t.data;
+  Warden_util.Bin.w_i64 w t.dirty
+
+let load_snap r =
+  let data = Warden_util.Bin.r_bytes r in
+  if Bytes.length data <> Addr.block_size then
+    Warden_util.Bin.corrupt "Linedata: bad line size";
+  { data; dirty = Warden_util.Bin.r_i64 r }
+
+let restore t r =
+  let data = Warden_util.Bin.r_bytes r in
+  if Bytes.length data <> Addr.block_size then
+    Warden_util.Bin.corrupt "Linedata: bad line size";
+  Bytes.blit data 0 t.data 0 Addr.block_size;
+  t.dirty <- Warden_util.Bin.r_i64 r
+
 let merge_masked ~dst ~src =
   for i = 0 to Addr.block_size - 1 do
     if Int64.logand (Int64.shift_right_logical src.dirty i) 1L = 1L then

@@ -49,6 +49,15 @@ val range_mask : off:int -> size:int -> int64
 (** Mask with bits [off .. off+size-1] set, expanded outward to the current
     sector granularity. *)
 
+val save : t -> Warden_util.Bin.w -> unit
+(** Snapshot: the 64 data bytes plus the dirty mask (DESIGN.md §15). *)
+
+val load_snap : Warden_util.Bin.r -> t
+(** Fresh line from {!save} output. *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+(** Overwrite an existing line in place from {!save} output. *)
+
 val set_sector_bytes : int -> unit
 (** Set the write-tracking granularity (1, 2, 4 or 8 bytes; default 1).
     The paper uses byte sectoring "to match the smallest granularity in

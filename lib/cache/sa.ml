@@ -165,6 +165,17 @@ let insert t blk payload =
     evicted
   end
 
+(* [insert] for a block the caller just probed absent, discarding the
+   eviction: one victim scan, no re-probe, no option allocation. Same
+   tick consumption and way writes as [insert] on the absent path, so
+   cache state evolves identically. *)
+let insert_absent t blk payload =
+  t.tick <- t.tick + 1;
+  let w = victim_way t (set_index t blk) in
+  t.blks.(w) <- blk;
+  t.payloads.(w) <- payload;
+  t.last_use.(w) <- t.tick
+
 let remove t blk =
   let w = peek_way t blk in
   if not (hit w) then None
@@ -195,3 +206,35 @@ let clear t =
   Array.fill t.payloads 0 (Array.length t.payloads) t.dummy;
   Array.fill t.last_use 0 (Array.length t.last_use) 0;
   t.tick <- 0
+
+(* Snapshot: geometry (validated on restore), the LRU clock, the tag and
+   recency arrays wholesale, then the payload of every resident way in
+   flat ascending order. The layout (way positions, rotation state) is
+   saved exactly, so a restored cache replays subsequent probes — hits,
+   victims, LRU decisions — bit-identically. *)
+let save t w ~elt =
+  let module B = Warden_util.Bin in
+  B.w_int w t.nsets;
+  B.w_int w t.nways;
+  B.w_int w t.tick;
+  B.w_int_array w t.blks;
+  B.w_int_array w t.last_use;
+  for i = 0 to Array.length t.blks - 1 do
+    if Array.unsafe_get t.blks i <> -1 then elt w t.payloads.(i)
+  done
+
+let restore t r ~elt =
+  let module B = Warden_util.Bin in
+  let sets = B.r_int r and ways = B.r_int r in
+  if sets <> t.nsets || ways <> t.nways then
+    B.corrupt "Sa: geometry mismatch";
+  t.tick <- B.r_int r;
+  let blks = B.r_int_array r in
+  let last_use = B.r_int_array r in
+  if Array.length blks <> Array.length t.blks then B.corrupt "Sa: bad tags";
+  Array.blit blks 0 t.blks 0 (Array.length blks);
+  Array.blit last_use 0 t.last_use 0 (Array.length last_use);
+  Array.fill t.payloads 0 (Array.length t.payloads) t.dummy;
+  for i = 0 to Array.length t.blks - 1 do
+    if Array.unsafe_get t.blks i <> -1 then t.payloads.(i) <- elt r
+  done

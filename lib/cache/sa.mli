@@ -97,6 +97,11 @@ val insert : 'a t -> int -> 'a -> (int * 'a) option
 (** [insert t blk payload] makes [blk] resident (replacing the payload if
     already present) and returns the victim evicted to make room, if any. *)
 
+val insert_absent : 'a t -> int -> 'a -> unit
+(** {!insert} for a block the caller has just probed absent, discarding
+    any eviction: skips the re-probe and the option allocation, with
+    identical tick consumption and way writes. *)
+
 val remove : 'a t -> int -> 'a option
 (** Invalidate a block, returning its payload if it was resident. *)
 
@@ -110,3 +115,11 @@ val iter_range : 'a t -> lo_block:int -> hi_block:int -> (int -> 'a -> unit) -> 
 val population : 'a t -> int
 
 val clear : 'a t -> unit
+
+val save : 'a t -> Warden_util.Bin.w -> elt:(Warden_util.Bin.w -> 'a -> unit) -> unit
+(** Snapshot tags, recency and resident payloads exactly — way positions
+    included, so a restored cache replays probes bit-identically. *)
+
+val restore : 'a t -> Warden_util.Bin.r -> elt:(Warden_util.Bin.r -> 'a) -> unit
+(** Overwrite a cache of identical geometry from {!save} output.
+    Raises [Warden_util.Bin.Corrupt] on a geometry mismatch. *)

@@ -91,3 +91,39 @@ let clear t =
   t.by_lo <- Imap.empty;
   t.n <- 0;
   t.max_len <- 0
+
+(* Snapshot the interval map structurally (per lower bound, its upper
+   bounds in list order) plus [max_len], which tracks the longest region
+   ever added — not derivable from the live intervals. *)
+let save t w =
+  let module B = Warden_util.Bin in
+  B.w_int w t.n;
+  B.w_int w t.max_len;
+  B.w_int w (Imap.cardinal t.by_lo);
+  Imap.iter
+    (fun lo his ->
+      B.w_int w lo;
+      B.w_int w (List.length his);
+      List.iter (B.w_int w) his)
+    t.by_lo
+
+let restore t r =
+  let module B = Warden_util.Bin in
+  let n = B.r_int r in
+  let max_len = B.r_int r in
+  let nkeys = B.r_int r in
+  if n < 0 || max_len < 0 || nkeys < 0 then B.corrupt "Regions: bad snapshot";
+  let map = ref Imap.empty in
+  let total = ref 0 in
+  for _ = 1 to nkeys do
+    let lo = B.r_int r in
+    let len = B.r_int r in
+    if len <= 0 then B.corrupt "Regions: empty upper-bound list";
+    let his = List.init len (fun _ -> B.r_int r) in
+    total := !total + len;
+    map := Imap.add lo his !map
+  done;
+  if !total <> n then B.corrupt "Regions: count mismatch";
+  t.by_lo <- !map;
+  t.n <- n;
+  t.max_len <- max_len

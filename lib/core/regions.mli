@@ -39,3 +39,10 @@ val block_in : t -> int -> bool
 val iter : t -> (lo:int -> hi:int -> unit) -> unit
 
 val clear : t -> unit
+
+val save : t -> Warden_util.Bin.w -> unit
+(** Snapshot the interval map plus the historical [max_len] bound. *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+(** Overwrite this table's intervals from {!save} output (the capacity
+    stays the creating machine's). *)

@@ -284,6 +284,15 @@ module P = struct
       regions = Regions.copy t.regions;
       scratch = Mesi.fresh_grant ();
     }
+
+  (* WARDen's protocol state is the directory plus the region CAM. *)
+  let save_state t w =
+    Dirstate.save t.dir w;
+    Regions.save t.regions w
+
+  let restore_state t r =
+    Dirstate.restore t.dir r;
+    Regions.restore t.regions r
 end
 
 let protocol fabric = Protocol.Packed ((module P), P.create fabric)

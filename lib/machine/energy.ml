@@ -61,6 +61,14 @@ let message t ~inter_socket ~data =
 
 let cam_lookup t = deposit t cache_i t.c.cam_pj
 
+(* Snapshot the four accumulators as raw float bits (exact round trip). *)
+let save t w = Warden_util.Bin.w_float_array w t.acc
+
+let restore t r =
+  let acc = Warden_util.Bin.r_float_array r in
+  if Array.length acc <> 4 then Warden_util.Bin.corrupt "Energy: bad snapshot";
+  Array.blit acc 0 t.acc 0 4
+
 let core_pj t = t.acc.(core_i)
 let cache_pj t = t.acc.(cache_i)
 let dram_pj t = t.acc.(dram_i)

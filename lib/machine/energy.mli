@@ -51,6 +51,11 @@ val message : t -> inter_socket:bool -> data:bool -> unit
 
 val cam_lookup : t -> unit
 
+val save : t -> Warden_util.Bin.w -> unit
+(** Snapshot the four accumulators as raw float bits (exact). *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+
 (* Read accumulated energy, in picojoules. *)
 val core_pj : t -> float
 val cache_pj : t -> float

@@ -6,7 +6,7 @@ let page_size = 1 lsl page_bits
 let no_page = Bytes.create 0
 
 type t = {
-  pages : Bytes.t Warden_util.Itab.t;
+  mutable pages : Bytes.t Warden_util.Itab.t;
   written_blocks : Warden_util.Bitset.t;
   (* One-entry cache of the last page touched: simulated accesses are
      heavily clustered (stacks, sequential arrays), so most lookups skip
@@ -109,3 +109,22 @@ let write_block_masked t blk data ~mask =
   done
 
 let footprint_bytes t = Warden_util.Itab.length t.pages * page_size
+
+(* Snapshot: the page table (sorted by page id — canonical bytes) and the
+   written-block set. The one-entry page cache is host-side and resets. *)
+let save t w =
+  Warden_util.Itab.save t.pages w ~elt:Warden_util.Bin.w_bytes;
+  Warden_util.Bitset.save t.written_blocks w
+
+let restore t r =
+  t.pages <-
+    Warden_util.Itab.load r ~dummy:no_page ~elt:(fun r ->
+        let p = Warden_util.Bin.r_bytes r in
+        if Bytes.length p <> page_size then
+          Warden_util.Bin.corrupt "Store: bad page size";
+        p);
+  let written = Warden_util.Bitset.load r in
+  Warden_util.Bitset.clear t.written_blocks;
+  Warden_util.Bitset.iter written (Warden_util.Bitset.add t.written_blocks);
+  t.last_id <- -1;
+  t.last_page <- no_page

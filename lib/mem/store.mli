@@ -38,6 +38,13 @@ val materialized : t -> int -> bool
 val footprint_bytes : t -> int
 (** Number of bytes of simulated memory materialized so far. *)
 
+val save : t -> Warden_util.Bin.w -> unit
+(** Snapshot the page table (sorted by page id) and the written-block
+    set; the one-entry page cache is host-side and resets on restore. *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+(** Replace this store's contents with {!save} output. *)
+
 val prefetch : t -> Addr.t -> int
 (** Hint probe for the sharded engine's helper domains: pull the byte
     backing [addr] toward the calling core's host cache without mutating

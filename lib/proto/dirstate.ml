@@ -315,3 +315,38 @@ let copy (t : t) : t =
     cps = t.cps;
     cps_shift = t.cps_shift;
   }
+
+(* Snapshot every slot array wholesale — both the flat and the
+   hierarchical sharer layouts are plain int arrays, so this is [copy]
+   through a byte buffer. The geometry fields (nsock/cps) are fixed by
+   [create] and only validated on restore. *)
+let save (t : t) w =
+  let module B = Warden_util.Bin in
+  B.w_int w t.nsock;
+  B.w_int w t.cps;
+  B.w_int w t.used;
+  B.w_int w t.shift;
+  B.w_int_array w t.keys;
+  B.w_int_array w t.meta;
+  B.w_int_array w t.mask;
+  B.w_int_array w t.fine
+
+let restore (t : t) r =
+  let module B = Warden_util.Bin in
+  let nsock = B.r_int r and cps = B.r_int r in
+  if nsock <> t.nsock || cps <> t.cps then
+    B.corrupt "Dirstate: geometry mismatch";
+  t.used <- B.r_int r;
+  t.shift <- B.r_int r;
+  t.keys <- B.r_int_array r;
+  t.meta <- B.r_int_array r;
+  t.mask <- B.r_int_array r;
+  t.fine <- B.r_int_array r;
+  let cap = Array.length t.keys in
+  if
+    cap = 0
+    || cap land (cap - 1) <> 0
+    || Array.length t.meta <> cap
+    || Array.length t.mask <> cap
+    || Array.length t.fine <> (if t.nsock > 0 then cap * t.nsock else 0)
+  then B.corrupt "Dirstate: inconsistent arrays"

@@ -102,3 +102,11 @@ val iter : t -> (int -> slot -> unit) -> unit
 val copy : t -> t
 (** Deep copy (fresh arrays, both levels); the model checker forks
     directory state when exploring alternative interleavings. *)
+
+val save : t -> Warden_util.Bin.w -> unit
+(** Snapshot every slot array wholesale — both flat and hierarchical
+    sharer layouts are plain int arrays (DESIGN.md §15). *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+(** Overwrite a directory created for the same geometry from {!save}
+    output. Raises [Warden_util.Bin.Corrupt] on a geometry mismatch. *)

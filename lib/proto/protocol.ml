@@ -67,6 +67,8 @@ module type S = sig
 
   val dump : t -> string
   val copy : t -> fabric:Fabric.t -> t
+  val save_state : t -> Warden_util.Bin.w -> unit
+  val restore_state : t -> Warden_util.Bin.r -> unit
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -89,6 +91,8 @@ let observe (Packed ((module P), p)) ~blk = P.observe p ~blk
 let prefetch (Packed ((module P), p)) ~blk = P.prefetch p ~blk
 let dump (Packed ((module P), p)) = P.dump p
 let copy (Packed ((module P), p)) ~fabric = Packed ((module P), P.copy p ~fabric)
+let save_state (Packed ((module P), p)) w = P.save_state p w
+let restore_state (Packed ((module P), p)) r = P.restore_state p r
 
 module Mesi_protocol = struct
   type t = { fabric : Fabric.t; dir : Dirstate.t; scratch : Mesi.grant }
@@ -140,6 +144,11 @@ module Mesi_protocol = struct
   let dump t = "protocol mesi\n" ^ dump_dir t.dir
   let copy t ~fabric =
     { fabric; dir = Dirstate.copy t.dir; scratch = Mesi.fresh_grant () }
+
+  (* MESI's whole protocol state is the directory; the fabric's caches and
+     stats are serialized by their owners. *)
+  let save_state t w = Dirstate.save t.dir w
+  let restore_state t r = Dirstate.restore t.dir r
 end
 
 let mesi fabric = Packed ((module Mesi_protocol), Mesi_protocol.create fabric)

@@ -84,6 +84,17 @@ module type S = sig
       forks whole memory systems when exploring alternative interleavings;
       since a protocol reaches its caches only through fabric callbacks,
       the copy must be given the fabric of the forked world. *)
+
+  val save_state : t -> Warden_util.Bin.w -> unit
+  (** Serialize the protocol's own state (directory entries plus any
+      protocol tables such as the WARD region CAM) for snapshots
+      (DESIGN.md §15). Caches, stats and the store are serialized by
+      their owners, not here. *)
+
+  val restore_state : t -> Warden_util.Bin.r -> unit
+  (** Overwrite the protocol state of a same-geometry instance from
+      {!save_state} output. Raises [Warden_util.Bin.Corrupt] on a
+      mismatch. *)
 end
 
 type t = Packed : (module S with type t = 'a) * 'a -> t
@@ -106,6 +117,8 @@ val observe : t -> blk:int -> block_view
 val prefetch : t -> blk:int -> int
 val dump : t -> string
 val copy : t -> fabric:Fabric.t -> t
+val save_state : t -> Warden_util.Bin.w -> unit
+val restore_state : t -> Warden_util.Bin.r -> unit
 
 val mesi : Fabric.t -> t
 (** Package the baseline MESI protocol. *)

@@ -45,6 +45,52 @@ let create () =
     recon_flushes = 0;
   }
 
+let save t w =
+  let module B = Warden_util.Bin in
+  B.w_int w t.dir_accesses;
+  B.w_int w t.invalidations;
+  B.w_int w t.downgrades;
+  B.w_int w t.fwds;
+  B.w_int w t.msgs_ctl_intra;
+  B.w_int w t.msgs_ctl_inter;
+  B.w_int w t.msgs_data_intra;
+  B.w_int w t.msgs_data_inter;
+  B.w_int w t.writebacks;
+  B.w_int w t.l3_hits;
+  B.w_int w t.l3_misses;
+  B.w_int w t.dram_reads;
+  B.w_int w t.dram_writes;
+  B.w_int w t.zero_fills;
+  B.w_int w t.ward_grants;
+  B.w_int w t.ward_adds;
+  B.w_int w t.ward_removes;
+  B.w_int w t.ward_rejects;
+  B.w_int w t.recon_blocks;
+  B.w_int w t.recon_flushes
+
+let restore t r =
+  let module B = Warden_util.Bin in
+  t.dir_accesses <- B.r_int r;
+  t.invalidations <- B.r_int r;
+  t.downgrades <- B.r_int r;
+  t.fwds <- B.r_int r;
+  t.msgs_ctl_intra <- B.r_int r;
+  t.msgs_ctl_inter <- B.r_int r;
+  t.msgs_data_intra <- B.r_int r;
+  t.msgs_data_inter <- B.r_int r;
+  t.writebacks <- B.r_int r;
+  t.l3_hits <- B.r_int r;
+  t.l3_misses <- B.r_int r;
+  t.dram_reads <- B.r_int r;
+  t.dram_writes <- B.r_int r;
+  t.zero_fills <- B.r_int r;
+  t.ward_grants <- B.r_int r;
+  t.ward_adds <- B.r_int r;
+  t.ward_removes <- B.r_int r;
+  t.ward_rejects <- B.r_int r;
+  t.recon_blocks <- B.r_int r;
+  t.recon_flushes <- B.r_int r
+
 let total_msgs t =
   t.msgs_ctl_intra + t.msgs_ctl_inter + t.msgs_data_intra + t.msgs_data_inter
 

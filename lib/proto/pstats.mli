@@ -33,6 +33,10 @@ type t = {
 
 val create : unit -> t
 
+val save : t -> Warden_util.Bin.w -> unit
+val restore : t -> Warden_util.Bin.r -> unit
+(** Binary snapshot round trip over every counter, in declaration order. *)
+
 val total_msgs : t -> int
 
 val copy : t -> t

@@ -20,7 +20,10 @@ let make ~keys ~theta ~read_frac ~scan_frac ~seed =
     || (not (frac_ok scan_frac))
     || read_frac +. scan_frac > 1.
   then invalid_arg "Workload.make: bad read/scan mix";
-  { keys; zipf = Zipf.create ~n:keys ~theta; read_frac; scan_frac; seed }
+  (* Memoized: a curve sweep makes one workload per core-count point
+     with identical key-space parameters, and the table is the only
+     O(keys) part of construction. *)
+  { keys; zipf = Zipf.create_memo ~n:keys ~theta; read_frac; scan_frac; seed }
 
 let keys t = t.keys
 

@@ -2,6 +2,10 @@ open Warden_util
 
 type t = { n : int; theta : float; zetan : float; cdf : float array }
 
+(* Total inverse-CDF tables ever built (every [create], memoized or
+   not): the curve-sweep memoization test pins its delta to one. *)
+let built = Atomic.make 0
+
 let create ~n ~theta =
   if n <= 0 then invalid_arg "Zipf.create: n must be positive";
   if not (Float.is_finite theta) || theta < 0. then
@@ -20,7 +24,24 @@ let create ~n ~theta =
   done;
   (* Pin the top against floating-point drift so every u < 1 maps. *)
   cdf.(n - 1) <- 1.;
+  Atomic.incr built;
   { n; theta; zetan; cdf }
+
+(* One-slot memo for curve sweeps, which rebuild the same table at every
+   [Config.with_cores] point (identical [~n]/[~theta]). A [t] is
+   immutable after [create] and the slot is atomic, so hits are safe to
+   share across pool domains. *)
+let memo : t option Atomic.t = Atomic.make None
+
+let create_memo ~n ~theta =
+  match Atomic.get memo with
+  | Some t when t.n = n && Float.equal t.theta theta -> t
+  | _ ->
+      let t = create ~n ~theta in
+      Atomic.set memo (Some t);
+      t
+
+let constructions () = Atomic.get built
 
 let n t = t.n
 let theta t = t.theta

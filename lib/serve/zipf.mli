@@ -18,6 +18,18 @@ val create : n:int -> theta:float -> t
     [Invalid_argument] if [n <= 0] or [theta] is negative or not
     finite. *)
 
+val create_memo : n:int -> theta:float -> t
+(** Like {!create}, but a one-slot memo keyed on [(n, theta)]: curve
+    sweeps rebuild the identical table at every [Config.with_cores]
+    point, and a sampler is immutable after construction, so repeat
+    points share one table (safe across pool domains — the slot is
+    atomic). A parameter change rebuilds and replaces the slot. *)
+
+val constructions : unit -> int
+(** Total inverse-CDF tables built by this process so far (every
+    {!create}, memoized or not) — lets tests assert that a sweep of
+    identical-parameter points builds exactly one. *)
+
 val n : t -> int
 val theta : t -> float
 

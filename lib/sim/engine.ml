@@ -73,7 +73,6 @@ type t = {
   mutable cur_st : tstate; (* thread currently executing, for Ops *)
   mutable used_threads : int;
   mutable spec_sink : int; (* keeps helper warming probes observable *)
-  mutable ran : bool;
 }
 
 (* The engine currently executing on this domain, so that [Ops] can reach
@@ -118,7 +117,6 @@ let create cfg ~proto =
     cur_st = cur0;
     used_threads = 0;
     spec_sink = 0;
-    ran = false;
   }
 
 let memsys t = t.ms
@@ -331,7 +329,9 @@ let spec_load t (st : tstate) addr ~size =
   let sl = Array.unsafe_get t.slots st.tid in
   if Atomic.get sl.Spec.fin = Atomic.get sl.Spec.pub && sl.Spec.res.Privcache.ok
   then begin
-    let lat = Memsys.try_commit_load t.ms ~thread:st.tid addr sl.Spec.res in
+    let lat =
+      Memsys.try_commit_load t.ms ~thread:st.tid addr ~size sl.Spec.res
+    in
     if lat >= 0 then begin
       if t.obs_on then
         Obs.spec t.obs ~outcome:0 ~depth:(t.pops - sl.Spec.pops);
@@ -478,12 +478,17 @@ let handler t st =
         | _ -> None)
   }
 
+(* [run] may be called repeatedly on one engine: each call is a phase, and
+   thread clocks, the enqueue sequence and the stat records carry over, so
+   phase N+1 continues the simulated timeline where phase N stopped. The
+   boundary between phases is the engine's only quiescent point — queues
+   empty, store buffers drained, no live continuation — which is exactly
+   where {!snapshot}/{!restore} are legal. *)
 let run t bodies =
-  if t.ran then invalid_arg "Engine.run: engine already used";
-  t.ran <- true;
   let n = Array.length bodies in
   if n > Array.length t.threads then invalid_arg "Engine.run: too many threads";
-  t.used_threads <- n;
+  t.used_threads <- max t.used_threads n;
+  let cycles_at_start = t.stats.Sstats.cycles in
   Array.iteri
     (fun tid body ->
       let st = t.threads.(tid) in
@@ -523,13 +528,58 @@ let run t bodies =
     drain_all t.threads.(tid);
     makespan := max !makespan t.threads.(tid).time
   done;
-  t.stats.Sstats.cycles <- !makespan;
+  t.stats.Sstats.cycles <- max cycles_at_start !makespan;
   let cores_used =
     min (Config.num_cores t.cfg)
       ((n + t.cfg.Config.threads_per_core - 1) / t.cfg.Config.threads_per_core)
   in
-  Energy.core_cycles (Memsys.energy t.ms) ~cores:cores_used ~cycles:!makespan;
+  (* Charge only this phase's cycle delta: a single-phase run starts at
+     cycle 0 and pays the full makespan, unchanged. *)
+  Energy.core_cycles (Memsys.energy t.ms) ~cores:cores_used
+    ~cycles:(max 0 (!makespan - cycles_at_start));
   !makespan
+
+(* --- snapshot/restore (DESIGN.md §15) ------------------------------------ *)
+
+(* Engine-level scheduler state that survives across phases. Effects-based
+   continuations cannot serialize, so snapshots are only legal between
+   [run]s — which is also the only time there is nothing unserializable
+   alive: queues empty, store buffers drained, speculation slots dead. *)
+let snapshot t w =
+  Array.iter
+    (fun q ->
+      if not (Pqueue.is_empty q) then
+        invalid_arg "Engine.snapshot: run in progress")
+    t.runqs;
+  Bin.w_int w (Array.length t.threads);
+  Array.iter
+    (fun st ->
+      assert (st.sb_len = 0);
+      Bin.w_int w st.time;
+      Bin.w_int w st.qlimit)
+    t.threads;
+  Bin.w_int w t.next_seq;
+  Bin.w_int w t.next_window;
+  Bin.w_int w t.pops;
+  Bin.w_int w t.used_threads;
+  Memsys.save_state t.ms w
+
+let restore t r =
+  let n = Bin.r_int r in
+  if n <> Array.length t.threads then
+    Bin.corrupt "Engine: thread count mismatch";
+  Array.iter
+    (fun st ->
+      st.time <- Bin.r_int r;
+      st.qlimit <- Bin.r_int r;
+      st.sb_head <- 0;
+      st.sb_len <- 0)
+    t.threads;
+  t.next_seq <- Bin.r_int r;
+  t.next_window <- Bin.r_int r;
+  t.pops <- Bin.r_int r;
+  t.used_threads <- Bin.r_int r;
+  Memsys.restore_state t.ms r
 
 module Ops = struct
   (* Each operation first tries to run inline on the ambient engine —

@@ -53,7 +53,28 @@ val run : t -> (unit -> unit) array -> int
 (** [run t bodies] runs [bodies.(tid)] on hardware thread [tid] (at most
     {!Warden_machine.Config.num_threads}) until every thread finishes.
     Returns the makespan in cycles, also recorded in the stats and charged
-    to the energy model. Can be called once per engine. *)
+    to the energy model.
+
+    May be called repeatedly: each call is a phase continuing the same
+    simulated timeline (thread clocks, stats and energy carry over; each
+    phase's energy charge is its cycle delta). The boundary between
+    phases is the engine's only quiescent point — run queues empty, store
+    buffers drained, no live continuation — which is exactly where
+    {!snapshot} and {!restore} are legal. *)
+
+val snapshot : t -> Warden_util.Bin.w -> unit
+(** Serialize the complete simulator state — scheduler clocks plus the
+    whole memory system ({!Memsys.save_state}) — at a quiescent point.
+    Raises [Invalid_argument] if called while a run is in progress
+    (effects-based continuations cannot serialize). Raw payload; the
+    [warden.snap] library adds the versioned header, config fingerprint
+    and checksum (DESIGN.md §15). *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+(** Overwrite a freshly created engine of identical geometry and protocol
+    from {!snapshot} output. Subsequent {!run} phases are bit-identical
+    to running them on the snapshotted engine. Raises
+    [Warden_util.Bin.Corrupt] on a mismatch. *)
 
 (** Ambient operations for code running inside {!run}. Calling them
     outside a run raises [Effect.Unhandled]. *)

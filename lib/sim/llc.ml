@@ -80,6 +80,18 @@ let flush_to_store t =
           Linedata.clear_dirty line))
     t.slices
 
+let save t w =
+  Warden_util.Bin.w_int w (Array.length t.slices);
+  Array.iter
+    (fun slice -> Csa.save slice w ~elt:(fun w ld -> Linedata.save ld w))
+    t.slices
+
+let restore t r =
+  let n = Warden_util.Bin.r_int r in
+  if n <> Array.length t.slices then
+    Warden_util.Bin.corrupt "Llc: socket count mismatch";
+  Array.iter (fun slice -> Csa.restore slice r ~elt:Linedata.load_snap) t.slices
+
 (* Host-side footprint of the lazy slices, for the scale bench report. *)
 let chunks_stats t =
   Array.fold_left

@@ -35,6 +35,24 @@ let acct_create () =
     a_l2_evts = 0;
   }
 
+(* Commit-order trace sink (DESIGN.md §15). A flat callback — (kind,
+   thread, addr, size, value) — invoked at the point each access commits
+   its memory-system transition, on whichever path served it (scheduled,
+   inline fast, or speculative commit). Unlike the initiation-order
+   recorder in [Warden_trace.Recorder], this stream is in commit order,
+   so feeding it back through the access entry points replays the exact
+   transition sequence with no program model. Flat ints avoid a circular
+   dependency on the trace library. *)
+let k_load = 0
+let k_store = 1
+let k_rmw = 2 (* value = the committed new value, not the RMW function *)
+let k_region_add = 3 (* addr = lo, size = hi *)
+let k_region_remove = 4 (* addr = lo, size = hi *)
+let k_flush = 5
+let k_poke = 6
+
+let no_sink _ _ _ _ _ = ()
+
 type t = {
   cfg : Config.t;
   energy : Energy.t;
@@ -50,6 +68,8 @@ type t = {
   mutable proto : Protocol.t option;
   mutable bump : int;
   mutable fast_value : int64; (* value of the last fast load/rmw hit *)
+  mutable sink : int -> int -> int -> int -> int64 -> unit;
+  mutable sink_on : bool; (* cached [sink != no_sink], one-branch off path *)
 }
 
 let the_proto t =
@@ -101,6 +121,15 @@ let energy t =
 let acct_of_core t core = t.accts.(Array.unsafe_get t.core_shard core)
 let obs t = t.obs
 
+let set_trace_sink t s =
+  match s with
+  | None ->
+      t.sink <- no_sink;
+      t.sink_on <- false
+  | Some f ->
+      t.sink <- f;
+      t.sink_on <- true
+
 let create cfg ~proto =
   let energy = Energy.create () in
   let pstats = Pstats.create () in
@@ -126,6 +155,8 @@ let create cfg ~proto =
       fast_value = 0L;
       (* Leave page zero unmapped so address 0 can act as a null. *)
       bump = 1 lsl 16;
+      sink = no_sink;
+      sink_on = false;
     }
   in
   t.priv <-
@@ -210,6 +241,7 @@ let load t ~thread addr ~size =
   let v =
     Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size
   in
+  if t.sink_on then t.sink k_load thread addr size v;
   (v, lat)
 
 (* [pc] is the hierarchy holding [line]: the state/data writes invalidate
@@ -230,6 +262,7 @@ let store t ~thread addr ~size v =
   let blk = Addr.block_of addr in
   let line, lat = access_line t ~thread ~blk ~write:true in
   write_line (pc_of_thread t thread) line ~off:(Addr.offset_in_block addr) ~size v;
+  if t.sink_on then t.sink k_store thread addr size v;
   lat
 
 let rmw t ~thread addr ~size f =
@@ -239,7 +272,9 @@ let rmw t ~thread addr ~size f =
   let line, lat = access_line t ~thread ~blk ~write:true in
   let off = Addr.offset_in_block addr in
   let old = Linedata.load line.Privcache.data ~off ~size in
-  write_line (pc_of_thread t thread) line ~off ~size (f old);
+  let nv = f old in
+  write_line (pc_of_thread t thread) line ~off ~size nv;
+  if t.sink_on then t.sink k_rmw thread addr size nv;
   (old, lat)
 
 (* Fast-path accessors: commit iff the access is a private-cache hit
@@ -281,6 +316,7 @@ let try_fast_load t ~thread addr ~size =
     a.a_loads <- a.a_loads + 1;
     t.fast_value <-
       Linedata.load line.Privcache.data ~off:(Addr.offset_in_block addr) ~size;
+    if t.sink_on then t.sink k_load thread addr size t.fast_value;
     fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
@@ -294,6 +330,7 @@ let try_fast_store t ~thread addr ~size v =
     let a = acct_of_core t core in
     a.a_stores <- a.a_stores + 1;
     write_line pc line ~off:(Addr.offset_in_block addr) ~size v;
+    if t.sink_on then t.sink k_store thread addr size v;
     fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
   end
 
@@ -308,9 +345,68 @@ let try_fast_rmw t ~thread addr ~size f =
     a.a_rmws <- a.a_rmws + 1;
     let off = Addr.offset_in_block addr in
     let old = Linedata.load line.Privcache.data ~off ~size in
-    write_line pc line ~off ~size (f old);
+    let nv = f old in
+    write_line pc line ~off ~size nv;
+    if t.sink_on then t.sink k_rmw thread addr size nv;
     t.fast_value <- old;
     fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc)
+  end
+
+(* --- trace replay (DESIGN.md §15) ---------------------------------------- *)
+
+(* Replay entry points: the per-event work of [try_fast_*] with the
+   scheduled fallback fused in, minus work a replayed stream never
+   observes. A replayed load's value is already in the recording and a
+   load mutates neither the line data nor anything [fast_value] feeds
+   (it is reset across quiescent points and never snapshotted), so the
+   fast hit skips [Linedata.load] and the [fast_value] write — about a
+   third of the fast-load cost, most of it Int64 boxing. A replayed
+   RMW's new value is recorded, so the hit path skips loading the old
+   value. No sink fires: recording during replay is unsupported (the
+   stream itself is the recording). Every state mutation and every
+   stats/energy/obs account is identical to the live paths, which is
+   what makes replayed final stats bit-identical to the recorded run. *)
+
+let replay_load t ~thread addr ~size =
+  let blk = Addr.block_of addr in
+  let core = Config.core_of_thread t.cfg thread in
+  let pc = t.priv.(core) in
+  let line = Privcache.fast_hit pc ~blk ~write:false in
+  if line == Privcache.no_line then
+    ignore (load t ~thread addr ~size : int64 * int)
+  else begin
+    let a = acct_of_core t core in
+    a.a_loads <- a.a_loads + 1;
+    ignore (fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc) : int)
+  end
+
+let replay_store t ~thread addr ~size v =
+  let blk = Addr.block_of addr in
+  let core = Config.core_of_thread t.cfg thread in
+  let pc = t.priv.(core) in
+  let line = Privcache.fast_hit pc ~blk ~write:true in
+  if line == Privcache.no_line then
+    ignore (store t ~thread addr ~size v : int)
+  else begin
+    let a = acct_of_core t core in
+    a.a_stores <- a.a_stores + 1;
+    write_line pc line ~off:(Addr.offset_in_block addr) ~size v;
+    ignore (fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc) : int)
+  end
+
+let replay_rmw t ~thread addr ~size nv =
+  let blk = Addr.block_of addr in
+  let core = Config.core_of_thread t.cfg thread in
+  let pc = t.priv.(core) in
+  let line = Privcache.fast_hit pc ~blk ~write:true in
+  if line == Privcache.no_line then
+    let f = fun (_ : int64) -> nv in
+    ignore (rmw t ~thread addr ~size f : int64 * int)
+  else begin
+    let a = acct_of_core t core in
+    a.a_rmws <- a.a_rmws + 1;
+    write_line pc line ~off:(Addr.offset_in_block addr) ~size nv;
+    ignore (fast_hit_accounting t a ~core ~blk (Privcache.last_l1 pc) : int)
   end
 
 (* --- speculative shard execution (DESIGN.md §11) ------------------------- *)
@@ -348,7 +444,7 @@ let spec_validate t ~core (r : Privcache.spec_result) =
   if t.cfg.Config.sim_spec_torture then Privcache.bump pc;
   Privcache.version pc = r.Privcache.sr_ver
 
-let try_commit_load t ~thread addr (r : Privcache.spec_result) =
+let try_commit_load t ~thread addr ~size (r : Privcache.spec_result) =
   let core = Config.core_of_thread t.cfg thread in
   if not (spec_validate t ~core r) then -1
   else begin
@@ -357,6 +453,7 @@ let try_commit_load t ~thread addr (r : Privcache.spec_result) =
     a.a_loads <- a.a_loads + 1;
     ignore (Privcache.commit_hit t.priv.(core) ~blk r : Privcache.line);
     t.fast_value <- r.Privcache.value;
+    if t.sink_on then t.sink k_load thread addr size t.fast_value;
     fast_hit_accounting t a ~core ~blk (Sa.hit r.Privcache.l1w)
   end
 
@@ -370,6 +467,7 @@ let try_commit_store t ~thread addr ~size v (r : Privcache.spec_result) =
     let pc = t.priv.(core) in
     let line = Privcache.commit_hit pc ~blk r in
     write_line pc line ~off:(Addr.offset_in_block addr) ~size v;
+    if t.sink_on then t.sink k_store thread addr size v;
     fast_hit_accounting t a ~core ~blk (Sa.hit r.Privcache.l1w)
   end
 
@@ -386,6 +484,7 @@ let try_commit_rmw t ~thread addr ~size ~nv (r : Privcache.spec_result) =
     let pc = t.priv.(core) in
     let line = Privcache.commit_hit pc ~blk r in
     write_line pc line ~off:(Addr.offset_in_block addr) ~size nv;
+    if t.sink_on then t.sink k_rmw thread addr size nv;
     t.fast_value <- r.Privcache.value;
     fast_hit_accounting t a ~core ~blk (Sa.hit r.Privcache.l1w)
   end
@@ -395,6 +494,7 @@ let try_commit_rmw t ~thread addr ~size ~nv (r : Privcache.spec_result) =
    itself ignores them. [flushed] is recovered from the charged latency
    (exactly [flushed * reconcile_per_block] by construction). *)
 let region_add t ~thread ~lo ~hi =
+  if t.sink_on then t.sink k_region_add thread lo hi 0L;
   let ok = Protocol.region_add (the_proto t) ~lo ~hi in
   (* Even a rejected attempt (always, under MESI) is an annotation the
      profile should show, and the stats banks count it. *)
@@ -405,6 +505,7 @@ let region_add t ~thread ~lo ~hi =
   ok
 
 let region_remove t ~thread ~lo ~hi =
+  if t.sink_on then t.sink k_region_remove thread lo hi 0L;
   let lat = Protocol.region_remove (the_proto t) ~lo ~hi in
   if t.obs_on then
     Obs.region t.obs
@@ -421,13 +522,54 @@ let alloc t ~bytes ~align =
   addr
 
 let flush_all t =
+  if t.sink_on then t.sink k_flush (-1) 0 0 0L;
   Protocol.flush_all (the_proto t);
   Llc.flush_to_store t.llc
 
 let peek t addr ~size = Store.load t.store addr ~size
-let poke t addr ~size v = Store.store t.store addr ~size v
+
+let poke t addr ~size v =
+  if t.sink_on then t.sink k_poke (-1) addr size v;
+  Store.store t.store addr ~size v
 
 let footprint_bytes t = Store.footprint_bytes t.store
+
+(* --- snapshot (DESIGN.md §15) -------------------------------------------- *)
+
+(* Only meaningful at quiescent points (between [Engine.run]s): no
+   continuation holds unretired accesses, so the full simulated state is
+   the flat structures below. Banks are folded first so the saved
+   [Sstats]/[Energy] carry complete totals and a restored system starts
+   with empty banks either way. *)
+let save_state t w =
+  fold_accts t;
+  Store.save t.store w;
+  Llc.save t.llc w;
+  Warden_util.Bin.w_int w (Array.length t.priv);
+  Array.iter (fun pc -> Privcache.save pc w) t.priv;
+  Protocol.save_state (the_proto t) w;
+  Pstats.save t.pstats w;
+  Sstats.save t.sstats w;
+  Energy.save t.energy w;
+  Warden_util.Bin.w_int w t.bump
+
+let restore_state t r =
+  (* Zero the banks (the folded residue lands in records we overwrite). *)
+  fold_accts t;
+  Store.restore t.store r;
+  Llc.restore t.llc r;
+  let n = Warden_util.Bin.r_int r in
+  if n <> Array.length t.priv then
+    Warden_util.Bin.corrupt "Memsys: core count mismatch";
+  Array.iter (fun pc -> Privcache.restore pc r) t.priv;
+  Protocol.restore_state (the_proto t) r;
+  Pstats.restore t.pstats r;
+  Sstats.restore t.sstats r;
+  Energy.restore t.energy r;
+  t.bump <- Warden_util.Bin.r_int r;
+  (* Valid only between a successful fast access and its consumer, never
+     across a quiescent point. *)
+  t.fast_value <- 0L
 
 (* The directory is reachable only through the protocol's handlers, so the
    audit walks the private caches and cross-checks with fabric peeks. *)

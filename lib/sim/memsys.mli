@@ -78,6 +78,23 @@ val fast_value : t -> int64
 (** Value delivered by the last successful {!try_fast_load} or
     {!try_fast_rmw}. *)
 
+val replay_load : t -> thread:int -> Warden_mem.Addr.t -> size:int -> unit
+(** Trace-replay load: {!try_fast_load} with the scheduled {!load}
+    fallback fused in, minus the value materialization a replayed
+    stream never observes ([fast_value] is left stale — it is never
+    snapshotted and is reset across quiescent points). State mutations
+    and stats/energy/obs accounting are identical to the live paths, so
+    replaying a recorded stream reproduces the recorded run's final
+    memory-system stats bit for bit. No trace sink fires. *)
+
+val replay_store : t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 -> unit
+(** Trace-replay store; same contract as {!replay_load}. *)
+
+val replay_rmw : t -> thread:int -> Warden_mem.Addr.t -> size:int -> int64 -> unit
+(** Trace-replay read-modify-write. The [int64] is the {e committed new}
+    value from the recording (the trace sink records it precisely so
+    replay needs no modify function); same contract as {!replay_load}. *)
+
 (** {2 Speculative shard execution (DESIGN.md §11)}
 
     Helper domains pre-execute the memory-system half of pending accesses
@@ -107,6 +124,7 @@ val try_commit_load :
   t ->
   thread:int ->
   Warden_mem.Addr.t ->
+  size:int ->
   Privcache.spec_result ->
   int
 (** Commit-lane side: validate the speculation (recorded version still
@@ -160,6 +178,47 @@ val poke : t -> Warden_mem.Addr.t -> size:int -> int64 -> unit
     a copy (pre-run initialization of inputs). *)
 
 val footprint_bytes : t -> int
+
+(** {2 Commit-order trace sink (DESIGN.md §15)}
+
+    A flat callback invoked at the instant each access commits its
+    memory-system transition, on whichever path served it (scheduled,
+    inline fast, or speculative commit) — so the recorded stream is in
+    commit order, and feeding it back through {!load}/{!store}/{!rmw}
+    (or the fast paths) replays the exact transition sequence with no
+    program model. Arguments: [kind thread addr size value]; for
+    {!k_rmw} the value is the committed {e new} value (replay with
+    [fun _ -> v]), for region events [addr]/[size] carry [lo]/[hi].
+    Lane-only, like the access paths themselves. *)
+
+val k_load : int
+val k_store : int
+val k_rmw : int
+val k_region_add : int
+val k_region_remove : int
+val k_flush : int
+val k_poke : int
+
+val set_trace_sink :
+  t -> (int -> int -> int -> int -> int64 -> unit) option -> unit
+(** Install (or with [None] remove) the commit-order sink. The off path
+    costs one predicted branch per access. *)
+
+(** {2 Snapshots (DESIGN.md §15)} *)
+
+val save_state : t -> Warden_util.Bin.w -> unit
+(** Serialize the complete simulated memory-system state — store pages,
+    LLC slices, private hierarchies, protocol state (directory + region
+    CAM), stats, energy, and the bump allocator — after folding the
+    per-shard banks. Only meaningful at quiescent points (between
+    {!Engine.run}s). *)
+
+val restore_state : t -> Warden_util.Bin.r -> unit
+(** Overwrite a same-geometry, same-protocol memory system from
+    {!save_state} output. Raises [Warden_util.Bin.Corrupt] on a
+    mismatch. The target should be freshly created: directory and page
+    tables have no deletion, so restoring into a used system is
+    unsupported. *)
 
 val check_invariants : t -> (unit, string) result
 (** Audit the private caches against the coherence rules:

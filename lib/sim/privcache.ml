@@ -92,8 +92,14 @@ let fast_hit t ~blk ~write =
       no_line
     else begin
       let in_l1 = Sa.touch t.l1 blk in
-      Sa.touch_way t.l2 w2;
-      if not in_l1 then ignore (Sa.insert t.l1 blk ());
+      (* Rotate the hit to the MRU-first way, exactly as the slow path's
+         [Sa.find_way] and the spec commit lane's [Sa.promote_way] do: a
+         re-probe of the hot block then exits on the first comparison.
+         Way position carries no simulated meaning (recency lives in
+         [last_use], victim choice reads only that), so this changes no
+         observable behavior. *)
+      ignore (Sa.promote_way t.l2 blk w2 : Sa.way);
+      if not in_l1 then Sa.insert_absent t.l1 blk ();
       t.last_l1 <- in_l1;
       bump t;
       line
@@ -190,6 +196,36 @@ let check_inclusion t =
       if (not (Sa.mem t.l2 blk)) && !bad = None then
         bad := Some (Printf.sprintf "block %d in L1 but not in L2" blk));
   match !bad with None -> Ok () | Some m -> Error m
+
+(* --- snapshot (DESIGN.md §15) -------------------------------------------- *)
+
+let pstate_code = function States.P_S -> 0 | States.P_E -> 1 | States.P_M -> 2
+
+let pstate_of_code = function
+  | 0 -> States.P_S
+  | 1 -> States.P_E
+  | 2 -> States.P_M
+  | _ -> Warden_util.Bin.corrupt "Privcache: bad line state"
+
+(* The speculation version and [spec] gate are host-side scheduling state,
+   not simulated state: they are not serialized (a restored hierarchy
+   starts a fresh speculation epoch). *)
+let save t w =
+  let module B = Warden_util.Bin in
+  Sa.save t.l1 w ~elt:(fun _ () -> ());
+  Sa.save t.l2 w ~elt:(fun w ln ->
+      B.w_u8 w (pstate_code ln.state);
+      Linedata.save ln.data w);
+  B.w_bool w t.last_l1
+
+let restore t r =
+  let module B = Warden_util.Bin in
+  Sa.restore t.l1 r ~elt:(fun _ -> ());
+  Sa.restore t.l2 r ~elt:(fun r ->
+      let state = pstate_of_code (B.r_u8 r) in
+      { state; data = Linedata.load_snap r });
+  t.last_l1 <- B.r_bool r;
+  bump t
 
 let probe_of t blk line =
   let levels = if Sa.mem t.l1 blk then 2 else 1 in

@@ -105,6 +105,15 @@ val iter_resident : t -> (int -> line -> unit) -> unit
 val check_inclusion : t -> (unit, string) result
 (** Verify L1 ⊆ L2. *)
 
+val save : t -> Warden_util.Bin.w -> unit
+(** Snapshot both tag arrays (way positions, recency), every resident
+    line's state and data, and the last-hit level. The speculation
+    version is host scheduling state and is not serialized. *)
+
+val restore : t -> Warden_util.Bin.r -> unit
+(** Overwrite a hierarchy of identical geometry from {!save} output.
+    Raises [Warden_util.Bin.Corrupt] on a geometry mismatch. *)
+
 val peek : t -> blk:int -> Warden_proto.Fabric.probe option
 val invalidate : t -> blk:int -> Warden_proto.Fabric.probe option
 val downgrade : t -> blk:int -> Warden_proto.Fabric.probe option

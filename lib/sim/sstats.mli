@@ -16,6 +16,10 @@ type t = {
 
 val create : threads:int -> t
 
+val save : t -> Warden_util.Bin.w -> unit
+val restore : t -> Warden_util.Bin.r -> unit
+(** Binary snapshot round trip; restore requires an equal thread count. *)
+
 val ipc : t -> float
 (** Aggregate instructions per cycle across all hardware threads
     ([instructions / cycles]). *)

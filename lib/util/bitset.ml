@@ -63,3 +63,15 @@ let choose t =
   !found
 
 let copy t = { words = Array.copy t.words; card = t.card }
+
+(* Snapshot as the raw word array: [card] is derived but cheap to carry,
+   and writing both lets [load] skip a popcount pass. *)
+let save t w =
+  Bin.w_int_array w t.words;
+  Bin.w_int w t.card
+
+let load r =
+  let words = Bin.r_int_array r in
+  let card = Bin.r_int r in
+  if Array.length words = 0 || card < 0 then Bin.corrupt "Bitset: bad snapshot";
+  { words; card }

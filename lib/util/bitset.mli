@@ -19,3 +19,7 @@ val choose : t -> int option
 (** Smallest element. *)
 
 val copy : t -> t
+
+val save : t -> Bin.w -> unit
+val load : Bin.r -> t
+(** Binary snapshot round trip (DESIGN.md §15). *)

@@ -168,6 +168,9 @@ struct
   let dump t = "protocol " ^ M.name ^ "\n" ^ Protocol.dump_dir t.dir
   let copy t ~fabric =
     { fabric; dir = Dirstate.copy t.dir; scratch = Mesi.fresh_grant () }
+
+  let save_state t w = Dirstate.save t.dir w
+  let restore_state t r = Dirstate.restore t.dir r
 end
 
 (* MESI whose invalidations only read the victim's copy (a peek) instead

@@ -178,7 +178,7 @@ let forced_squash_unit_test () =
   ignore (Warden_sim.Memsys.spec_read ms ~thread:0 a ~size:8 ~write:false r);
   Alcotest.(check bool) "hit speculated" true r.Warden_sim.Privcache.ok;
   let before = (Warden_sim.Memsys.sstats ms).Warden_sim.Sstats.loads in
-  let lat = Warden_sim.Memsys.try_commit_load ms ~thread:0 a r in
+  let lat = Warden_sim.Memsys.try_commit_load ms ~thread:0 a ~size:8 r in
   Alcotest.(check bool) "commit returns a latency" true (lat >= 0);
   Alcotest.(check int64)
     "committed value" 5L
@@ -198,7 +198,7 @@ let forced_squash_unit_test () =
       before.Warden_sim.Sstats.l1_hits,
       before.Warden_sim.Sstats.l2_hits )
   in
-  let lat = Warden_sim.Memsys.try_commit_load ms ~thread:0 a r in
+  let lat = Warden_sim.Memsys.try_commit_load ms ~thread:0 a ~size:8 r in
   Alcotest.(check int) "forced version mismatch squashes" (-1) lat;
   let after = Warden_sim.Memsys.sstats ms in
   Alcotest.(check bool) "squash mutates no statistics" true

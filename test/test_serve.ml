@@ -106,6 +106,33 @@ let test_zipf_distribution () =
 let mk_workload ?(seed = 0xFEED5L) () =
   Workload.make ~keys:1024 ~theta:0.99 ~read_frac:0.8 ~scan_frac:0.1 ~seed
 
+let test_zipf_memoized_across_curve () =
+  (* A curve sweep builds one workload per core-count point with
+     identical key-space parameters; the inverse-CDF table must be
+     built once, not once per point. Distinctive parameters so earlier
+     tests cannot have primed the memo slot. *)
+  let mk ~theta () =
+    Workload.make ~keys:4099 ~theta ~read_frac:0.8 ~scan_frac:0.05 ~seed:42L
+  in
+  let before = Zipf.constructions () in
+  for _ = 1 to 8 do ignore (mk ~theta:0.83 () : Workload.t) done;
+  Alcotest.(check int) "eight identical curve points build one table" 1
+    (Zipf.constructions () - before);
+  (* A parameter change must rebuild — the memo never serves stale
+     tables — and repeat points at the new parameters share again. *)
+  for _ = 1 to 3 do ignore (mk ~theta:0.91 () : Workload.t) done;
+  Alcotest.(check int) "parameter change rebuilds exactly once" 2
+    (Zipf.constructions () - before);
+  (* Memoized samplers still sample identically to a fresh table. *)
+  let z_memo = Zipf.create_memo ~n:4099 ~theta:0.91 in
+  let z_fresh = Zipf.create ~n:4099 ~theta:0.91 in
+  let r1 = Splitmix.make 9L and r2 = Splitmix.make 9L in
+  let same = ref true in
+  for _ = 1 to 1_000 do
+    if Zipf.sample z_memo r1 <> Zipf.sample z_fresh r2 then same := false
+  done;
+  Alcotest.(check bool) "memoized table samples identically" true !same
+
 let test_generator_determinism () =
   let w1 = mk_workload () and w2 = mk_workload () in
   let same = ref true in
@@ -246,6 +273,8 @@ let suite =
   [
     Alcotest.test_case "zipf bounds and edge cases" `Quick test_zipf_bounds;
     Alcotest.test_case "zipf distribution sanity" `Quick test_zipf_distribution;
+    Alcotest.test_case "zipf table memoized across curve points" `Quick
+      test_zipf_memoized_across_curve;
     Alcotest.test_case "generator seed determinism" `Quick
       test_generator_determinism;
     Alcotest.test_case "stream/batch equivalence" `Quick
