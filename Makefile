@@ -11,7 +11,7 @@ MACHINE := $(shell cat $(MACHINE_FILE) 2>/dev/null || echo dual)
 
 .PHONY: all build test check fmt bench bench-quick bench-json bench-compare \
         bench-overhead bench-scaling bench-scale bench-serve bench-replay \
-        snap-check serve profile \
+        bench-zoo snap-check serve profile \
         all_pbbs single_pbbs activate_one_socket activate_two_socket \
         examples clean
 
@@ -23,12 +23,20 @@ build:
 test:
 	dune runtest
 
-# Deep model-checking sweep: close the full reachable state space of the
-# MESI, WARDen, and MESI=WARDen lockstep small models (depth 64 far
-# exceeds the closure diameter), then fuzz each with a long random walk.
-# ~2 minutes; `dune runtest` already runs a bounded configuration.
+# Deep model-checking sweep across the protocol zoo. MESI, snooping MSI
+# and the 2-core SI/SD model close their full reachable state spaces
+# (depth 64 far exceeds their closure diameters); WARDen's W states and
+# the 3-core SI/SD fence alphabet blow the space up, so those — and the
+# two lockstep pairs — run depth-bounded and lean on the long fuzz walk
+# for depth. `dune runtest` already runs a faster bounded configuration.
 check: build
-	dune exec bin/warden_cli.exe -- check --depth 64 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p mesi --depth 64 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p msi-bus --depth 64 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p sisd --cores 2 --depth 64 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p sisd --depth 8 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p warden --depth 8 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p equiv --depth 8 --fuzz-steps 20000
+	dune exec bin/warden_cli.exe -- check -p msi-lockstep --depth 8 --fuzz-steps 20000
 
 bench:
 	dune exec bench/main.exe
@@ -96,6 +104,13 @@ snap-check: build
 	cmp .snap_d1.wsnap .snap_d2.wsnap
 	@echo "snap-check: restored D=1 and D=2 continuations are bit-identical"
 	@rm -f .snap_base.wsnap .snap_d1.wsnap .snap_d2.wsnap
+
+# Protocol-zoo gate (README "Protocol zoo"): the fig7/8 kernels under
+# all four protocols at quick scales into BENCH_zoo.json, failing unless
+# WARDen's inv+down traffic on msort is strictly below both MESI's and
+# SI/SD's. `bench compare --zoo` re-runs the gate over the snapshot.
+bench-zoo:
+	dune exec bench/main.exe -- quick zoo
 
 # The serving tier (README "Simulating a serving tier"): an open-loop
 # Zipf KV workload against both protocols with the tail-latency report

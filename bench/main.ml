@@ -14,6 +14,10 @@
               dune exec bench/main.exe -- replay  (trace-driven replay vs the
                                                    program model, into
                                                    BENCH_replay.json)
+              dune exec bench/main.exe -- zoo     (fig7/8 kernels under every
+                                                   protocol in the zoo, into
+                                                   BENCH_zoo.json, with the
+                                                   WARDen traffic gate)
    [--jobs N] (or WARDEN_JOBS) caps the domains used for independent
    simulations; the default is the machine's recommended domain count.
    [--filter SUBSTR] restricts the benchmark suites to matching kernels.
@@ -44,7 +48,7 @@ let cli =
     Sys.argv
 
 let mode_words =
-  [ "quick"; "json"; "compare"; "scaling"; "scale"; "serve"; "replay" ]
+  [ "quick"; "json"; "compare"; "scaling"; "scale"; "serve"; "replay"; "zoo" ]
 let has_mode w = List.mem w (Cliscan.positionals cli)
 let quick = has_mode "quick"
 let json_mode = has_mode "json"
@@ -53,6 +57,7 @@ let scaling_mode = has_mode "scaling"
 let scale_mode = has_mode "scale"
 let serve_mode = has_mode "serve"
 let replay_mode = has_mode "replay"
+let zoo_mode = has_mode "zoo"
 
 (* [--snap-cache DIR]: the scale mode saves each cell's post-run engine
    state into DIR and restores it on later sweeps instead of re-simulating
@@ -446,7 +451,9 @@ let json_num_char = function
   | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
   | _ -> false
 
-let json_number file key =
+(* Read a snapshot whole; a missing file ends the gate immediately — with
+   nothing to scan there is nothing to accumulate. *)
+let slurp file =
   let ic =
     try open_in file
     with Sys_error m -> Printf.eprintf "bench compare: %s\n" m; exit 2
@@ -454,36 +461,12 @@ let json_number file key =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  let needle = "\"" ^ key ^ "\"" in
-  let nl = String.length needle and sl = String.length s in
-  let rec find i =
-    if i + nl > sl then
-      (Printf.eprintf "bench compare: no %s in %s\n" needle file; exit 2)
-    else if String.sub s i nl = needle then i + nl
-    else find (i + 1)
-  in
-  let i = ref (find 0) in
-  while !i < sl && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
-  let j = ref !i in
-  while !j < sl && json_num_char s.[!j] do incr j done;
-  match float_of_string_opt (String.sub s !i (!j - !i)) with
-  | Some f -> f
-  | None ->
-      Printf.eprintf "bench compare: value of %s in %s is not a number (got %S)\n"
-        needle file
-        (String.sub s !i (min 20 (sl - !i)));
-      exit 2
+  s
 
-(* Like {!json_number} but [default] when the key is absent (older
-   snapshots predate some fields). *)
-let json_number_or file key ~default =
-  let ic =
-    try open_in file
-    with Sys_error m -> Printf.eprintf "bench compare: %s\n" m; exit 2
-  in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
+(* The number after ["key":] in [s], when present and numeric. Returning
+   an option instead of exiting lets the gates accumulate every missing
+   key and report them all before going non-zero. *)
+let scan_number s key =
   let needle = "\"" ^ key ^ "\"" in
   let nl = String.length needle and sl = String.length s in
   let rec find i =
@@ -491,19 +474,32 @@ let json_number_or file key ~default =
     else if String.sub s i nl = needle then Some (i + nl)
     else find (i + 1)
   in
-  match find 0 with None -> default | Some _ -> json_number file key
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let i = ref i in
+      while !i < sl && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
+      let j = ref !i in
+      while !j < sl && json_num_char s.[!j] do incr j done;
+      float_of_string_opt (String.sub s !i (!j - !i))
+
+let json_number file key =
+  match scan_number (slurp file) key with
+  | Some f -> f
+  | None ->
+      Printf.eprintf "bench compare: no numeric \"%s\" in %s\n" key file;
+      exit 2
+
+(* Like {!json_number} but [default] when the key is absent (older
+   snapshots predate some fields). *)
+let json_number_or file key ~default =
+  match scan_number (slurp file) key with Some f -> f | None -> default
 
 (* The ("kernel", ms) pairs of a snapshot's kernels_ms_per_run object.
    Same minimal-scanner spirit as {!json_number}: the harness wrote the
    file itself, names never contain quotes. *)
 let json_kernels file =
-  let ic =
-    try open_in file
-    with Sys_error m -> Printf.eprintf "bench compare: %s\n" m; exit 2
-  in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
+  let s = slurp file in
   let needle = "\"kernels_ms_per_run\"" in
   let nl = String.length needle and sl = String.length s in
   let rec find i =
@@ -817,7 +813,11 @@ type scale_cell = {
   sc_verified : bool;
 }
 
-let scale_proto_str = function `Mesi -> "mesi" | `Warden -> "warden"
+let scale_proto_str = function
+  | `Mesi -> "mesi"
+  | `Warden -> "warden"
+  | `Msi_bus -> "msi-bus"
+  | `Sisd -> "sisd"
 
 (* The snapshot sidecar: the two per-cell facts the engine state cannot
    carry — the verification verdict and the cold run's wall clock. The
@@ -1308,14 +1308,213 @@ let run_serve () =
   end
   else Printf.printf "ok: serve gate passed\n"
 
+(* ------------------------------------------------------------------ *)
+(* zoo mode: the four-protocol comparison and its traffic gate         *)
+(* ------------------------------------------------------------------ *)
+
+(* The fig7/8 kernel set under every protocol in the zoo (DESIGN.md §16):
+   runtime, coherence-maintenance traffic and energy, side by side on the
+   dual-socket machine. The gate extends the paper's central claim across
+   the zoo: on [zoo_gate_kernel] WARDen's inv+down traffic must sit
+   strictly below directory MESI's eager invalidations *and* below SI/SD's
+   fence-driven self-invalidation sweeps — cheaper than both the eager and
+   the lazy extreme, not merely different. *)
+let zoo_kernels = [ "fib"; "msort"; "quickhull"; "palindrome" ]
+let zoo_gate_kernel = "msort"
+
+(* JSON key fragment for a protocol ("msi-bus" -> "msi_bus"). *)
+let zoo_key_proto p =
+  String.map (fun c -> if c = '-' then '_' else c) (Exp.proto_name p)
+
+(* Every violated traffic comparison on the gate kernel — all of them, so
+   one CI log diagnoses the whole four-protocol failure. *)
+let zoo_gate_failures ~traffic =
+  List.filter_map
+    (fun rival ->
+      let w = traffic `Warden and r = traffic rival in
+      Printf.printf "zoo gate: %s inv+down: warden %d vs %s %d -> %s\n"
+        zoo_gate_kernel w (Exp.proto_name rival) r
+        (if w < r then "strictly below" else "NOT BELOW");
+      if w < r then None
+      else
+        Some
+          (Printf.sprintf
+             "warden inv+down (%d) is not strictly below %s's (%d) on %s" w
+             (Exp.proto_name rival) r zoo_gate_kernel))
+    [ `Mesi; `Sisd ]
+
+let run_zoo_mode () =
+  section "Protocol zoo: fig7/8 kernels under every coherence protocol";
+  let names =
+    match filter_names with
+    | None -> zoo_kernels
+    | Some ns -> (
+        match List.filter (fun n -> List.mem n ns) zoo_kernels with
+        | [] -> zoo_kernels
+        | picked -> picked)
+  in
+  let config = Config.dual_socket () in
+  let cells =
+    List.map
+      (fun n ->
+        let spec = Option.get (Warden_pbbs.Suite.find n) in
+        let t0 = Unix.gettimeofday () in
+        let rs = Exp.run_zoo ~quick ~jobs ~config spec in
+        (n, (List.combine Exp.zoo rs, Unix.gettimeofday () -. t0)))
+      names
+  in
+  List.iter
+    (fun (n, (rs, _)) ->
+      let base = List.assoc `Mesi rs in
+      Printf.printf "%s:\n  %-8s %12s %9s %10s %9s %14s\n" n "proto" "cycles"
+        "vs-mesi" "inv+down" "vs-mesi" "energy (pJ)";
+      List.iter
+        (fun (p, r) ->
+          Printf.printf "  %-8s %12d %8.3fx %10d %8.2fx %14.1f\n"
+            (Exp.proto_name p) r.Exp.cycles
+            (float_of_int base.Exp.cycles /. float_of_int (max 1 r.Exp.cycles))
+            (Exp.inv_down r)
+            (float_of_int (Exp.inv_down r)
+            /. float_of_int (max 1 (Exp.inv_down base)))
+            r.Exp.energy_total_pj)
+        rs)
+    cells;
+  let verified =
+    List.for_all
+      (fun (_, (rs, _)) -> List.for_all (fun (_, r) -> r.Exp.verified) rs)
+      cells
+  in
+  let failures = ref (if verified then [] else [ "a zoo run failed result \
+                                                 verification" ]) in
+  let gated = List.mem_assoc zoo_gate_kernel cells in
+  (if not gated then
+     Printf.printf
+       "note: gate kernel %s filtered out; the traffic gate did not run\n"
+       zoo_gate_kernel
+   else
+     let rs, _ = List.assoc zoo_gate_kernel cells in
+     let traffic p = Exp.inv_down (List.assoc p rs) in
+     failures := !failures @ zoo_gate_failures ~traffic);
+  (* Flat snapshot: per-kernel host walls gate under the ordinary
+     [compare] budgets; the per-cell traffic/cycles/energy keys feed
+     [compare --zoo] and the EXPERIMENTS.md figure. *)
+  let wall = List.fold_left (fun a (_, (_, w)) -> a +. w) 0. cells in
+  let instrs =
+    List.fold_left
+      (fun a (_, (rs, _)) ->
+        List.fold_left (fun a (_, r) -> a + r.Exp.instructions) a rs)
+      0 cells
+  in
+  let cycles =
+    List.fold_left
+      (fun a (_, (rs, _)) ->
+        List.fold_left (fun a (_, r) -> a + r.Exp.cycles) a rs)
+      0 cells
+  in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\n";
+  addf "  \"jobs\": %d,\n" jobs;
+  addf "  \"sim_domains\": %d,\n" sim_domains;
+  addf "  \"obs_level\": \"%s\",\n" obs_level;
+  addf "  \"kernels_ms_per_run\": {\n";
+  List.iteri
+    (fun i (n, (_, w)) ->
+      addf "    \"zoo:%s\": %.3f%s\n" n (w *. 1e3)
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  addf "  },\n";
+  addf "  \"zoo_gate_kernel\": \"%s\",\n" zoo_gate_kernel;
+  addf "  \"zoo_gated\": %d,\n" (if gated then 1 else 0);
+  addf "  \"zoo_verified\": %d,\n" (if verified then 1 else 0);
+  List.iter
+    (fun (n, (rs, _)) ->
+      List.iter
+        (fun (p, r) ->
+          let kp = zoo_key_proto p in
+          addf "  \"zoo_%s_%s_invdown\": %d,\n" n kp (Exp.inv_down r);
+          addf "  \"zoo_%s_%s_cycles\": %d,\n" n kp r.Exp.cycles;
+          addf "  \"zoo_%s_%s_energy_pj\": %.1f,\n" n kp r.Exp.energy_total_pj)
+        rs)
+    cells;
+  addf "  \"quick_suite_wall_s\": %.3f,\n" wall;
+  addf "  \"quick_suite_sim_instructions\": %d,\n" instrs;
+  addf "  \"quick_suite_sim_cycles\": %d,\n" cycles;
+  addf "  \"sim_mips\": %.3f\n"
+    (if wall > 0. then float_of_int instrs /. wall /. 1e6 else 0.);
+  addf "}\n";
+  let oc = open_out "BENCH_zoo.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote BENCH_zoo.json\n%!";
+  match !failures with
+  | [] -> Printf.printf "ok: zoo gate passed\n"
+  | fs ->
+      List.iter (fun f -> Printf.printf "REGRESSION: %s\n" f) fs;
+      Printf.printf "ZOO GATE FAILED (%d problem(s) above)\n" (List.length fs);
+      exit 1
+
+(* [compare --zoo [FILE]]: re-run the traffic gate over an existing
+   BENCH_zoo.json. Missing keys and violated comparisons are all
+   accumulated and reported before the non-zero exit. *)
+let run_compare_zoo () =
+  let file = match snapshot_args with [] -> "BENCH_zoo.json" | f :: _ -> f in
+  let s = slurp file in
+  let problems = ref [] in
+  let number key =
+    match scan_number s key with
+    | Some f -> Some f
+    | None ->
+        problems := Printf.sprintf "no numeric \"%s\" in %s" key file
+                    :: !problems;
+        None
+  in
+  (match number "zoo_verified" with
+  | Some 1. | None -> ()
+  | Some _ -> problems := "snapshot reports zoo_verified = 0" :: !problems);
+  (match number "zoo_gated" with
+  | Some 0. ->
+      problems :=
+        "snapshot was taken with the gate kernel filtered out" :: !problems
+  | _ -> ());
+  let traffic p =
+    number
+      (Printf.sprintf "zoo_%s_%s_invdown" zoo_gate_kernel (zoo_key_proto p))
+  in
+  let w = traffic `Warden in
+  List.iter
+    (fun rival ->
+      match (w, traffic rival) with
+      | Some w, Some r ->
+          Printf.printf "zoo gate: %s inv+down: warden %.0f vs %s %.0f -> %s\n"
+            zoo_gate_kernel w (Exp.proto_name rival) r
+            (if w < r then "strictly below" else "NOT BELOW");
+          if not (w < r) then
+            problems :=
+              Printf.sprintf
+                "warden inv+down (%.0f) is not strictly below %s's (%.0f) on \
+                 %s"
+                w (Exp.proto_name rival) r zoo_gate_kernel
+              :: !problems
+      | _ -> ())
+    [ `Mesi; `Sisd ];
+  match List.rev !problems with
+  | [] -> Printf.printf "ok: zoo gate passed (%s)\n" file
+  | ps ->
+      List.iter (fun p -> Printf.printf "REGRESSION: %s\n" p) ps;
+      Printf.printf "ZOO GATE FAILED (%d problem(s) above)\n" (List.length ps);
+      exit 1
+
 let () =
   if compare_mode && Cliscan.has cli "--overhead" then run_overhead ()
   else if compare_mode && Cliscan.has cli "--scaling" then run_compare_scaling ()
+  else if compare_mode && Cliscan.has cli "--zoo" then run_compare_zoo ()
   else if compare_mode then run_compare ()
   else if scaling_mode then run_sim_scaling ()
   else if scale_mode then run_scale ()
   else if serve_mode then run_serve ()
   else if replay_mode then run_replay ()
+  else if zoo_mode then run_zoo_mode ()
   else if json_mode then run_json ()
   else begin
     Printf.printf

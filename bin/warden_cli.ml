@@ -119,7 +119,14 @@ let cap_jobs jobs =
     jobs
 
 let exit_of_bool ok = if ok then 0 else 1
-let proto_name = function `Mesi -> "mesi" | `Warden -> "warden"
+let proto_name = Exp.proto_name
+
+let proto_of_string = function
+  | "mesi" -> `Mesi
+  | "warden" -> `Warden
+  | "msi-bus" | "msibus" | "msi_bus" -> `Msi_bus
+  | "sisd" -> `Sisd
+  | p -> failwith ("unknown protocol " ^ p)
 
 (* --- snapshots (DESIGN.md §15) ------------------------------------------- *)
 
@@ -147,8 +154,9 @@ let snapshot_in_arg =
            $(b,--proto).")
 
 let require_single_proto ~snap_in ~snap_out proto =
-  if (snap_in <> None || snap_out <> None) && proto = "both" then
-    failwith "--snapshot-in/--snapshot-out need --proto mesi or --proto warden"
+  if (snap_in <> None || snap_out <> None) && (proto = "both" || proto = "all")
+  then
+    failwith "--snapshot-in/--snapshot-out need a single --proto"
 
 let apply_snapshot_in eng = function
   | None -> ()
@@ -189,7 +197,10 @@ let bench_cmd =
     Arg.(
       value
       & opt string "both"
-      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden or both.")
+      & info [ "proto"; "p" ]
+          ~doc:
+            "Protocol: mesi, warden, msi-bus, sisd, both (mesi+warden), or \
+             all (the whole zoo, with a cross-protocol comparison).")
   in
   let scale_arg =
     Arg.(
@@ -232,20 +243,26 @@ let bench_cmd =
       Printf.printf
         "%s/%s on %s: %s in %d cycles (%.2fs host)\n\
         \  instrs %d  IPC %.3f  l1-hits %d  l2-hits %d  misses %d\n\
-        \  inv %d  down %d  msgs %d  ward-grants %d  reconciled %d\n\
+        \  inv %d  down %d  self-inv %d  self-down %d  msgs %d  \
+         ward-grants %d  reconciled %d\n\
         \  energy: processor %.3f mJ, network %.3f mJ\n"
-        name
-        (match proto with `Mesi -> "mesi" | `Warden -> "warden")
-        config.Config.name
+        name (proto_name proto) config.Config.name
         (if ok then "verified" else "FAILED VERIFICATION")
         ss.Sstats.cycles host ss.Sstats.instructions (Sstats.ipc ss)
         ss.Sstats.l1_hits ss.Sstats.l2_hits ss.Sstats.priv_misses
         ps.Warden_proto.Pstats.invalidations ps.Warden_proto.Pstats.downgrades
+        ps.Warden_proto.Pstats.self_invs ps.Warden_proto.Pstats.self_downs
         (Warden_proto.Pstats.total_msgs ps)
         ps.Warden_proto.Pstats.ward_grants ps.Warden_proto.Pstats.recon_blocks
         (Energy.processor_pj en /. 1e9)
         (Energy.network_pj en /. 1e9);
-      (ok, ss.Sstats.cycles, (proto_name proto, Memsys.obs ms))
+      let coh =
+        ps.Warden_proto.Pstats.invalidations
+        + ps.Warden_proto.Pstats.downgrades
+        + ps.Warden_proto.Pstats.self_invs
+        + ps.Warden_proto.Pstats.self_downs
+      in
+      (ok, ss.Sstats.cycles, coh, (proto_name proto, Memsys.obs ms))
     in
     let emit_trace runs =
       match trace_out with
@@ -257,22 +274,38 @@ let bench_cmd =
                runs)
     in
     match proto with
-    | "mesi" ->
-        let ok, _, run = one `Mesi in
-        emit_trace [ run ];
-        exit_of_bool ok
-    | "warden" ->
-        let ok, _, run = one `Warden in
-        emit_trace [ run ];
-        exit_of_bool ok
     | "both" ->
-        let ok_m, cy_m, run_m = one `Mesi in
-        let ok_w, cy_w, run_w = one `Warden in
+        let ok_m, cy_m, _, run_m = one `Mesi in
+        let ok_w, cy_w, _, run_w = one `Warden in
         Printf.printf "speedup (mesi/warden): %.3fx\n"
           (float_of_int cy_m /. float_of_int cy_w);
         emit_trace [ run_m; run_w ];
         exit_of_bool (ok_m && ok_w)
-    | p -> failwith ("unknown protocol " ^ p)
+    | "all" | "zoo" ->
+        (* The cross-protocol comparison: every protocol runs the same
+           benchmark; cycles and coherence-maintenance traffic (inv+down,
+           with the SI/SD self-events on the same axis) line up against
+           the MESI baseline. *)
+        let rs = List.map (fun p -> (p, one p)) Exp.zoo in
+        (match rs with
+        | (_, (_, cy_m, coh_m, _)) :: _ ->
+            Printf.printf "\n%-8s %12s %10s %12s %10s\n" "proto" "cycles"
+              "vs mesi" "inv+down" "vs mesi";
+            List.iter
+              (fun (p, (_, cy, coh, _)) ->
+                Printf.printf "%-8s %12d %9.3fx %12d %9.2fx\n" (proto_name p)
+                  cy
+                  (float_of_int cy_m /. float_of_int (max 1 cy))
+                  coh
+                  (float_of_int coh /. float_of_int (max 1 coh_m)))
+              rs
+        | [] -> ());
+        emit_trace (List.map (fun (_, (_, _, _, run)) -> run) rs);
+        exit_of_bool (List.for_all (fun (_, (ok, _, _, _)) -> ok) rs)
+    | p ->
+        let ok, _, _, run = one (proto_of_string p) in
+        emit_trace [ run ];
+        exit_of_bool ok
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run one benchmark and print its statistics.")
@@ -391,7 +424,7 @@ let serve_cmd =
     Arg.(
       value
       & opt string "both"
-      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden or both.")
+      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden, msi-bus, sisd, both, or all.")
   in
   let json_arg =
     Arg.(
@@ -429,10 +462,9 @@ let serve_cmd =
     in
     let protos =
       match proto with
-      | "mesi" -> [ `Mesi ]
-      | "warden" -> [ `Warden ]
       | "both" -> [ `Mesi; `Warden ]
-      | pr -> failwith ("unknown protocol " ^ pr)
+      | "all" | "zoo" -> (Exp.zoo :> [ `Mesi | `Warden | `Msi_bus | `Sisd ] list)
+      | pr -> [ proto_of_string pr ]
     in
     match curve with
     | Some cores ->
@@ -560,20 +592,15 @@ let profile_serve ~config ~proto ~scale ~workers ~quick ~trace_out =
              runs)
   in
   match proto with
-  | "mesi" ->
-      let ok, run = one `Mesi in
-      emit_trace [ run ];
-      exit_of_bool ok
-  | "warden" ->
-      let ok, run = one `Warden in
-      emit_trace [ run ];
-      exit_of_bool ok
   | "both" ->
       let ok_m, run_m = one `Mesi in
       let ok_w, run_w = one `Warden in
       emit_trace [ run_m; run_w ];
       exit_of_bool (ok_m && ok_w)
-  | p -> failwith ("unknown protocol " ^ p)
+  | p ->
+      let ok, run = one (proto_of_string p) in
+      emit_trace [ run ];
+      exit_of_bool ok
 
 let profile_cmd =
   let name_arg =
@@ -587,7 +614,7 @@ let profile_cmd =
     Arg.(
       value
       & opt string "both"
-      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden or both.")
+      & info [ "proto"; "p" ] ~doc:"Protocol: mesi, warden, msi-bus, sisd, both, or all.")
   in
   let scale_arg =
     Arg.(
@@ -641,20 +668,15 @@ let profile_cmd =
                runs)
     in
     match proto with
-    | "mesi" ->
-        let ok, run = one `Mesi in
-        emit_trace [ run ];
-        exit_of_bool ok
-    | "warden" ->
-        let ok, run = one `Warden in
-        emit_trace [ run ];
-        exit_of_bool ok
     | "both" ->
         let ok_m, run_m = one `Mesi in
         let ok_w, run_w = one `Warden in
         emit_trace [ run_m; run_w ];
         exit_of_bool (ok_m && ok_w)
-    | p -> failwith ("unknown protocol " ^ p)
+    | p ->
+        let ok, run = one (proto_of_string p) in
+        emit_trace [ run ];
+        exit_of_bool ok
     end
   in
   Cmd.v
@@ -843,9 +865,9 @@ let replay_cmd =
       & opt (some string) None
       & info [ "proto"; "p" ]
           ~doc:
-            "Protocol: mesi or warden. Recording defaults to warden; replay \
-             defaults to the protocol the trace was recorded under. \
-             Replaying onto the other protocol is the trace-driven A/B \
+            "Protocol: mesi, warden, msi-bus or sisd. Recording defaults to \
+             warden; replay defaults to the protocol the trace was recorded \
+             under. Replaying onto another protocol is the trace-driven A/B \
              comparison.")
   in
   let scale_arg =
@@ -868,11 +890,7 @@ let replay_cmd =
   in
   let run file record proto machine scale stats_out =
     let config = machine_of machine in
-    let proto_of = function
-      | "mesi" -> `Mesi
-      | "warden" -> `Warden
-      | p -> failwith ("unknown protocol " ^ p)
-    in
+    let proto_of = proto_of_string in
     let write_stats ms =
       match stats_out with
       | None -> ()
@@ -993,7 +1011,10 @@ let check_cmd =
     Arg.(
       value & opt string "all"
       & info [ "proto"; "p" ]
-          ~doc:"Configuration: mesi, warden, equiv, or all.")
+          ~doc:
+            "Configuration: mesi, warden, msi-bus, sisd, equiv (MESI=WARDen \
+             lockstep), msi-lockstep (snooping-MSI=MESI data lockstep), or \
+             all.")
   in
   let machine_arg =
     Arg.(
@@ -1029,8 +1050,19 @@ let check_cmd =
       match proto with
       | "mesi" -> [ mk Check.mesi ]
       | "warden" -> [ mk Check.warden ]
+      | "msi-bus" | "msibus" | "msi_bus" -> [ mk Check.msi_bus ]
+      | "sisd" -> [ mk Check.sisd ]
       | "equiv" | "equivalence" -> [ mk Check.equivalence ]
-      | "all" -> [ mk Check.mesi; mk Check.warden; mk Check.equivalence ]
+      | "msi-lockstep" | "msi_lockstep" -> [ mk Check.msi_lockstep ]
+      | "all" ->
+          [
+            mk Check.mesi;
+            mk Check.warden;
+            mk Check.msi_bus;
+            mk Check.sisd;
+            mk Check.equivalence;
+            mk Check.msi_lockstep;
+          ]
       | p -> failwith ("unknown check configuration " ^ p)
     in
     let one (cfg : Check.cfg) =

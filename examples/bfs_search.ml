@@ -83,7 +83,11 @@ let () =
     in
     let cycles = (Memsys.sstats ms).Sstats.cycles in
     Printf.printf "%-6s: found vertex %d in %d cycles\n"
-      (match proto with `Mesi -> "MESI" | `Warden -> "WARDen")
+      (match proto with
+      | `Mesi -> "MESI"
+      | `Warden -> "WARDen"
+      | `Msi_bus -> "MSI-bus"
+      | `Sisd -> "SI/SD")
       hit cycles;
     (hit, cycles)
   in

@@ -50,7 +50,11 @@ let run_under proto =
   Printf.printf
     "%-6s: sum=%d  cycles=%d  instructions=%d  IPC=%.2f\n\
     \        forks=%d steals=%d | invalidations=%d downgrades=%d ward-grants=%d\n"
-    (match proto with `Mesi -> "MESI" | `Warden -> "WARDen")
+    (match proto with
+    | `Mesi -> "MESI"
+    | `Warden -> "WARDen"
+    | `Msi_bus -> "MSI-bus"
+    | `Sisd -> "SI/SD")
     total ss.Sstats.cycles ss.Sstats.instructions (Sstats.ipc ss)
     rstats.Par.forks rstats.Par.steals ps.Warden_proto.Pstats.invalidations
     ps.Warden_proto.Pstats.downgrades ps.Warden_proto.Pstats.ward_grants;

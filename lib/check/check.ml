@@ -12,20 +12,47 @@ type cfg = {
   machine : Config.t;
   mk : Fabric.t -> Protocol.t;
   lockstep : (Fabric.t -> Protocol.t) option;
+  data_only : bool;
 }
 
 let base ~name ~mk ~lockstep ?(cores = 3) ?(blks = 2) ?(regions = 2)
     ?(store_cap = 1) ?(machine = Config.dual_socket ()) () =
-  { name; cores; blks; regions; store_cap; region_cap = 1; machine; mk; lockstep }
+  {
+    name;
+    cores;
+    blks;
+    regions;
+    store_cap;
+    region_cap = 1;
+    machine;
+    mk;
+    lockstep;
+    data_only = false;
+  }
 
 let mesi = base ~name:"mesi" ~mk:Protocol.mesi ~lockstep:None
 
 let warden =
   base ~name:"warden" ~mk:Warden_core.Warden.protocol ~lockstep:None
 
+let msi_bus = base ~name:"msi-bus" ~mk:Msi_bus.protocol ~lockstep:None
+let sisd = base ~name:"sisd" ~mk:Sisd.protocol ~lockstep:None
+
 let equivalence =
   base ~name:"mesi=warden" ~mk:Warden_core.Warden.protocol
     ~lockstep:(Some Protocol.mesi)
+
+(* Snooping MSI against directory MESI, data-only: the contents they agree
+   on are the coherence contract; grant states (S where MESI grants E) and
+   costs (bus arbitration vs hop latency) are architecturally free. *)
+let msi_lockstep ?cores ?blks ?regions ?store_cap ?machine () =
+  {
+    (base ~name:"msi-bus=mesi" ~mk:Msi_bus.protocol
+       ~lockstep:(Some Protocol.mesi) ?cores ?blks ?regions ?store_cap
+       ?machine ())
+    with
+    data_only = true;
+  }
 
 let of_protocol ~name ~mk = base ~name ~mk ~lockstep:None
 
@@ -68,13 +95,15 @@ let describe op (r : World.result) =
         (Option.value ~default:0L r.World.value)
   | Op.Evict _ -> if r.World.accepted then "ok" else "no copy"
   | Op.Region_add _ -> if r.World.accepted then "accepted" else "rejected"
-  | Op.Region_remove _ -> Printf.sprintf "lat=%d" r.World.latency
+  | Op.Region_remove _ | Op.Acquire _ | Op.Release _ ->
+      Printf.sprintf "lat=%d" r.World.latency
 
 (* Apply one op; returns a rendering of the result(s) plus any per-op
    lockstep divergence (cost-and-value equivalence, checked only for the
-   memory operations — region instructions are architecturally free to
-   differ in cost between the two protocols). *)
-let step sys op =
+   memory operations — region instructions and fences are architecturally
+   free to differ in cost between the two protocols; [data_only] configs
+   skip the latency comparison too). *)
+let step cfg sys op =
   match sys with
   | One w -> (describe op (World.apply w op), [])
   | Two (a, b) ->
@@ -83,7 +112,7 @@ let step sys op =
       let errs = ref [] in
       (match op with
       | Op.Load _ | Op.Store _ ->
-          if ra.World.latency <> rb.World.latency then
+          if (not cfg.data_only) && ra.World.latency <> rb.World.latency then
             errs :=
               Printf.sprintf "%s: latency diverges: %d (%s) vs %d (%s)"
                 (Op.to_string op) ra.World.latency
@@ -97,13 +126,19 @@ let step sys op =
                 (Option.value ~default:(-1L) ra.World.value)
                 (Option.value ~default:(-1L) rb.World.value)
               :: !errs
-      | Op.Evict _ | Op.Region_add _ | Op.Region_remove _ -> ());
+      | Op.Evict _ | Op.Region_add _ | Op.Region_remove _ | Op.Acquire _
+      | Op.Release _ ->
+          ());
       ( Printf.sprintf "%s | %s" (describe op ra) (describe op rb),
         List.rev !errs )
 
-let audit = function
+let audit cfg = function
   | One w -> World.check w
-  | Two (a, b) -> World.check a @ World.check b @ World.compare_states a b
+  | Two (a, b) ->
+      World.check a @ World.check b
+      @
+      if cfg.data_only then World.compare_data a b
+      else World.compare_states a b
 
 let key = function One w -> World.key w | Two (a, b) -> World.key a ^ World.key b
 
@@ -135,8 +170,8 @@ let run_fails cfg ops =
   let rec go = function
     | [] -> None
     | op :: rest -> (
-        let _, step_errs = step sys op in
-        match step_errs @ audit sys with [] -> go rest | errs -> Some errs)
+        let _, step_errs = step cfg sys op in
+        match step_errs @ audit cfg sys with [] -> go rest | errs -> Some errs)
   in
   go ops
 
@@ -145,8 +180,8 @@ let failing_prefix cfg ops =
   let rec go acc = function
     | [] -> None
     | op :: rest ->
-        let _, step_errs = step sys op in
-        if step_errs @ audit sys <> [] then Some (List.rev (op :: acc))
+        let _, step_errs = step cfg sys op in
+        if step_errs @ audit cfg sys <> [] then Some (List.rev (op :: acc))
         else go (op :: acc) rest
   in
   go [] ops
@@ -177,7 +212,7 @@ let render cfg ops violations =
   let sys = make cfg in
   List.iteri
     (fun i op ->
-      let desc, step_errs = step sys op in
+      let desc, step_errs = step cfg sys op in
       Buffer.add_string b
         (Printf.sprintf "  %2d. %-18s %s\n" (i + 1) (Op.to_string op) desc);
       List.iter
@@ -208,7 +243,7 @@ exception Found of Op.t list
    they just aren't expanded (and clear the [complete] flag). *)
 let explore cfg ~depth =
   let init = make cfg in
-  match audit init with
+  match audit cfg init with
   | _ :: _ as errs ->
       Fail { ops = []; violations = errs; trace = render cfg [] errs }
   | [] -> (
@@ -227,8 +262,8 @@ let explore cfg ~depth =
               (fun op ->
                 incr transitions;
                 let child = copy_sys sys in
-                let _, step_errs = step child op in
-                let errs = step_errs @ audit child in
+                let _, step_errs = step cfg child op in
+                let errs = step_errs @ audit cfg child in
                 if errs <> [] then raise (Found (List.rev (op :: path)));
                 let k = key child in
                 if not (Hashtbl.mem visited k) then begin
@@ -260,8 +295,8 @@ let fuzz cfg ~steps ~seed =
           let op = List.nth en (Splitmix.int rng (List.length en)) in
           ops_rev := op :: !ops_rev;
           incr executed;
-          let _, step_errs = step sys op in
-          if step_errs @ audit sys <> [] then
+          let _, step_errs = step cfg sys op in
+          if step_errs @ audit cfg sys <> [] then
             raise (Found (List.rev !ops_rev));
           Hashtbl.replace seen (key sys) ()
     done;

@@ -41,6 +41,13 @@ type cfg = {
           shifted past the accessed blocks so neither protocol puts a
           checked block under WARD — this is the MESI ≡ WARDen
           equivalence mode. *)
+  data_only : bool;
+      (** Relax a lockstep pair to data equivalence: skip the latency
+          comparison and use {!World.compare_data} (residency, state
+          class, bytes, memory image) instead of exact state equality.
+          The snooping-MSI ≡ MESI mode needs this — bus arbitration costs
+          differently than directory hops, and MSI grants S where MESI
+          grants E. *)
 }
 
 val mesi :
@@ -67,6 +74,29 @@ val warden :
   cfg
 (** WARDen alone, regions over the checked blocks (W states exercised). *)
 
+val msi_bus :
+  ?cores:int ->
+  ?blks:int ->
+  ?regions:int ->
+  ?store_cap:int ->
+  ?machine:Config.t ->
+  unit ->
+  cfg
+(** The snooping shared-bus MSI protocol alone (region instructions retire
+    as no-ops, so the explored alphabet matches {!mesi}'s). *)
+
+val sisd :
+  ?cores:int ->
+  ?blks:int ->
+  ?regions:int ->
+  ?store_cap:int ->
+  ?machine:Config.t ->
+  unit ->
+  cfg
+(** SI/SD alone. The world appends {!Op.Acquire}/{!Op.Release} to the
+    alphabet and swaps the SWMR/directory invariants for the
+    acquire/release-aware oracle (see {!World}). *)
+
 val equivalence :
   ?cores:int ->
   ?blks:int ->
@@ -77,6 +107,19 @@ val equivalence :
   cfg
 (** MESI and WARDen in lockstep on region-free blocks: both must produce
     identical latencies, values, and cache/directory states. *)
+
+val msi_lockstep :
+  ?cores:int ->
+  ?blks:int ->
+  ?regions:int ->
+  ?store_cap:int ->
+  ?machine:Config.t ->
+  unit ->
+  cfg
+(** Snooping MSI and directory MESI in lockstep, [data_only]: every
+    interleaving must leave both with the same copies, bytes, dirty masks
+    and effective memory — the flush-on-snoop discipline keeping the MSI
+    LLC exactly where MESI's directory puts it. *)
 
 val of_protocol :
   name:string ->

@@ -4,6 +4,8 @@ type t =
   | Evict of { core : int; blk : int }
   | Region_add of int
   | Region_remove of int
+  | Acquire of int
+  | Release of int
 
 let to_string = function
   | Load { core; blk } -> Printf.sprintf "load c%d b%d" core blk
@@ -11,6 +13,8 @@ let to_string = function
   | Evict { core; blk } -> Printf.sprintf "evict c%d b%d" core blk
   | Region_add r -> Printf.sprintf "region-add r%d" r
   | Region_remove r -> Printf.sprintf "region-remove r%d" r
+  | Acquire c -> Printf.sprintf "acquire c%d" c
+  | Release c -> Printf.sprintf "release c%d" c
 
 let pp fmt op = Format.pp_print_string fmt (to_string op)
 
@@ -37,5 +41,16 @@ let all ~cores ~blks ~regions =
     for blk = blks - 1 downto 0 do
       acc := Load { core; blk } :: Store { core; blk } :: Evict { core; blk } :: !acc
     done
+  done;
+  !acc
+
+(* The fence alphabet — only [`Self] protocols give acquire/release an
+   architectural effect, so the world appends these for those alone (the
+   directory and snooping state spaces, and their pinned closure sizes,
+   are untouched). *)
+let sync ~cores =
+  let acc = ref [] in
+  for core = cores - 1 downto 0 do
+    acc := Acquire core :: Release core :: !acc
   done;
   !acc

@@ -14,6 +14,8 @@ type t =
   | Evict of { core : int; blk : int }
   | Region_add of int  (** add predefined region range [r] *)
   | Region_remove of int  (** remove predefined region range [r] *)
+  | Acquire of int  (** acquire fence by core [c] (self-invalidation) *)
+  | Release of int  (** release fence by core [c] (self-downgrade) *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
@@ -25,4 +27,11 @@ val region_blocks : blks:int -> int -> int * int
     belonging to several live regions at once). *)
 
 val all : cores:int -> blks:int -> regions:int -> t list
-(** Every operation of the alphabet, in a fixed enumeration order. *)
+(** Every memory/region operation of the alphabet, in a fixed enumeration
+    order. Fence operations are separate ({!sync}) — the world appends
+    them only for protocols whose {!Warden_proto.Protocol.S.kind} is
+    [`Self], keeping the directory and snooping state spaces (and their
+    pinned closure sizes) unchanged. *)
+
+val sync : cores:int -> t list
+(** [Acquire c] and [Release c] for every core, in core order. *)

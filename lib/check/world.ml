@@ -28,6 +28,13 @@ type t = {
   llc : (int, Linedata.t) Hashtbl.t;
   counts : int array array; (* [core].(blk): committed stores *)
   active : int array; (* per region index: live activations *)
+  (* Fence monitor for [`Self] protocols: [synced.(c)] — every write core
+     [c] has committed is published in the LLC and none of its lines are
+     dirty (set by acquire/release, cleared by a store); [fresh.(c)] — the
+     core holds no lines at all (set by acquire, cleared by any access).
+     Untouched (and excluded from [key]) for other protocol kinds. *)
+  synced : bool array;
+  fresh : bool array;
   mutable nsteps : int;
 }
 
@@ -58,11 +65,18 @@ let decode v =
 
 let slot_off core = (core land 7) * 8
 
-let probe_of line = { Fabric.levels = 2; data = line.data }
+let probe_of line =
+  { Fabric.levels = 2; state = line.pstate; data = line.data }
 
 let mk_fabric ~machine ~(priv : (int, line) Hashtbl.t array)
     ~(llc : (int, Linedata.t) Hashtbl.t) =
-  let find_priv ~core ~blk = Hashtbl.find_opt priv.(core) blk in
+  (* Snooping protocols broadcast over every core of the [machine], which
+     may be wider than the model's [cores] — absent cores simply hold
+     nothing. *)
+  let find_priv ~core ~blk =
+    if core >= Array.length priv then None
+    else Hashtbl.find_opt priv.(core) blk
+  in
   let llc_line blk =
     match Hashtbl.find_opt llc blk with
     | Some l -> l
@@ -91,6 +105,10 @@ let mk_fabric ~machine ~(priv : (int, line) Hashtbl.t array)
         | Some line ->
             line.pstate <- States.P_S;
             Some (probe_of line));
+    iter_priv =
+      (fun ~core f ->
+        if core < Array.length priv then
+          Hashtbl.iter (fun blk _ -> f blk) priv.(core));
     read_shared =
       (fun ~blk ->
         match Hashtbl.find_opt llc blk with
@@ -119,6 +137,8 @@ let create cfg =
     llc;
     counts = Array.make_matrix cfg.cores cfg.blks 0;
     active = Array.make (max 1 cfg.regions) 0;
+    synced = Array.make cfg.cores true;
+    fresh = Array.make cfg.cores true;
     nsteps = 0;
   }
 
@@ -145,6 +165,8 @@ let copy t =
     llc;
     counts = Array.map Array.copy t.counts;
     active = Array.copy t.active;
+    synced = Array.copy t.synced;
+    fresh = Array.copy t.fresh;
     nsteps = t.nsteps;
   }
 
@@ -153,7 +175,13 @@ let region_range t r =
   ( Addr.base_of_block (t.cfg.region_base + lo_b),
     Addr.base_of_block (t.cfg.region_base + hi_b) )
 
+let is_self t = Protocol.kind t.proto = `Self
+
 let enabled t =
+  let base = Op.all ~cores:t.cfg.cores ~blks:t.cfg.blks ~regions:t.cfg.regions in
+  let alphabet =
+    if is_self t then base @ Op.sync ~cores:t.cfg.cores else base
+  in
   List.filter
     (fun op ->
       match op with
@@ -162,8 +190,11 @@ let enabled t =
           t.cfg.store_cap <= 0 || t.counts.(core).(blk) < t.cfg.store_cap
       | Op.Evict { core; blk } -> Hashtbl.mem t.priv.(core) blk
       | Op.Region_add r -> t.active.(r) < t.cfg.region_cap
-      | Op.Region_remove r -> t.active.(r) > 0)
-    (Op.all ~cores:t.cfg.cores ~blks:t.cfg.blks ~regions:t.cfg.regions)
+      | Op.Region_remove r -> t.active.(r) > 0
+      (* Fences are idempotent; only explore ones that can change state. *)
+      | Op.Acquire c -> not t.fresh.(c)
+      | Op.Release c -> not t.synced.(c))
+    alphabet
 
 let install t ~core ~blk (g : Mesi.grant) =
   if not (Mesi.has_fill g) then
@@ -175,8 +206,10 @@ let install t ~core ~blk (g : Mesi.grant) =
 
 let apply t op =
   t.nsteps <- t.nsteps + 1;
+  let self = is_self t in
   match op with
   | Op.Load { core; blk } ->
+      if self then t.fresh.(core) <- false;
       let line, latency =
         match Hashtbl.find_opt t.priv.(core) blk with
         | Some line -> (line, 0) (* every pstate permits a read *)
@@ -190,6 +223,10 @@ let apply t op =
       let v = Linedata.load line.data ~off:(slot_off core) ~size:8 in
       { latency; value = Some v; accepted = true }
   | Op.Store { core; blk } ->
+      if self then begin
+        t.fresh.(core) <- false;
+        t.synced.(core) <- false
+      end;
       let line, latency =
         match Hashtbl.find_opt t.priv.(core) blk with
         | Some line -> (
@@ -241,6 +278,17 @@ let apply t op =
       let latency = Protocol.region_remove t.proto ~lo ~hi in
       if t.active.(r) > 0 then t.active.(r) <- t.active.(r) - 1;
       { latency; value = None; accepted = true }
+  | Op.Acquire core ->
+      let latency = Protocol.acquire t.proto ~core in
+      if self then begin
+        t.fresh.(core) <- true;
+        t.synced.(core) <- true
+      end;
+      { latency; value = None; accepted = true }
+  | Op.Release core ->
+      let latency = Protocol.release t.proto ~core in
+      if self then t.synced.(core) <- true;
+      { latency; value = None; accepted = true }
 
 (* ---- invariants ---------------------------------------------------------- *)
 
@@ -279,13 +327,17 @@ let pstate_name = function
 let check t =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let self = is_self t in
   for blk = 0 to t.cfg.blks - 1 do
     let v = Protocol.observe t.proto ~blk in
     let ward = Protocol.is_ward t.proto ~blk in
     let hs = holders t blk in
     let show_cores cs = String.concat "," (List.map string_of_int cs) in
-    (* 1. directory / private-cache agreement *)
-    (match v.Protocol.bv_state with
+    (* 1. directory / private-cache agreement. A [`Self] protocol has no
+       directory — its [observe] is reconstructed from the very caches we
+       would compare it against, so the check is vacuous there. *)
+    (if not self then
+    match v.Protocol.bv_state with
     | States.D_I ->
         if hs <> [] then
           err "blk %d: directory I but copies at [%s]" blk (show_cores hs)
@@ -340,8 +392,11 @@ let check t =
           hs);
     if v.Protocol.bv_state <> States.D_W && v.Protocol.bv_wmulti then
       err "blk %d: w_multi flag survives outside the W state" blk;
-    (* 2. SWMR among private copies, with the W-block exemption *)
-    if not ward then begin
+    (* 2. SWMR among private copies — exempting W blocks and [`Self]
+       protocols wholesale (multiple concurrent writers of disjoint
+       sectors are the point of SI/SD). Dirty-S stays in force for
+       everyone: an S copy always postdates a flush. *)
+    if not (ward || self) then begin
       let exclusive =
         List.filter
           (fun c ->
@@ -366,14 +421,19 @@ let check t =
         if line.pstate = States.P_S && Linedata.is_dirty line.data then
           err "blk %d: dirty S copy at core %d" blk c)
       hs;
-    (* 3. data values against the sequential oracle *)
+    (* 3. data values against the sequential oracle. W blocks and [`Self]
+       protocols share the relaxed regime: a copy must still read its own
+       writes, and anything else it shows must be some historical value of
+       that slot (no out-of-thin-air data). *)
+    let relaxed = ward || self in
+    let who = if ward then "W copy" else "SI/SD copy" in
     for slot = 0 to t.cfg.cores - 1 do
       let expect = oracle t ~blk ~slot in
       List.iter
         (fun c ->
           let line = Hashtbl.find t.priv.(c) blk in
           let got = Linedata.load line.data ~off:(slot_off slot) ~size:8 in
-          if not ward then begin
+          if not relaxed then begin
             if not (Int64.equal got expect) then
               err
                 "blk %d: stale data outside WARD: core %d sees %Ld in slot %d, \
@@ -384,19 +444,41 @@ let check t =
             (* read-your-writes inside the region *)
             if not (Int64.equal got expect) then
               err
-                "blk %d: W copy at core %d lost its own write: slot %d has \
+                "blk %d: %s at core %d lost its own write: slot %d has \
                  %Ld, oracle says %Ld"
-                blk c slot got expect
+                blk who c slot got expect
           end
           else if not (in_history t ~blk ~slot got) then
             err
-              "blk %d: W copy at core %d holds out-of-thin-air value %Ld in \
+              "blk %d: %s at core %d holds out-of-thin-air value %Ld in \
                slot %d"
-              blk c got slot)
+              blk who c got slot)
         hs;
-      (* With no exclusive owner, the next miss is served from the LLC:
-         outside WARD regions that must already be the oracle value. *)
-      if
+      if self then begin
+        (* The LLC is the publication point. Whenever core [slot] holds no
+           unflushed (dirty) copy of the block, everything it ever wrote
+           there has been merged — the LLC slot must equal the oracle. A
+           release fence makes that unconditional ([synced]): this is the
+           observable that catches a dropped self-downgrade. *)
+        let slot_dirty =
+          match Hashtbl.find_opt t.priv.(slot) blk with
+          | Some line -> Linedata.is_dirty line.data
+          | None -> false
+        in
+        if (not slot_dirty) || t.synced.(slot) then begin
+          let got = effective_slot t ~blk ~slot in
+          if not (Int64.equal got expect) then
+            err
+              "blk %d: LLC lost core %d's write: slot reads %Ld, oracle \
+               says %Ld"
+              blk slot got expect
+        end;
+        if t.synced.(slot) && slot_dirty then
+          err "blk %d: core %d still dirty after its release fence" blk slot
+      end
+      else if
+        (* With no exclusive owner, the next miss is served from the LLC:
+           outside WARD regions that must already be the oracle value. *)
         (not ward)
         && (v.Protocol.bv_state = States.D_I || v.Protocol.bv_state = States.D_S)
       then begin
@@ -409,6 +491,13 @@ let check t =
       end
     done
   done;
+  (* 4. fence postconditions ([`Self] only): an acquire leaves the core
+     holding nothing until its next access. *)
+  if self then
+    for c = 0 to t.cfg.cores - 1 do
+      if t.fresh.(c) && Hashtbl.length t.priv.(c) > 0 then
+        err "core %d holds lines despite a fresh acquire fence" c
+    done;
   List.rev !errs
 
 (* ---- canonical fingerprint ------------------------------------------------ *)
@@ -458,6 +547,13 @@ let key t =
     done
   done;
   Array.iter (fun a -> Buffer.add_uint8 b (min 255 a)) t.active;
+  (* The fence monitor is part of the [`Self] state: two worlds that
+     differ only in pending-publication status have different futures. *)
+  if is_self t then
+    for c = 0 to t.cfg.cores - 1 do
+      Buffer.add_uint8 b
+        ((if t.synced.(c) then 1 else 0) lor if t.fresh.(c) then 2 else 0)
+    done;
   Buffer.contents b
 
 (* ---- equivalence ---------------------------------------------------------- *)
@@ -498,6 +594,53 @@ let compare_states a b =
               (Int64.equal (Linedata.dirty_mask la.data)
                  (Linedata.dirty_mask lb.data))
           then err "blk %d: core %d dirty mask diverges" blk core
+    done
+  done;
+  List.rev !errs
+
+(* Data-only equivalence, for protocols that must agree on memory contents
+   but are architecturally free to differ in grant states and costs:
+   snooping MSI grants S where directory MESI grants E (both clean, both
+   silently upgradeable on this world's store path), and its directory
+   view is a reconstruction. Compared: residency, the M-vs-clean state
+   class, line bytes, dirty masks, and the effective memory image. *)
+let compare_data a b =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let blks = min a.cfg.blks b.cfg.blks in
+  let cores = min a.cfg.cores b.cfg.cores in
+  let cls = function
+    | States.P_M -> "M"
+    | States.P_E | States.P_S -> "clean"
+  in
+  for blk = 0 to blks - 1 do
+    for core = 0 to cores - 1 do
+      match
+        (Hashtbl.find_opt a.priv.(core) blk, Hashtbl.find_opt b.priv.(core) blk)
+      with
+      | None, None -> ()
+      | Some _, None | None, Some _ ->
+          err "blk %d: core %d holds a copy under %s only" blk core
+            (Protocol.name
+               (if Hashtbl.mem a.priv.(core) blk then a.proto else b.proto))
+      | Some la, Some lb ->
+          if cls la.pstate <> cls lb.pstate then
+            err "blk %d: core %d state class diverges: %s vs %s" blk core
+              (pstate_name la.pstate) (pstate_name lb.pstate);
+          if not (Bytes.equal (Linedata.bytes la.data) (Linedata.bytes lb.data))
+          then err "blk %d: core %d data diverges" blk core;
+          if
+            not
+              (Int64.equal (Linedata.dirty_mask la.data)
+                 (Linedata.dirty_mask lb.data))
+          then err "blk %d: core %d dirty mask diverges" blk core
+    done;
+    for slot = 0 to cores - 1 do
+      let va = effective_slot a ~blk ~slot
+      and vb = effective_slot b ~blk ~slot in
+      if not (Int64.equal va vb) then
+        err "blk %d: effective memory diverges in slot %d: %Ld vs %Ld" blk
+          slot va vb
     done
   done;
   List.rev !errs

@@ -25,7 +25,16 @@
       other slot it observes must be {e some} historical oracle value
       (no out-of-thin-air data);
     - that a retired region leaves no W state behind (region add/remove
-      round-trips restore a reconciled, MESI-consistent state). *)
+      round-trips restore a reconciled, MESI-consistent state).
+
+    Protocols whose {!Warden_proto.Protocol.S.kind} is [`Self] (SI/SD) are
+    driven with the fence operations {!Op.Acquire}/{!Op.Release} appended
+    to the alphabet and an acquire/release-aware oracle in place of the
+    directory-agreement and SWMR invariants: every copy still reads its
+    own writes and shows only historical values of other slots, the LLC
+    slot of any core without an unflushed copy equals the oracle, a
+    release fence leaves the core clean and fully published, and an
+    acquire fence leaves it holding nothing. *)
 
 open Warden_machine
 open Warden_proto
@@ -91,6 +100,13 @@ val compare_states : t -> t -> string list
     show: per-block directory views, holder sets, private-copy states,
     data, dirty masks, and wardness. Used by the MESI≡WARDen lockstep
     mode on region-free block ranges. *)
+
+val compare_data : t -> t -> string list
+(** Data-only divergence between two worlds: residency, the M-vs-clean
+    state class, line bytes, dirty masks, and the effective memory image —
+    but not exact grant states, directory views, or costs. Used by the
+    snooping-MSI ≡ directory-MESI lockstep mode, where MSI grants S on
+    paths MESI grants E and both are architecturally correct. *)
 
 val dump : t -> string
 (** Pretty-print the full state: protocol dump (directory + region CAM),

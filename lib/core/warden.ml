@@ -15,6 +15,7 @@ module P = struct
   }
 
   let name = "warden"
+  let kind = `Directory
 
   let create fabric =
     let cfg = fabric.Fabric.config in
@@ -139,6 +140,11 @@ module P = struct
     end
 
   let is_ward t ~blk = Regions.block_in t.regions blk
+
+  (* Eagerly coherent outside W regions, reconciled inside them: the
+     runtime's acquire/release fences need no architectural effect. *)
+  let acquire _ ~core:_ = 0
+  let release _ ~core:_ = 0
 
   (* Reconciliation of one W block at region removal (§5.2). Returns true
      if the block required a flush (and therefore costs latency). *)

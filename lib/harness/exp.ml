@@ -14,6 +14,8 @@ type run_result = {
   loads : int;
   invalidations : int;
   downgrades : int;
+  self_invs : int;
+  self_downs : int;
   messages : int;
   ward_grants : int;
   recon_blocks : int;
@@ -21,6 +23,20 @@ type run_result = {
   energy_processor_pj : float;
   energy_total_pj : float;
 }
+
+let proto_name = function
+  | `Mesi -> "mesi"
+  | `Warden -> "warden"
+  | `Msi_bus -> "msi-bus"
+  | `Sisd -> "sisd"
+
+let zoo = [ `Mesi; `Warden; `Msi_bus; `Sisd ]
+
+(* Total coherence maintenance traffic, comparable across protocol kinds:
+   directory/snoop protocols pay directory-initiated invalidations and
+   downgrades, SI/SD pays self-invalidations and self-downgrades instead
+   (each side's counters are zero on the other side). *)
+let inv_down r = r.invalidations + r.downgrades + r.self_invs + r.self_downs
 
 let quick_scale (spec : Spec.t) =
   match spec.Spec.name with
@@ -55,7 +71,7 @@ let run_bench ?(quick = false) ?(seed = 0x5EEDF00DL) ?params ?workers ~config
   let en = Memsys.energy ms in
   {
     bench = spec.Spec.name;
-    proto = (match proto with `Mesi -> "mesi" | `Warden -> "warden");
+    proto = proto_name proto;
     machine = config.Config.name;
     verified;
     cycles = ss.Sstats.cycles;
@@ -64,6 +80,8 @@ let run_bench ?(quick = false) ?(seed = 0x5EEDF00DL) ?params ?workers ~config
     loads = ss.Sstats.loads;
     invalidations = ps.Pstats.invalidations;
     downgrades = ps.Pstats.downgrades;
+    self_invs = ps.Pstats.self_invs;
+    self_downs = ps.Pstats.self_downs;
     messages = Pstats.total_msgs ps;
     ward_grants = ps.Pstats.ward_grants;
     recon_blocks = ps.Pstats.recon_blocks;
@@ -82,6 +100,13 @@ let run_pair ?quick ?seed ?params ?workers ?jobs ~config spec =
   with
   | [ mesi; warden ] -> { mesi; warden }
   | _ -> assert false
+
+(* The cross-protocol comparison: one run per zoo protocol, in parallel
+   (independent simulations), results in zoo order. *)
+let run_zoo ?quick ?seed ?params ?workers ?jobs ~config spec =
+  Pool.map ?jobs
+    (fun proto -> run_bench ?quick ?seed ?params ?workers ~config ~proto spec)
+    zoo
 
 let speedup p = float_of_int p.mesi.cycles /. float_of_int p.warden.cycles
 

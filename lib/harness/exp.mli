@@ -14,6 +14,8 @@ type run_result = {
   loads : int;
   invalidations : int;
   downgrades : int;
+  self_invs : int;
+  self_downs : int;
   messages : int;
   ward_grants : int;
   recon_blocks : int;
@@ -25,13 +27,26 @@ type run_result = {
 val scale_of : quick:bool -> Warden_pbbs.Spec.t -> int
 (** The benchmark's default scale, or a reduced scale for quick runs. *)
 
+val proto_name : [ `Mesi | `Warden | `Msi_bus | `Sisd ] -> string
+(** Canonical CLI/JSON name of a protocol: ["mesi"], ["warden"],
+    ["msi-bus"], ["sisd"]. *)
+
+val zoo : [ `Mesi | `Warden | `Msi_bus | `Sisd ] list
+(** Every protocol in the zoo, in canonical order. *)
+
+val inv_down : run_result -> int
+(** Coherence maintenance traffic comparable across protocol kinds:
+    directory/snoop invalidations + downgrades plus SI/SD
+    self-invalidations + self-downgrades (each side's counters are zero on
+    the other side). *)
+
 val run_bench :
   ?quick:bool ->
   ?seed:int64 ->
   ?params:Warden_runtime.Rtparams.t ->
   ?workers:int ->
   config:Config.t ->
-  proto:[ `Mesi | `Warden ] ->
+  proto:[ `Mesi | `Warden | `Msi_bus | `Sisd ] ->
   Warden_pbbs.Spec.t ->
   run_result
 
@@ -49,6 +64,18 @@ val run_pair :
 (** Run the benchmark under MESI and under WARDen. The two simulations are
     independent, so with [jobs > 1] (default {!Pool.default_jobs}) they
     run on separate domains. *)
+
+val run_zoo :
+  ?quick:bool ->
+  ?seed:int64 ->
+  ?params:Warden_runtime.Rtparams.t ->
+  ?workers:int ->
+  ?jobs:int ->
+  config:Config.t ->
+  Warden_pbbs.Spec.t ->
+  run_result list
+(** Run the benchmark under every protocol in {!zoo}, in parallel;
+    results in zoo order. *)
 
 (* Derived metrics, matching the paper's figures. *)
 

@@ -8,6 +8,7 @@ type costs = {
   msg_intra_pj : float;
   msg_inter_pj : float;
   cam_pj : float;
+  bus_cycle_pj : float;
 }
 
 let default_costs =
@@ -21,6 +22,7 @@ let default_costs =
     msg_intra_pj = 300.0;
     msg_inter_pj = 6_000.0;
     cam_pj = 8.0;
+    bus_cycle_pj = 120.0;
   }
 
 (* Accumulators live in a float array: OCaml stores float arrays flat, so
@@ -60,6 +62,12 @@ let message t ~inter_socket ~data =
   deposit t network_i (if data then 5. *. base else base)
 
 let cam_lookup t = deposit t cache_i t.c.cam_pj
+
+(* A shared snooping bus is interconnect: occupancy cycles (arbitration
+   plus transfer) deposit into the network bucket, exactly as hop-counted
+   messages do on the switched fabrics. Integer-valued like every other
+   cost, so bulk deposits fold bit-identically. *)
+let bus_cycles t n = deposit t network_i (float_of_int n *. t.c.bus_cycle_pj)
 
 (* Snapshot the four accumulators as raw float bits (exact round trip). *)
 let save t w = Warden_util.Bin.w_float_array w t.acc

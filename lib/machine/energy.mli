@@ -20,6 +20,9 @@ type costs = {
   msg_intra_pj : float;  (** Coherence message staying within a socket. *)
   msg_inter_pj : float;  (** Coherence message crossing sockets. *)
   cam_pj : float;  (** WARD range-CAM lookup. *)
+  bus_cycle_pj : float;
+      (** One cycle of shared-bus occupancy (arbitration or transfer) on a
+          snooping machine; deposits into the network bucket. *)
 }
 
 val default_costs : costs
@@ -50,6 +53,11 @@ val message : t -> inter_socket:bool -> data:bool -> unit
     and cost five. *)
 
 val cam_lookup : t -> unit
+
+val bus_cycles : t -> int -> unit
+(** [n] cycles of shared-bus occupancy, deposited into the network bucket
+    (the bus is the snooping machine's interconnect). Integer-valued, so
+    bulk deposits are bit-identical to repeated single-cycle deposits. *)
 
 val save : t -> Warden_util.Bin.w -> unit
 (** Snapshot the four accumulators as raw float bits (exact). *)

@@ -1,0 +1,39 @@
+(* A single shared snooping bus with a round-robin arbiter.
+
+   The bus serializes every coherence transaction, so its cost model is a
+   wait-for-grant phase (arbitration) followed by an occupancy phase
+   (command broadcast, and a block transfer when data moves). Arbitration
+   is strict round-robin: the token advances from the last granted core,
+   one cycle per position, so a requestor [d] positions after the holder
+   waits [d - 1] cycles ([0] when it is the next in rotation). This is the
+   deterministic single-requestor projection of a real arbiter — the
+   simulator presents one transaction at a time, so fairness shows up as
+   rotation distance rather than queueing. Occupancy cycles are charged to
+   the transaction's latency and accounted as bus-busy time by the caller
+   (see {!Fabric.bus_txn}). *)
+
+type t = { cores : int; mutable last_grant : int }
+
+(* Command/address broadcast occupies the bus for [ctl_cycles]; a 64-byte
+   block transfer over an 8-byte-wide data path adds [data_cycles]. *)
+let ctl_cycles = 2
+let data_cycles = 8
+
+(* Start the token just before core 0 so the first requestor on an idle
+   machine waits nothing. *)
+let create ~cores = { cores; last_grant = cores - 1 }
+
+(* Grant the bus to [core]: returns the arbitration wait and advances the
+   token. *)
+let acquire t ~core =
+  let d = (core - t.last_grant + t.cores) mod t.cores in
+  t.last_grant <- core;
+  if d = 0 then t.cores - 1 else d - 1
+
+let copy t = { t with last_grant = t.last_grant }
+let save t w = Warden_util.Bin.w_int w t.last_grant
+
+let restore t r =
+  let g = Warden_util.Bin.r_int r in
+  if g < 0 || g >= t.cores then Warden_util.Bin.corrupt "Bus: bad grant token";
+  t.last_grant <- g

@@ -1,0 +1,24 @@
+(** Round-robin arbiter for a single shared snooping bus.
+
+    Models arbitration as rotation distance from the last granted core —
+    the deterministic single-requestor projection of a real round-robin
+    arbiter — plus fixed occupancy costs for the command broadcast and the
+    optional block transfer. *)
+
+type t
+
+val ctl_cycles : int
+(** Bus occupancy of a command/address broadcast. *)
+
+val data_cycles : int
+(** Additional occupancy of a 64-byte block transfer. *)
+
+val create : cores:int -> t
+
+val acquire : t -> core:int -> int
+(** Grant the bus to [core]; returns the arbitration wait in cycles
+    (rotation distance from the previous holder) and advances the token. *)
+
+val copy : t -> t
+val save : t -> Warden_util.Bin.w -> unit
+val restore : t -> Warden_util.Bin.r -> unit

@@ -1,6 +1,10 @@
 open Warden_machine
 
-type probe = { levels : int; data : Warden_cache.Linedata.t }
+type probe = {
+  levels : int;
+  state : States.pstate;
+  data : Warden_cache.Linedata.t;
+}
 
 type t = {
   config : Config.t;
@@ -10,10 +14,13 @@ type t = {
   peek_priv : core:int -> blk:int -> probe option;
   invalidate_priv : core:int -> blk:int -> probe option;
   downgrade_priv : core:int -> blk:int -> probe option;
+  iter_priv : core:int -> (int -> unit) -> unit;
   read_shared : blk:int -> Bytes.t * [ `L3 | `Dram | `Zero ];
   llc_merge : blk:int -> Warden_cache.Linedata.t -> unit;
   llc_put_full : blk:int -> Bytes.t -> unit;
 }
+
+let num_cores t = Config.num_cores t.config
 
 let socket_of_core t core = Config.socket_of_core t.config core
 let home_socket t ~blk = Config.home_socket t.config blk
@@ -55,6 +62,27 @@ let dir_msg t ~socket ~blk ~data =
 let dir_access t =
   t.stats.Pstats.dir_accesses <- t.stats.Pstats.dir_accesses + 1;
   Energy.dir_access t.energy
+
+(* Shared-bus accounting (snooping fabrics). The bus is the machine's
+   interconnect, so its occupancy deposits network energy the same way
+   hop-counted messages do on the switched fabrics; arbitration and
+   transfer cycles are kept distinct in the stats so the bench can report
+   contention separately from bandwidth. *)
+let bus_txn t ~arb ~busy =
+  t.stats.Pstats.bus_txns <- t.stats.Pstats.bus_txns + 1;
+  t.stats.Pstats.bus_arb_cycles <- t.stats.Pstats.bus_arb_cycles + arb;
+  t.stats.Pstats.bus_busy_cycles <- t.stats.Pstats.bus_busy_cycles + busy;
+  Energy.bus_cycles t.energy (arb + busy)
+
+(* One message on the broadcast bus. Every snooper observes it, but it is
+   a single wire transaction: counted once, as an intra-complex message. *)
+let bus_msg t ~data =
+  (if data then
+     t.stats.Pstats.msgs_data_intra <- t.stats.Pstats.msgs_data_intra + 1
+   else t.stats.Pstats.msgs_ctl_intra <- t.stats.Pstats.msgs_ctl_intra + 1);
+  Energy.message t.energy ~inter_socket:false ~data
+
+let snoops t n = t.stats.Pstats.snoops <- t.stats.Pstats.snoops + n
 
 let shared_read_latency t where =
   Energy.l3_access t.energy;

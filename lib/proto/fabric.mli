@@ -11,6 +11,10 @@ type probe = {
   levels : int;
       (** Cache levels holding the line in that core (1 = L2 only,
           2 = L1+L2); the paper counts coherence events per cache. *)
+  state : States.pstate;
+      (** The copy's state at probe time (before any transition the probe
+          performs). A snooping protocol has no directory, so ownership is
+          discovered from the probes themselves. *)
   data : Warden_cache.Linedata.t;  (** The copy (not a defensive copy). *)
 }
 
@@ -29,6 +33,13 @@ type t = {
   downgrade_priv : core:int -> blk:int -> probe option;
       (** Transition the copy to shared/clean, returning it as it was
           before its dirty mask was cleared. *)
+  iter_priv : core:int -> (int -> unit) -> unit;
+      (** Enumerate the blocks resident in one core's private hierarchy.
+          Self-invalidation protocols walk their own cache at sync points,
+          and a bus's flush path walks everybody's; the directory
+          protocols never need this (their bookkeeping is the walk). The
+          callback must not mutate the hierarchy mid-iteration — collect
+          first, then probe. *)
   read_shared : blk:int -> Bytes.t * [ `L3 | `Dram | `Zero ];
       (** Fetch a block at its home LLC slice, filling from memory on an
           LLC miss; reports where it was found for latency/stats ([`Zero]
@@ -42,6 +53,7 @@ type t = {
 
 val socket_of_core : t -> int -> int
 val home_socket : t -> blk:int -> int
+val num_cores : t -> int
 
 val hop : t -> from_socket:int -> to_socket:int -> int
 (** Latency of a third-party message leg (directory→owner, owner→requestor,
@@ -75,3 +87,16 @@ val dir_access : t -> unit
 val shared_read_latency : t -> [ `L3 | `Dram | `Zero ] -> int
 (** L3 access latency, plus DRAM latency on a miss (doubled-leg remote
     memory when the machine is disaggregated), with stats/energy counted. *)
+
+val bus_txn : t -> arb:int -> busy:int -> unit
+(** Account one shared-bus transaction: [arb] cycles waiting for the
+    round-robin arbiter and [busy] cycles of bus occupancy, with the
+    combined cycles deposited as network energy (the bus is the snooping
+    machine's interconnect, as hops are the switched machines'). *)
+
+val bus_msg : t -> data:bool -> unit
+(** Count one broadcast-bus message. Every snooper observes it but it is a
+    single wire transaction, counted once (intra-complex). *)
+
+val snoops : t -> int -> unit
+(** Count [n] private caches probed by a bus broadcast. *)

@@ -32,6 +32,17 @@ val has_fill : grant -> bool
 val fresh_grant : unit -> grant
 (** A new scratch record (initially [P_S] / {!no_fill} / 0). *)
 
+val invalidate_counted :
+  Fabric.t -> core:int -> blk:int -> Fabric.probe option -> Fabric.probe option
+(** Pass-through for the result of an [invalidate_priv] probe that counts
+    one invalidation per cache level holding the line (the paper counts
+    coherence events per cache) and records the observability event.
+    Shared by every protocol that invalidates remote copies. *)
+
+val downgrade_counted :
+  Fabric.t -> core:int -> blk:int -> Fabric.probe option -> Fabric.probe option
+(** {!invalidate_counted} for downgrades. *)
+
 val handle_request :
   Fabric.t ->
   Dirstate.t ->

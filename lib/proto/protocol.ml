@@ -40,6 +40,16 @@ module type S = sig
   type t
 
   val name : string
+
+  val kind : [ `Directory | `Snoop | `Self ]
+  (** Coherence topology: [`Directory] protocols answer requests from
+      per-block bookkeeping, [`Snoop] protocols broadcast on a shared bus
+      and discover copies by probing, [`Self] protocols never initiate
+      remote invalidations — the cores self-invalidate at acquires and
+      self-downgrade at releases. The simulator and model checker key
+      behavior off this: only [`Self] protocols receive {!acquire} and
+      {!release}, and their atomics take the coherent scheduled path. *)
+
   val create : Fabric.t -> t
   val fabric : t -> Fabric.t
 
@@ -57,6 +67,16 @@ module type S = sig
   val region_add : t -> lo:int -> hi:int -> bool
   val is_ward : t -> blk:int -> bool
   val region_remove : t -> lo:int -> hi:int -> int
+
+  val acquire : t -> core:int -> int
+  (** Acquire fence on [core]: a [`Self] protocol flushes the core's dirty
+      copies and drops everything it holds, returning the cycles charged.
+      Free no-op (0) for protocols whose coherence is eager. *)
+
+  val release : t -> core:int -> int
+  (** Release fence on [core]: a [`Self] protocol self-downgrades the
+      core's dirty copies into the LLC. Free no-op (0) otherwise. *)
+
   val flush_all : t -> unit
   val observe : t -> blk:int -> block_view
 
@@ -74,6 +94,7 @@ end
 type t = Packed : (module S with type t = 'a) * 'a -> t
 
 let name (Packed ((module P), _)) = P.name
+let kind (Packed ((module P), _)) = P.kind
 let fabric (Packed ((module P), p)) = P.fabric p
 let stats t = (fabric t).Fabric.stats
 
@@ -86,6 +107,8 @@ let handle_evict (Packed ((module P), p)) ~core ~blk ~pstate ~data =
 let region_add (Packed ((module P), p)) ~lo ~hi = P.region_add p ~lo ~hi
 let region_remove (Packed ((module P), p)) ~lo ~hi = P.region_remove p ~lo ~hi
 let is_ward (Packed ((module P), p)) ~blk = P.is_ward p ~blk
+let acquire (Packed ((module P), p)) ~core = P.acquire p ~core
+let release (Packed ((module P), p)) ~core = P.release p ~core
 let flush_all (Packed ((module P), p)) = P.flush_all p
 let observe (Packed ((module P), p)) ~blk = P.observe p ~blk
 let prefetch (Packed ((module P), p)) ~blk = P.prefetch p ~blk
@@ -98,6 +121,7 @@ module Mesi_protocol = struct
   type t = { fabric : Fabric.t; dir : Dirstate.t; scratch : Mesi.grant }
 
   let name = "mesi"
+  let kind = `Directory
 
   let create fabric =
     let cfg = fabric.Fabric.config in
@@ -133,6 +157,11 @@ module Mesi_protocol = struct
     t.fabric.Fabric.stats.Pstats.ward_removes <-
       t.fabric.Fabric.stats.Pstats.ward_removes + 1;
     0
+
+  (* Eager coherence: acquire/release fences have no architectural effect
+     (the directory already invalidates and downgrades remotely). *)
+  let acquire _ ~core:_ = 0
+  let release _ ~core:_ = 0
 
   let flush_all t =
     let blocks = ref [] in

@@ -35,6 +35,16 @@ module type S = sig
 
   val name : string
 
+  val kind : [ `Directory | `Snoop | `Self ]
+  (** Coherence topology. [`Directory] protocols answer requests from
+      per-block bookkeeping; [`Snoop] protocols broadcast on a shared bus
+      and discover copies by probing every cache; [`Self] protocols never
+      initiate remote invalidations — cores self-invalidate at acquires
+      and self-downgrade at releases. The simulator keys behavior off
+      this: only [`Self] protocols receive {!acquire}/{!release} from the
+      runtime's sync points, and their atomics are pinned to the coherent
+      scheduled path. *)
+
   val create : Fabric.t -> t
 
   val fabric : t -> Fabric.t
@@ -62,6 +72,18 @@ module type S = sig
   val region_remove : t -> lo:int -> hi:int -> int
   (** Remove the region and reconcile its blocks; returns the cycles the
       announcing thread is charged. *)
+
+  val acquire : t -> core:int -> int
+  (** Acquire fence on [core] (fork-join runtime sync point): a [`Self]
+      protocol flushes the core's dirty copies to the LLC and invalidates
+      everything the core holds, so later reads observe other cores'
+      released writes. Returns the cycles charged; free no-op (0) for
+      eagerly-coherent protocols. *)
+
+  val release : t -> core:int -> int
+  (** Release fence on [core]: a [`Self] protocol self-downgrades the
+      core's dirty copies into the LLC so a subsequent acquirer can read
+      them. Returns the cycles charged; free no-op (0) otherwise. *)
 
   val flush_all : t -> unit
   (** Drain every cached copy to memory (end-of-run, uncounted). *)
@@ -100,6 +122,7 @@ end
 type t = Packed : (module S with type t = 'a) * 'a -> t
 
 val name : t -> string
+val kind : t -> [ `Directory | `Snoop | `Self ]
 val fabric : t -> Fabric.t
 val stats : t -> Pstats.t
 
@@ -112,6 +135,8 @@ val handle_evict :
 val region_add : t -> lo:int -> hi:int -> bool
 val region_remove : t -> lo:int -> hi:int -> int
 val is_ward : t -> blk:int -> bool
+val acquire : t -> core:int -> int
+val release : t -> core:int -> int
 val flush_all : t -> unit
 val observe : t -> blk:int -> block_view
 val prefetch : t -> blk:int -> int

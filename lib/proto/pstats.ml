@@ -19,6 +19,15 @@ type t = {
   mutable ward_rejects : int;
   mutable recon_blocks : int;
   mutable recon_flushes : int;
+  mutable bus_txns : int;
+  mutable bus_arb_cycles : int;
+  mutable bus_busy_cycles : int;
+  mutable snoops : int;
+  mutable c2c_transfers : int;
+  mutable self_invs : int;
+  mutable self_downs : int;
+  mutable acquires : int;
+  mutable releases : int;
 }
 
 let create () =
@@ -43,6 +52,15 @@ let create () =
     ward_rejects = 0;
     recon_blocks = 0;
     recon_flushes = 0;
+    bus_txns = 0;
+    bus_arb_cycles = 0;
+    bus_busy_cycles = 0;
+    snoops = 0;
+    c2c_transfers = 0;
+    self_invs = 0;
+    self_downs = 0;
+    acquires = 0;
+    releases = 0;
   }
 
 let save t w =
@@ -66,7 +84,16 @@ let save t w =
   B.w_int w t.ward_removes;
   B.w_int w t.ward_rejects;
   B.w_int w t.recon_blocks;
-  B.w_int w t.recon_flushes
+  B.w_int w t.recon_flushes;
+  B.w_int w t.bus_txns;
+  B.w_int w t.bus_arb_cycles;
+  B.w_int w t.bus_busy_cycles;
+  B.w_int w t.snoops;
+  B.w_int w t.c2c_transfers;
+  B.w_int w t.self_invs;
+  B.w_int w t.self_downs;
+  B.w_int w t.acquires;
+  B.w_int w t.releases
 
 let restore t r =
   let module B = Warden_util.Bin in
@@ -89,7 +116,16 @@ let restore t r =
   t.ward_removes <- B.r_int r;
   t.ward_rejects <- B.r_int r;
   t.recon_blocks <- B.r_int r;
-  t.recon_flushes <- B.r_int r
+  t.recon_flushes <- B.r_int r;
+  t.bus_txns <- B.r_int r;
+  t.bus_arb_cycles <- B.r_int r;
+  t.bus_busy_cycles <- B.r_int r;
+  t.snoops <- B.r_int r;
+  t.c2c_transfers <- B.r_int r;
+  t.self_invs <- B.r_int r;
+  t.self_downs <- B.r_int r;
+  t.acquires <- B.r_int r;
+  t.releases <- B.r_int r
 
 let total_msgs t =
   t.msgs_ctl_intra + t.msgs_ctl_inter + t.msgs_data_intra + t.msgs_data_inter
@@ -118,4 +154,13 @@ let diff ~baseline t =
     ward_rejects = baseline.ward_rejects - t.ward_rejects;
     recon_blocks = baseline.recon_blocks - t.recon_blocks;
     recon_flushes = baseline.recon_flushes - t.recon_flushes;
+    bus_txns = baseline.bus_txns - t.bus_txns;
+    bus_arb_cycles = baseline.bus_arb_cycles - t.bus_arb_cycles;
+    bus_busy_cycles = baseline.bus_busy_cycles - t.bus_busy_cycles;
+    snoops = baseline.snoops - t.snoops;
+    c2c_transfers = baseline.c2c_transfers - t.c2c_transfers;
+    self_invs = baseline.self_invs - t.self_invs;
+    self_downs = baseline.self_downs - t.self_downs;
+    acquires = baseline.acquires - t.acquires;
+    releases = baseline.releases - t.releases;
   }

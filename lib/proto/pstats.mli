@@ -29,6 +29,21 @@ type t = {
   mutable ward_rejects : int;  (** Region adds refused by a full CAM. *)
   mutable recon_blocks : int;  (** Blocks processed by reconciliation. *)
   mutable recon_flushes : int;  (** Private copies flushed by reconciliation. *)
+  mutable bus_txns : int;  (** Shared-bus transactions (snooping fabrics). *)
+  mutable bus_arb_cycles : int;
+      (** Cycles spent waiting for the round-robin bus arbiter. *)
+  mutable bus_busy_cycles : int;
+      (** Cycles the bus was occupied by granted transactions. *)
+  mutable snoops : int;  (** Private caches probed by bus broadcasts. *)
+  mutable c2c_transfers : int;
+      (** Fills supplied cache-to-cache by a snooped owner. *)
+  mutable self_invs : int;
+      (** Private copies self-invalidated at acquires (SI/SD), per level. *)
+  mutable self_downs : int;
+      (** Dirty private copies self-downgraded at releases (SI/SD), per
+          level. *)
+  mutable acquires : int;  (** Acquire fences performed by the protocol. *)
+  mutable releases : int;  (** Release fences performed by the protocol. *)
 }
 
 val create : unit -> t

@@ -118,6 +118,10 @@ let new_task_id s =
    returns through [finish]. The descriptor reads model the child fetching
    its closure from the forking task's memory. *)
 let child_body s ~parent_heap ~desc ~join_ctr ~slot ~finish f () =
+  (* Acquire: the task may have been stolen, so everything the forking
+     thread published (descriptor, heap data) must be re-observed. Under
+     eagerly-coherent protocols this is a free no-op. *)
+  Ops.acquire ();
   let tid = Ops.tid () in
   let heap = Heap.fresh s.ms s.params ~parent:(Some parent_heap) in
   let tcb = { task_id = new_task_id s; heap } in
@@ -143,6 +147,10 @@ let child_body s ~parent_heap ~desc ~join_ctr ~slot ~finish f () =
   if Ops.load join_ctr ~size:8 > 1L then Heap.unmark_all heap;
   Heap.merge_into ~child:heap ~parent:parent_heap;
   finish v;
+  (* Release before the join decrement: the result slot and the task's
+     writes must be published before the sibling (or parent) can observe
+     the counter reaching zero. *)
+  Ops.release ();
   let old = Ops.fetch_add join_ctr ~size:8 (-1L) in
   old = 1L (* true when this child is the last to finish *)
 
@@ -191,8 +199,15 @@ let rec task_handler : sched -> (unit, unit) Effect.Deep.handler =
                 Ops.store join_ctr ~size:8 2L;
                 (* The fork makes this heap internal: unmark its pages. *)
                 Heap.unmark_all parent.heap;
+                (* Release: publish the descriptor, sync words and heap
+                   before the right child becomes visible to thieves. *)
+                Ops.release ();
                 let ra = ref None and rb = ref None in
                 let resume () =
+                  (* The resuming thread is the last finisher, which may
+                     not be the thread that observed the other child's
+                     release: acquire before touching the results. *)
+                  Ops.acquire ();
                   let ftid = Ops.tid () in
                   (* The parent resumes on the last finisher's core and
                      touches both children's results. *)
@@ -249,6 +264,11 @@ let try_steal s tid rng =
   else if Ops.cas s.lock_addr.(victim) ~size:8 ~expected:0L ~desired:1L then begin
     let stolen = Deque.steal_top s.deques.(victim) in
     Ops.store s.lock_addr.(victim) ~size:8 0L;
+    (* Publish the unlock: without this a [`Self] protocol would leave
+       the cleared lock word dirty in the thief's cache, and the next
+       contender's coherent CAS would read a stale locked value from the
+       LLC. *)
+    Ops.release ();
     match stolen with
     | Some task ->
         s.stats.steals <- s.stats.steals + 1;

@@ -74,7 +74,7 @@ val run_proto :
   ?params:params ->
   ?workers:int ->
   machine:Warden_machine.Config.t ->
-  proto:[ `Mesi | `Warden ] ->
+  proto:[ `Mesi | `Warden | `Msi_bus | `Sisd ] ->
   unit ->
   result
 (** Create an engine and {!run} it. *)
@@ -99,7 +99,7 @@ val json_summary : params -> result -> string
 val curve :
   ?params:params ->
   machine:Warden_machine.Config.t ->
-  proto:[ `Mesi | `Warden ] ->
+  proto:[ `Mesi | `Warden | `Msi_bus | `Sisd ] ->
   int list ->
   (int * float) list
 (** Requests/sec at each core count (restricting the machine with

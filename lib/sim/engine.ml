@@ -14,6 +14,8 @@ type _ Effect.t +=
   | E_tid : int Effect.t
   | E_region_add : (int * int) -> bool Effect.t
   | E_region_remove : (int * int) -> unit Effect.t
+  | E_acquire : unit Effect.t
+  | E_release : unit Effect.t
   | E_yield : unit Effect.t
 
 type tstate = {
@@ -63,6 +65,11 @@ type t = {
   cquantum : int; (* commit quantum (cycles), Config.sim_quantum *)
   shards : int;
   spec_on : bool; (* helpers speculate: shards > 1 && cfg.sim_spec *)
+  sync_on : bool;
+      (* the protocol is [`Self]: runtime acquire/release fences must
+         reach the memory system. When false, [Ops.acquire]/[Ops.release]
+         are literal no-ops — no effect performed, no event enqueued — so
+         eagerly-coherent protocols keep their exact schedules. *)
   runqs : (unit -> unit) Pqueue.t array; (* one per shard *)
   thread_shard : int array; (* shard of each hardware thread *)
   slots : Spec.slot array; (* one speculation slot per hardware thread *)
@@ -106,6 +113,7 @@ let create cfg ~proto =
     shards;
     runqs = Array.init shards (fun _ -> Pqueue.create ());
     spec_on = shards > 1 && cfg.Config.sim_spec;
+    sync_on = Warden_proto.Protocol.kind (Memsys.protocol ms) = `Self;
     thread_shard =
       Array.init (Config.num_threads cfg) (fun tid ->
           Config.shard_of_core cfg (Config.core_of_thread cfg tid));
@@ -475,6 +483,28 @@ let handler t st =
                     st.time <- st.time + 1 + lat;
                     retire t st 1;
                     continue k ()))
+        | E_acquire ->
+            Some
+              (fun k ->
+                enqueue t st (fun () ->
+                    resume t st;
+                    drain_all st;
+                    let lat = Memsys.acquire t.ms ~thread:st.tid in
+                    st.time <- st.time + 1 + lat;
+                    retire t st 1;
+                    continue k ()))
+        | E_release ->
+            Some
+              (fun k ->
+                enqueue t st (fun () ->
+                    resume t st;
+                    (* A release is a fence: buffered stores complete
+                       before the self-downgrade publishes them. *)
+                    drain_all st;
+                    let lat = Memsys.release t.ms ~thread:st.tid in
+                    st.time <- st.time + 1 + lat;
+                    retire t st 1;
+                    continue k ()))
         | _ -> None)
   }
 
@@ -658,5 +688,20 @@ module Ops = struct
 
   let region_add ~lo ~hi = Effect.perform (E_region_add (lo, hi))
   let region_remove ~lo ~hi = Effect.perform (E_region_remove (lo, hi))
+
+  (* Runtime sync-point fences. On eagerly-coherent protocols these are
+     literal no-ops — no effect, no enqueue, no time — so the runtime can
+     annotate its fork/join edges unconditionally without perturbing the
+     MESI/WARDen schedules at all. *)
+  let acquire () =
+    match Domain.DLS.get cur_key with
+    | Some t when not t.sync_on -> ()
+    | _ -> Effect.perform E_acquire
+
+  let release () =
+    match Domain.DLS.get cur_key with
+    | Some t when not t.sync_on -> ()
+    | _ -> Effect.perform E_release
+
   let yield () = Effect.perform E_yield
 end

@@ -44,7 +44,10 @@
 
 type t
 
-val create : Warden_machine.Config.t -> proto:[ `Mesi | `Warden ] -> t
+val create :
+  Warden_machine.Config.t ->
+  proto:[ `Mesi | `Warden | `Msi_bus | `Sisd ] ->
+  t
 
 val memsys : t -> Memsys.t
 val config : t -> Warden_machine.Config.t
@@ -100,6 +103,18 @@ module Ops : sig
   val region_remove : lo:int -> hi:int -> unit
   (** The paper's Add/Remove-Region instructions; each retires as one
       instruction, and removal charges the reconciliation latency. *)
+
+  val acquire : unit -> unit
+  (** Acquire fence at a runtime sync point (start of stolen/forked work,
+      lock acquisition). Under a [`Self] protocol this drains the store
+      buffer and self-invalidates the core's cache ({!Memsys.acquire});
+      under eagerly-coherent protocols it is a literal no-op — no effect
+      performed — so schedules and stats are untouched. *)
+
+  val release : unit -> unit
+  (** Release fence (publishing forked work, lock release, task
+      completion): the [`Self] dual of {!acquire}, self-downgrading the
+      core's dirty lines. No-op under eagerly-coherent protocols. *)
 
   val yield : unit -> unit
   (** Let other threads scheduled at the same cycle run first. *)

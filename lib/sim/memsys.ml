@@ -50,6 +50,8 @@ let k_region_add = 3 (* addr = lo, size = hi *)
 let k_region_remove = 4 (* addr = lo, size = hi *)
 let k_flush = 5
 let k_poke = 6
+let k_acquire = 7 (* addr = size = 0 *)
+let k_release = 8 (* addr = size = 0 *)
 
 let no_sink _ _ _ _ _ = ()
 
@@ -66,6 +68,10 @@ type t = {
   llc : Llc.t;
   mutable priv : Privcache.t array;
   mutable proto : Protocol.t option;
+  mutable self_sync : bool;
+      (* cached [Protocol.kind = `Self]: such protocols take their
+         coherence from the runtime's acquire/release fences, and their
+         atomics must be pinned to the coherent scheduled path *)
   mutable bump : int;
   mutable fast_value : int64; (* value of the last fast load/rmw hit *)
   mutable sink : int -> int -> int -> int -> int64 -> unit;
@@ -152,6 +158,7 @@ let create cfg ~proto =
       llc;
       priv = [||];
       proto = None;
+      self_sync = false;
       fast_value = 0L;
       (* Leave page zero unmapped so address 0 can act as a null. *)
       bump = 1 lsl 16;
@@ -172,6 +179,9 @@ let create cfg ~proto =
       peek_priv = (fun ~core ~blk -> Privcache.peek t.priv.(core) ~blk);
       invalidate_priv = (fun ~core ~blk -> Privcache.invalidate t.priv.(core) ~blk);
       downgrade_priv = (fun ~core ~blk -> Privcache.downgrade t.priv.(core) ~blk);
+      iter_priv =
+        (fun ~core f ->
+          Privcache.iter_resident t.priv.(core) (fun blk _ -> f blk));
       read_shared =
         (fun ~blk -> Llc.read llc ~socket:(Config.home_socket cfg blk) ~blk);
       llc_merge =
@@ -185,7 +195,10 @@ let create cfg ~proto =
     Some
       (match proto with
       | `Mesi -> Protocol.mesi fabric
-      | `Warden -> Warden_core.Warden.protocol fabric);
+      | `Warden -> Warden_core.Warden.protocol fabric
+      | `Msi_bus -> Msi_bus.protocol fabric
+      | `Sisd -> Sisd.protocol fabric);
+  t.self_sync <- Protocol.kind (the_proto t) = `Self;
   t
 
 (* Obtain a line with sufficient permission, returning it and the access
@@ -265,17 +278,76 @@ let store t ~thread addr ~size v =
   if t.sink_on then t.sink k_store thread addr size v;
   lat
 
-let rmw t ~thread addr ~size f =
-  let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
+(* Atomics under a self-invalidation protocol. The plain access paths may
+   serve stale bytes by design, but an RMW is a synchronization primitive
+   (locks, join counters): it must read the globally latest value and
+   publish its result. Model the standard SI/SD answer — perform atomics
+   at the shared level: drop any local copy (flushing its dirty sectors),
+   miss-fill the current bytes through the ordinary request path, apply
+   the operation, and write the result straight back through, keeping a
+   clean S copy. *)
+let rmw_coherent t ~thread addr ~size f =
+  let core = Config.core_of_thread t.cfg thread in
+  let a = acct_of_core t core in
   a.a_rmws <- a.a_rmws + 1;
   let blk = Addr.block_of addr in
+  let pc = t.priv.(core) in
+  let fab = Protocol.fabric (the_proto t) in
+  let cs = Config.socket_of_core t.cfg core in
+  (match Privcache.invalidate pc ~blk with
+  | None -> ()
+  | Some p ->
+      t.pstats.Pstats.self_invs <-
+        t.pstats.Pstats.self_invs + p.Fabric.levels;
+      if Linedata.is_dirty p.Fabric.data then begin
+        Fabric.dir_msg fab ~socket:cs ~blk ~data:true;
+        t.pstats.Pstats.writebacks <- t.pstats.Pstats.writebacks + 1;
+        fab.Fabric.llc_merge ~blk p.Fabric.data
+      end);
   let line, lat = access_line t ~thread ~blk ~write:true in
   let off = Addr.offset_in_block addr in
   let old = Linedata.load line.Privcache.data ~off ~size in
   let nv = f old in
-  write_line (pc_of_thread t thread) line ~off ~size nv;
+  write_line pc line ~off ~size nv;
+  (* Write-through of the result; the copy left behind is clean S. *)
+  Fabric.dir_msg fab ~socket:cs ~blk ~data:true;
+  fab.Fabric.llc_merge ~blk line.Privcache.data;
+  Linedata.clear_dirty line.Privcache.data;
+  line.Privcache.state <- States.P_S;
+  t.pstats.Pstats.self_downs <- t.pstats.Pstats.self_downs + 1;
+  Privcache.bump pc;
   if t.sink_on then t.sink k_rmw thread addr size nv;
   (old, lat)
+
+let rmw t ~thread addr ~size f =
+  if t.self_sync then rmw_coherent t ~thread addr ~size f
+  else begin
+    let a = acct_of_core t (Config.core_of_thread t.cfg thread) in
+    a.a_rmws <- a.a_rmws + 1;
+    let blk = Addr.block_of addr in
+    let line, lat = access_line t ~thread ~blk ~write:true in
+    let off = Addr.offset_in_block addr in
+    let old = Linedata.load line.Privcache.data ~off ~size in
+    let nv = f old in
+    write_line (pc_of_thread t thread) line ~off ~size nv;
+    if t.sink_on then t.sink k_rmw thread addr size nv;
+    (old, lat)
+  end
+
+(* Runtime sync points (fork/join edges in the Par runtime). Only [`Self]
+   protocols do work here; the engine does not even raise the effect for
+   the eagerly-coherent ones, keeping their schedules untouched. *)
+let acquire t ~thread =
+  if t.sink_on then t.sink k_acquire thread 0 0 0L;
+  t.pstats.Pstats.acquires <- t.pstats.Pstats.acquires + 1;
+  Protocol.acquire (the_proto t)
+    ~core:(Config.core_of_thread t.cfg thread)
+
+let release t ~thread =
+  if t.sink_on then t.sink k_release thread 0 0 0L;
+  t.pstats.Pstats.releases <- t.pstats.Pstats.releases + 1;
+  Protocol.release (the_proto t)
+    ~core:(Config.core_of_thread t.cfg thread)
 
 (* Fast-path accessors: commit iff the access is a private-cache hit
    needing no protocol transition, with event/energy accounting identical
@@ -335,6 +407,8 @@ let try_fast_store t ~thread addr ~size v =
   end
 
 let try_fast_rmw t ~thread addr ~size f =
+  if t.self_sync then -1 (* atomics take the coherent scheduled path *)
+  else
   let blk = Addr.block_of addr in
   let core = Config.core_of_thread t.cfg thread in
   let pc = t.priv.(core) in
@@ -395,6 +469,10 @@ let replay_store t ~thread addr ~size v =
   end
 
 let replay_rmw t ~thread addr ~size nv =
+  if t.self_sync then
+    (* Atomics never took the fast path live, so replay them scheduled. *)
+    ignore (rmw t ~thread addr ~size (fun _ -> nv) : int64 * int)
+  else
   let blk = Addr.block_of addr in
   let core = Config.core_of_thread t.cfg thread in
   let pc = t.priv.(core) in
@@ -475,6 +553,8 @@ let try_commit_store t ~thread addr ~size v (r : Privcache.spec_result) =
    old value; validation makes the old value exact and the function is
    pure, so storing [nv] matches the scheduled path's [f old]. *)
 let try_commit_rmw t ~thread addr ~size ~nv (r : Privcache.spec_result) =
+  if t.self_sync then -1 (* atomics take the coherent scheduled path *)
+  else
   let core = Config.core_of_thread t.cfg thread in
   if not (spec_validate t ~core r) then -1
   else begin
@@ -584,19 +664,23 @@ let check_invariants t =
   in
   let proto = the_proto t in
   (* SWMR among private copies — except for blocks in an active WARD
-     region, where multiple exclusive-like copies are the design. *)
+     region, where multiple exclusive-like copies are the design, and
+     except under [`Self] protocols, where concurrent writers of disjoint
+     sectors are the whole point. *)
+  let self = Protocol.kind proto = `Self in
   for core = 0 to ncores - 1 do
     Privcache.iter_resident t.priv.(core) (fun blk line ->
         if not (Protocol.is_ward proto ~blk) then
           match line.Privcache.state with
           | States.P_M | States.P_E ->
-              List.iter
-                (fun other ->
-                  if other <> core then
-                    err
-                      "SWMR violated: block %d exclusive at core %d but held by %d"
-                      blk core other)
-                (holders_of blk)
+              if not self then
+                List.iter
+                  (fun other ->
+                    if other <> core then
+                      err
+                        "SWMR violated: block %d exclusive at core %d but held by %d"
+                        blk core other)
+                  (holders_of blk)
           | States.P_S ->
               (* S means clean with respect to the LLC. *)
               if Warden_cache.Linedata.is_dirty line.Privcache.data then

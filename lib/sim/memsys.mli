@@ -10,7 +10,9 @@
 type t
 
 val create :
-  Warden_machine.Config.t -> proto:[ `Mesi | `Warden ] -> t
+  Warden_machine.Config.t ->
+  proto:[ `Mesi | `Warden | `Msi_bus | `Sisd ] ->
+  t
 
 val config : t -> Warden_machine.Config.t
 val protocol : t -> Warden_proto.Protocol.t
@@ -49,7 +51,21 @@ val rmw :
   (int64 -> int64) ->
   int64 * int
 (** Atomic read-modify-write: applies the function to the current value,
-    stores the result, and returns the {e old} value and the latency. *)
+    stores the result, and returns the {e old} value and the latency.
+    Under a [`Self] protocol (see {!Warden_proto.Protocol.S.kind}) the
+    RMW is performed coherently at the shared level: the core's copy is
+    dropped (dirty sectors flushed), the current bytes are re-fetched,
+    and the result is written straight through, leaving a clean S copy —
+    so atomics synchronize even though plain accesses may be stale. *)
+
+val acquire : t -> thread:int -> int
+(** Acquire fence at a runtime sync point: the [`Self] protocol flushes
+    and self-invalidates everything [thread]'s core holds. Returns the
+    cycles charged (0 for eagerly-coherent protocols, which do nothing). *)
+
+val release : t -> thread:int -> int
+(** Release fence: the [`Self] protocol self-downgrades the core's dirty
+    copies into the LLC. Returns the cycles charged. *)
 
 val try_fast_load :
   t -> thread:int -> Warden_mem.Addr.t -> size:int -> int
@@ -199,6 +215,13 @@ val k_region_remove : int
 val k_flush : int
 val k_poke : int
 
+val k_acquire : int
+(** Runtime acquire/release fences ([addr] and [size] are 0). Recorded so
+    a stream captured under a [`Self] protocol replays its fences; on
+    other protocols the fences are free no-ops both live and replayed. *)
+
+val k_release : int
+
 val set_trace_sink :
   t -> (int -> int -> int -> int -> int64 -> unit) option -> unit
 (** Install (or with [None] remove) the commit-order sink. The off path
@@ -225,7 +248,8 @@ val check_invariants : t -> (unit, string) result
 
     - SWMR: a block held E/M by one core is held by nobody else — except
       blocks inside an active WARD region, where multiple exclusive-like
-      copies are WARDen's design;
+      copies are WARDen's design, and except under [`Self] protocols,
+      where concurrent writers of disjoint sectors are legal;
     - every S copy is clean with respect to the LLC;
     - inclusion: every L1-resident block is L2-resident.
 

@@ -229,7 +229,7 @@ let restore t r =
 
 let probe_of t blk line =
   let levels = if Sa.mem t.l1 blk then 2 else 1 in
-  { Fabric.levels; data = line.data }
+  { Fabric.levels; state = line.state; data = line.data }
 
 (* The fabric probes below mutate on a hit ([find_way] refreshes recency
    and rotates; invalidation and downgrade change residency and state),

@@ -96,6 +96,10 @@ let replay t ms =
     else if kind = Memsys.k_flush then Memsys.flush_all ms
     else if kind = Memsys.k_poke then
       Memsys.poke ms addr ~size (Bytes.get_int64_le body (p + 25))
+    else if kind = Memsys.k_acquire then
+      ignore (Memsys.acquire ms ~thread : int)
+    else if kind = Memsys.k_release then
+      ignore (Memsys.release ms ~thread : int)
     else Bin.corrupt "Stream: unknown event kind"
   done;
   t.events
@@ -185,6 +189,15 @@ let stats_text ms =
   line "ward_rejects" ps.Pstats.ward_rejects;
   line "recon_blocks" ps.Pstats.recon_blocks;
   line "recon_flushes" ps.Pstats.recon_flushes;
+  line "bus_txns" ps.Pstats.bus_txns;
+  line "bus_arb_cycles" ps.Pstats.bus_arb_cycles;
+  line "bus_busy_cycles" ps.Pstats.bus_busy_cycles;
+  line "snoops" ps.Pstats.snoops;
+  line "c2c_transfers" ps.Pstats.c2c_transfers;
+  line "self_invs" ps.Pstats.self_invs;
+  line "self_downs" ps.Pstats.self_downs;
+  line "acquires" ps.Pstats.acquires;
+  line "releases" ps.Pstats.releases;
   Buffer.add_string b
     (Printf.sprintf "cache_pj %.0f\ndram_pj %.0f\nnetwork_pj %.0f\n"
        (Warden_machine.Energy.cache_pj en)

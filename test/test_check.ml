@@ -56,6 +56,36 @@ let test_equivalence_depth8 () =
   in
   Alcotest.(check int) "states" 70916 states
 
+(* The snooping-MSI small model also closes: no E state, so it is smaller
+   than MESI's. *)
+let test_msi_bus_closure () =
+  let states, transitions, complete =
+    pass "msi-bus" (Check.explore (Check.msi_bus ()) ~depth:64)
+  in
+  Alcotest.(check bool) "state space exhausted" true complete;
+  Alcotest.(check int) "states" 20164 states;
+  Alcotest.(check int) "transitions" 214988 transitions
+
+(* SI/SD with the fence alphabet: the canonical key carries the per-core
+   synced/fresh monitor bits. The two-core model closes; the three-core
+   space is fence-blown (200k+ states at depth 8 alone) and is covered by
+   the bounded CLI run and the fuzzer instead. *)
+let test_sisd_closure () =
+  let states, _, complete =
+    pass "sisd" (Check.explore (Check.sisd ~cores:2 ()) ~depth:64)
+  in
+  Alcotest.(check bool) "state space exhausted" true complete;
+  Alcotest.(check int) "states" 4263 states
+
+(* Snooping MSI against directory MESI in data-only lockstep: every
+   interleaving leaves identical residency, bytes, dirty masks and
+   effective memory (grant states and costs are free to differ). *)
+let test_msi_lockstep_depth8 () =
+  let states, _, _ =
+    pass "msi-bus=mesi" (Check.explore (Check.msi_lockstep ()) ~depth:8)
+  in
+  Alcotest.(check int) "states" 26283 states
+
 (* --- region round trip ------------------------------------------------------ *)
 
 let world_cfg ?(cores = 2) ?(blks = 1) mk =
@@ -134,6 +164,7 @@ struct
   type t = { fabric : Fabric.t; dir : Dirstate.t; scratch : Mesi.grant }
 
   let name = M.name
+  let kind = `Directory
 
   let create fabric =
     let cfg = fabric.Fabric.config in
@@ -157,6 +188,8 @@ struct
   let region_add _ ~lo:_ ~hi:_ = false
   let is_ward _ ~blk:_ = false
   let region_remove _ ~lo:_ ~hi:_ = 0
+  let acquire _ ~core:_ = 0
+  let release _ ~core:_ = 0
 
   let flush_all t =
     let blocks = ref [] in
@@ -209,6 +242,54 @@ end
 let lazy_reconcile fabric =
   Protocol.Packed ((module Lazy_reconcile), Lazy_reconcile.create fabric)
 
+(* Snooping MSI whose invalidations only peek the victim's copy. The wrap
+   is re-applied in [create] and [copy], so it survives the checker's
+   forking the same way the call-time wraps above do: a write upgrade or
+   owner transfer leaves the other cores' stale copies resident. *)
+module Bus_no_inval = struct
+  include Msi_bus.P
+
+  let name = "msi-bus-no-inval"
+
+  let wrap f =
+    {
+      f with
+      Fabric.invalidate_priv = (fun ~core ~blk -> f.Fabric.peek_priv ~core ~blk);
+    }
+
+  let create fabric = Msi_bus.P.create (wrap fabric)
+  let copy t ~fabric = Msi_bus.P.copy t ~fabric:(wrap fabric)
+end
+
+let bus_no_inval fabric =
+  Protocol.Packed ((module Bus_no_inval), Bus_no_inval.create fabric)
+
+(* SI/SD whose release fence reports success without self-downgrading: the
+   core's dirty lines never reach the LLC, so the written data is not
+   published where the release contract promises it. *)
+module Sisd_no_self_down = struct
+  include Sisd.P
+
+  let name = "sisd-no-self-down"
+  let release _ ~core:_ = 1
+end
+
+let sisd_no_self_down fabric =
+  Protocol.Packed ((module Sisd_no_self_down), Sisd_no_self_down.create fabric)
+
+(* SI/SD whose acquire fence flushes dirty lines but keeps every resident
+   copy: reads after the fence can return stale values another core
+   published before it. *)
+module Sisd_no_self_inv = struct
+  include Sisd.P
+
+  let name = "sisd-no-self-inv"
+  let acquire _ ~core:_ = 1
+end
+
+let sisd_no_self_inv fabric =
+  Protocol.Packed ((module Sisd_no_self_inv), Sisd_no_self_inv.create fabric)
+
 let mutation name mk expect =
   let cfg = Check.of_protocol ~name ~mk () in
   let ce = fail name (Check.explore cfg ~depth:8) in
@@ -228,6 +309,15 @@ let test_mutation_lost_writeback () =
 
 let test_mutation_lazy_reconcile () =
   mutation "warden-lazy-reconcile" lazy_reconcile "outside any active"
+
+let test_mutation_bus_no_inval () =
+  mutation "msi-bus-no-inval" bus_no_inval "copies at"
+
+let test_mutation_sisd_no_self_down () =
+  mutation "sisd-no-self-down" sisd_no_self_down "release fence"
+
+let test_mutation_sisd_no_self_inv () =
+  mutation "sisd-no-self-inv" sisd_no_self_inv "acquire fence"
 
 (* The fuzzer must catch mutations too, and shrink deterministically. *)
 let test_fuzz_catches_and_shrinks () =
@@ -253,6 +343,10 @@ let suite =
       test_warden_depth8;
     Alcotest.test_case "mesi=warden lockstep to depth 8" `Slow
       test_equivalence_depth8;
+    Alcotest.test_case "msi-bus: full state space" `Slow test_msi_bus_closure;
+    Alcotest.test_case "sisd: full state space" `Slow test_sisd_closure;
+    Alcotest.test_case "msi-bus=mesi data lockstep to depth 8" `Slow
+      test_msi_lockstep_depth8;
     Alcotest.test_case "region add/remove round trip" `Quick
       test_region_roundtrip;
     Alcotest.test_case "dump and observe" `Quick test_world_dump_and_observe;
@@ -263,6 +357,12 @@ let suite =
       test_mutation_lost_writeback;
     Alcotest.test_case "mutation: skipped reconciliation" `Quick
       test_mutation_lazy_reconcile;
+    Alcotest.test_case "mutation: snoop kept stale sharers" `Quick
+      test_mutation_bus_no_inval;
+    Alcotest.test_case "mutation: dropped self-downgrade" `Quick
+      test_mutation_sisd_no_self_down;
+    Alcotest.test_case "mutation: dropped self-invalidate" `Quick
+      test_mutation_sisd_no_self_inv;
     Alcotest.test_case "fuzz catches and shrinks" `Quick
       test_fuzz_catches_and_shrinks;
   ]

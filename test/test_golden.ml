@@ -236,7 +236,11 @@ let test_golden () =
     (fun (bench, scale, proto, golden) ->
       let label =
         Printf.sprintf "%s/%s" bench
-          (match proto with `Mesi -> "mesi" | `Warden -> "warden")
+          (match proto with
+          | `Mesi -> "mesi"
+          | `Warden -> "warden"
+          | `Msi_bus -> "msi-bus"
+          | `Sisd -> "sisd")
       in
       let s = run_kernel ~bench ~scale ~proto in
       if Sys.getenv_opt "GOLDEN_DUMP" <> None then dump label s

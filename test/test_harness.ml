@@ -17,6 +17,8 @@ let mk_result ?(cycles = 1000) ?(instructions = 2000) ?(inv = 100) ?(down = 50)
     loads = 0;
     invalidations = inv;
     downgrades = down;
+    self_invs = 0;
+    self_downs = 0;
     messages = 0;
     ward_grants = 0;
     recon_blocks = 0;

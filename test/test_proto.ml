@@ -25,9 +25,16 @@ let mk_mini ?(cfg = Config.dual_socket ()) () =
   let priv = Hashtbl.create 64 in
   let llc = Hashtbl.create 64 in
   let store = Warden_mem.Store.create () in
+  (* The mini caches don't track grant states; report M for dirty copies
+     and S otherwise — all the probe consumers distinguish. *)
   let probe ~core ~blk =
     Option.map
-      (fun data -> { Fabric.levels = 2; data })
+      (fun data ->
+        {
+          Fabric.levels = 2;
+          state = (if Linedata.is_dirty data then P_M else P_S);
+          data;
+        })
       (Hashtbl.find_opt priv (core, blk))
   in
   let fabric =
@@ -43,6 +50,9 @@ let mk_mini ?(cfg = Config.dual_socket ()) () =
           Hashtbl.remove priv (core, blk);
           p);
       downgrade_priv = probe;
+      iter_priv =
+        (fun ~core f ->
+          Hashtbl.iter (fun (c, blk) _ -> if c = core then f blk) priv);
       read_shared =
         (fun ~blk ->
           match Hashtbl.find_opt llc blk with
